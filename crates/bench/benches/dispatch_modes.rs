@@ -1,0 +1,48 @@
+//! End-to-end simulation throughput per dispatch mode.
+//!
+//! Measures how fast the simulator replays a fixed 1-second Case-1 slice
+//! under each mode. Besides guarding simulator performance regressions,
+//! the relative costs echo the modes' real bookkeeping weight (shared
+//! wait-queue walking vs per-socket hashing vs Hermes scheduling).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_simnet::{Mode, SimConfig};
+use hermes_workload::{Case, CaseLoad};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_case1_light_1s");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+    let wl = Case::Case1.workload(CaseLoad::Light, 4, 1_000_000_000, 99);
+    for mode in [
+        Mode::ExclusiveLifo,
+        Mode::RoundRobin,
+        Mode::WakeAll,
+        Mode::Reuseport,
+        Mode::Hermes,
+        Mode::UserspaceDispatcher,
+    ] {
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| {
+                let r = hermes_simnet::run(&wl, SimConfig::new(4, mode));
+                black_box(r.completed_requests)
+            })
+        });
+    }
+    // The fidelity tax of routing every dispatch through the bytecode VM.
+    let mut cfg = SimConfig::new(4, Mode::Hermes);
+    cfg.use_ebpf = true;
+    g.bench_function("Hermes_ebpf_backed", |b| {
+        b.iter(|| {
+            let r = hermes_simnet::run(&wl, cfg.clone());
+            black_box(r.completed_requests)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

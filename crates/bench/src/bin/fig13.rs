@@ -1,0 +1,49 @@
+//! Regenerate **Fig. 13**: standard deviation of per-worker CPU
+//! utilization and connection counts under the three modes over a
+//! production-like mix (paper: CPU SD 26 % / 2.7 % / 2.7 %; connection SD
+//! 3200 / 50 / 20 for exclusive / reuseport / Hermes).
+
+use hermes_bench::{banner, DURATION_NS, SEED, WORKERS};
+use hermes_metrics::ascii::line_plot;
+use hermes_metrics::table::Table;
+use hermes_simnet::{Mode, SimConfig};
+use hermes_workload::regions::Region;
+use hermes_workload::scenario::region_mix;
+use hermes_workload::CaseLoad;
+
+fn main() {
+    banner("Fig 13", "§6.2 'Load balancing performance of Hermes in production'");
+    let region = &Region::all()[0]; // case3-rich: long-lived connections
+    let wl = region_mix(region, WORKERS, CaseLoad::Medium, 2 * DURATION_NS, SEED);
+    let mut t = Table::new("Fig 13 summary: cross-worker SD (mean over sampling points)")
+        .header(["Mode", "CPU util SD (pp)", "#connections SD", "(paper CPU/conn SD)"]);
+    let paper = [("26", "3200"), ("2.7", "50"), ("2.7", "20")];
+    let mut all_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for (i, mode) in Mode::paper_trio().into_iter().enumerate() {
+        let r = hermes_simnet::run(&wl, SimConfig::new(WORKERS, mode));
+        t.row([
+            mode.name().to_string(),
+            format!("{:.2}", r.balance.cpu_sd.mean()),
+            format!("{:.1}", r.balance.conn_sd.mean()),
+            format!("({} / {})", paper[i].0, paper[i].1),
+        ]);
+        let series: Vec<(f64, f64)> = r
+            .balance
+            .series
+            .iter()
+            .map(|(t, _, conn_sd)| (*t as f64 / 1e9, *conn_sd))
+            .collect();
+        all_series.push((mode.name().to_string(), series));
+    }
+    println!("{t}");
+    let refs: Vec<(&str, &[(f64, f64)])> = all_series
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_slice()))
+        .collect();
+    println!(
+        "{}",
+        line_plot("#connections SD across workers over time", &refs, 72, 14)
+    );
+    println!("Paper shape: exclusive >> reuseport > Hermes; Hermes's connection-aware");
+    println!("filter gives the flattest connection distribution.");
+}

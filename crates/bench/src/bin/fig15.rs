@@ -1,0 +1,43 @@
+//! Regenerate **Fig. 15**: sweep the coarse-filter offset θ (as θ/Avg)
+//! and report average P99 latency and throughput. Too small ⇒ few workers
+//! pass and new connections concentrate; too large ⇒ loaded workers leak
+//! through. The paper finds θ/Avg = 0.5 optimal.
+
+use hermes_bench::{banner, fmt, DURATION_NS, SEED};
+use hermes_metrics::table::Table;
+use hermes_simnet::{Mode, SimConfig};
+use hermes_workload::{Case, CaseLoad};
+
+fn main() {
+    banner("Fig 15", "§6.2 'Selection of offset θ'");
+    // Paper-scale device: 32 workers, so small θ/Avg passes too few
+    // workers in absolute terms and the concentration penalty bites.
+    const WORKERS: usize = 32;
+    let wl = Case::Case1.workload(CaseLoad::Heavy, WORKERS, DURATION_NS / 2, SEED);
+    let mut t = Table::new("Fig 15: θ/Avg sweep (Case 1 heavy)").header([
+        "θ/Avg",
+        "Avg (ms)",
+        "P99 (ms)",
+        "Thr (kRPS)",
+        "pass ratio",
+    ]);
+    let mut best = (f64::MAX, 0.0f64);
+    for theta in [0.0, 0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
+        let mut cfg = SimConfig::new(WORKERS, Mode::Hermes);
+        cfg.hermes.theta_frac = theta;
+        let r = hermes_simnet::run(&wl, cfg);
+        let p99 = r.p99_latency_ms();
+        if p99 < best.0 {
+            best = (p99, theta);
+        }
+        t.row([
+            format!("{theta}"),
+            fmt(r.avg_latency_ms()),
+            fmt(p99),
+            fmt(r.throughput_rps() / 1000.0),
+            format!("{:.3}", r.sched.mean_pass_ratio(WORKERS)),
+        ]);
+    }
+    println!("{t}");
+    println!("best P99 at θ/Avg = {} ({} ms); paper optimum: 0.5", best.1, fmt(best.0));
+}

@@ -1,0 +1,50 @@
+//! Regenerate **Fig. 4**: CDF of the number of events returned from
+//! `epoll_wait()` for four workers of one device over a production-like
+//! mix under epoll exclusive — some workers are systematically busier.
+
+use hermes_bench::{banner, DURATION_NS, SEED, WORKERS};
+use hermes_metrics::ascii::line_plot;
+use hermes_metrics::Cdf;
+use hermes_simnet::{Mode, SimConfig};
+use hermes_workload::regions::Region;
+use hermes_workload::scenario::region_mix;
+use hermes_workload::CaseLoad;
+
+fn main() {
+    banner("Fig 4", "§2.3 'CDF of #events returned from epoll_wait()'");
+    let region = &Region::all()[1];
+    let wl = region_mix(region, WORKERS, CaseLoad::Medium, DURATION_NS, SEED);
+    let r = hermes_simnet::run(&wl, SimConfig::new(WORKERS, Mode::ExclusiveLifo));
+
+    // Pick the two busiest and two idlest workers, like the paper's PIDs.
+    let mut order: Vec<usize> = (0..WORKERS).collect();
+    order.sort_by_key(|&w| r.workers[w].busy_ns);
+    let picks = [order[0], order[1], order[WORKERS - 2], order[WORKERS - 1]];
+
+    let mut series_data: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for &w in &picks {
+        let h = &r.workers[w].events_per_wait;
+        let samples: Vec<f64> = h
+            .iter_buckets()
+            .flat_map(|(v, c)| std::iter::repeat_n(v as f64, c as usize))
+            .collect();
+        let cdf = Cdf::from_samples(samples);
+        let pts: Vec<(f64, f64)> = (0..=20).map(|x| (x as f64, cdf.at(x as f64))).collect();
+        series_data.push((format!("worker{w}"), pts));
+        println!(
+            "worker {w}: epoll_wait calls {}, mean events {:.2}, P99 {}",
+            h.count(),
+            h.mean(),
+            h.p99()
+        );
+    }
+    let series: Vec<(&str, &[(f64, f64)])> = series_data
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.as_slice()))
+        .collect();
+    println!(
+        "{}",
+        line_plot("CDF of #events per epoll_wait (x=events, y=F)", &series, 72, 14)
+    );
+    println!("Paper shape: busy workers' CDFs sit to the right (more events per wait).");
+}

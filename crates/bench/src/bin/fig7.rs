@@ -1,0 +1,47 @@
+//! Regenerate **Fig. 7**: packets spread evenly across NIC RSS queues
+//! while CPU-core utilization stays highly unbalanced — the argument that
+//! L4-style packet balancing cannot fix L7 load imbalance.
+
+use hermes_bench::{banner, DURATION_NS, SEED, WORKERS};
+use hermes_metrics::ascii::bar_chart;
+use hermes_simnet::{Mode, SimConfig};
+use hermes_workload::regions::Region;
+use hermes_workload::scenario::region_mix;
+use hermes_workload::CaseLoad;
+
+fn main() {
+    banner("Fig 7", "§3 'packets evenly distributed across NIC queues, CPU unbalanced'");
+    let region = &Region::all()[1];
+    let wl = region_mix(region, WORKERS, CaseLoad::Medium, DURATION_NS, SEED);
+    let mut cfg = SimConfig::new(WORKERS, Mode::ExclusiveLifo);
+    cfg.nic_queues = WORKERS;
+    let r = hermes_simnet::run(&wl, cfg);
+
+    let total: u64 = r.nic_queue_packets.iter().sum();
+    let nic: Vec<(String, f64)> = r
+        .nic_queue_packets
+        .iter()
+        .enumerate()
+        .map(|(q, &c)| (format!("queue{q}"), c as f64 / total as f64 * 100.0))
+        .collect();
+    let nic_refs: Vec<(&str, f64)> = nic.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    println!("{}", bar_chart("NIC RSS packet share per queue (%)", &nic_refs, 40));
+
+    let cpu: Vec<(String, f64)> = r
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(w, rep)| (format!("core{w}"), rep.utilization * 100.0))
+        .collect();
+    let cpu_refs: Vec<(&str, f64)> = cpu.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    println!("{}", bar_chart("CPU utilization per worker core (%)", &cpu_refs, 40));
+
+    let nic_sd = hermes_metrics::welford::stddev_of(
+        &nic.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+    );
+    let cpu_sd = hermes_metrics::welford::stddev_of(
+        &cpu.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+    );
+    println!("NIC queue share SD: {nic_sd:.2} pp   |   CPU utilization SD: {cpu_sd:.2} pp");
+    println!("Paper shape: NIC bars flat, CPU bars wildly uneven (SD ratio >> 1).");
+}

@@ -1,0 +1,48 @@
+//! Regenerate **Table 1**: request-size and processing-time percentiles
+//! across four regions, from the fitted generators, next to the paper's
+//! published values.
+
+use hermes_bench::banner;
+use hermes_metrics::table::Table;
+use hermes_metrics::Summary;
+use hermes_workload::regions::Region;
+
+fn main() {
+    banner("Table 1", "§2.3 'Request size and processing time distributions'");
+    let mut t = Table::new("Table 1: request size (bytes) and processing time (ms), generated vs paper")
+        .header([
+            "Region", "size P50", "P90", "P99", "(paper P50/P90/P99)", "proc P50", "P90", "P99",
+            "(paper P50/P90/P99)",
+        ]);
+    let n = 200_000;
+    for (i, region) in Region::all().iter().enumerate() {
+        let mut rng = hermes_workload::rng(1000 + i as u64);
+        let size_d = region.size_distribution();
+        let proc_d = region.proc_time_distribution();
+        let mut size = Summary::with_capacity(n);
+        let mut proc = Summary::with_capacity(n);
+        for _ in 0..n {
+            size.record(size_d.sample(&mut rng));
+            proc.record(proc_d.sample(&mut rng));
+        }
+        t.row([
+            region.name.to_string(),
+            format!("{:.0}", size.p50()),
+            format!("{:.0}", size.p90()),
+            format!("{:.0}", size.p99()),
+            format!(
+                "({:.0}/{:.0}/{:.0})",
+                region.size_bytes.p50, region.size_bytes.p90, region.size_bytes.p99
+            ),
+            format!("{:.0}", proc.p50()),
+            format!("{:.0}", proc.p90()),
+            format!("{:.0}", proc.p99()),
+            format!(
+                "({:.0}/{:.0}/{:.0})",
+                region.proc_ms.p50, region.proc_ms.p90, region.proc_ms.p99
+            ),
+        ]);
+    }
+    println!("{t}");
+    println!("Generators are lognormal bodies fitted on P50/P90 with heavy mixture tails; see workload::regions.");
+}

@@ -1,0 +1,59 @@
+//! Regenerate **Table 2**: CPU-utilization imbalance within a device and
+//! across devices, under the default epoll exclusive.
+//!
+//! The paper samples a 363-device region (Region2 mix) and reports two
+//! representative devices — the one with the largest max/min core gap —
+//! plus the fleet average. We simulate a scaled-down fleet of devices with
+//! distinct traffic seeds under epoll exclusive and report the same rows.
+
+use hermes_bench::{banner, fmt, DURATION_NS, WORKERS};
+use hermes_metrics::table::Table;
+use hermes_simnet::{Mode, SimConfig};
+use hermes_workload::regions::Region;
+use hermes_workload::scenario::region_mix;
+use hermes_workload::CaseLoad;
+
+fn main() {
+    banner("Table 2", "§2.3 'CPU utilization imbalance ... 363 L7 LB devices'");
+    let region = &Region::all()[1]; // Region2, as in the paper
+    let devices = 12;
+    let mut per_device: Vec<(usize, f64, f64, f64)> = Vec::new(); // (id, max, min, avg)
+    for d in 0..devices {
+        let wl = region_mix(region, WORKERS, CaseLoad::Light, DURATION_NS, 7_000 + d as u64);
+        let r = hermes_simnet::run(&wl, SimConfig::new(WORKERS, Mode::ExclusiveLifo));
+        let utils = r.cpu_utilizations();
+        let max = utils.iter().cloned().fold(f64::MIN, f64::max) * 100.0;
+        let min = utils.iter().cloned().fold(f64::MAX, f64::min) * 100.0;
+        let avg = utils.iter().sum::<f64>() / utils.len() as f64 * 100.0;
+        per_device.push((d, max, min, avg));
+    }
+    per_device.sort_by(|a, b| (b.1 - b.2).partial_cmp(&(a.1 - a.2)).unwrap());
+
+    let mut t = Table::new(format!(
+        "Table 2: per-core CPU utilization under epoll exclusive ({devices} simulated devices)"
+    ))
+    .header(["Device", "Max-Min (%)", "Max (%)", "Min (%)", "Avg (%)"]);
+    for &(d, max, min, avg) in per_device.iter().take(2) {
+        t.row([
+            format!("LB-{d} (worst gap)"),
+            fmt(max - min),
+            fmt(max),
+            fmt(min),
+            fmt(avg),
+        ]);
+    }
+    let n = per_device.len() as f64;
+    let avg_gap = per_device.iter().map(|r| r.1 - r.2).sum::<f64>() / n;
+    let avg_max = per_device.iter().map(|r| r.1).sum::<f64>() / n;
+    let avg_min = per_device.iter().map(|r| r.2).sum::<f64>() / n;
+    let avg_avg = per_device.iter().map(|r| r.3).sum::<f64>() / n;
+    t.row([
+        format!("Average of all {devices}"),
+        fmt(avg_gap),
+        fmt(avg_max),
+        fmt(avg_min),
+        fmt(avg_avg),
+    ]);
+    println!("{t}");
+    println!("Paper shape: large max/min gaps per device under exclusive (LIFO concentration).");
+}

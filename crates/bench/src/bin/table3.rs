@@ -1,0 +1,59 @@
+//! Regenerate **Table 3**: Hermes vs epoll exclusive vs reuseport across
+//! the four traffic cases at light/medium/heavy load — average latency,
+//! P99 latency, and throughput.
+//!
+//! The paper marks a cell `(x)` when processing time exceeds the best by
+//! >50 % or throughput trails it by >20 %; this harness applies the same
+//! > rule.
+
+use hermes_bench::{banner, flag, fmt, run_mode, DURATION_NS, SEED, WORKERS};
+use hermes_metrics::table::Table;
+use hermes_simnet::Mode;
+use hermes_workload::{Case, CaseLoad};
+
+fn main() {
+    banner("Table 3", "§6.2 'Hermes performance in specific cases'");
+    let modes = Mode::paper_trio();
+    let mut table = Table::new("Table 3: per-case performance (Avg ms / P99 ms / Thr kRPS)")
+        .header([
+            "Case", "Mode", "L.Avg", "L.P99", "L.Thr", "M.Avg", "M.P99", "M.Thr", "H.Avg",
+            "H.P99", "H.Thr",
+        ]);
+
+    for case in Case::all() {
+        // results[load][mode] = (avg_ms, p99_ms, kRPS)
+        let mut results: Vec<Vec<(f64, f64, f64)>> = Vec::new();
+        for load in CaseLoad::all() {
+            let wl = case.workload(load, WORKERS, DURATION_NS, SEED);
+            let mut per_mode = Vec::new();
+            for mode in modes {
+                let r = run_mode(&wl, mode, WORKERS);
+                per_mode.push((
+                    r.avg_latency_ms(),
+                    r.p99_latency_ms(),
+                    r.throughput_rps() / 1000.0,
+                ));
+            }
+            results.push(per_mode);
+        }
+        for (mi, mode) in modes.into_iter().enumerate() {
+            let mut row = vec![
+                if mi == 0 { case.name().to_string() } else { String::new() },
+                mode.name().to_string(),
+            ];
+            for per_mode in &results {
+                let best_avg = per_mode.iter().map(|r| r.0).fold(f64::MAX, f64::min);
+                let best_thr = per_mode.iter().map(|r| r.2).fold(f64::MIN, f64::max);
+                let (avg, p99, thr) = per_mode[mi];
+                // Paper rule: x when >50% worse latency or >20% lower
+                // throughput than the best mode at this load.
+                row.push(flag(avg, avg > 1.5 * best_avg));
+                row.push(fmt(p99));
+                row.push(flag(thr, thr < 0.8 * best_thr));
+            }
+            table.row(row);
+        }
+    }
+    println!("{table}");
+    println!("(x) = >50% worse Avg latency or >20% lower throughput than the best mode at that load.");
+}

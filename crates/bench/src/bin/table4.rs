@@ -1,0 +1,44 @@
+//! Regenerate **Table 4**: distribution of the four traffic cases across
+//! regions, by classifying generated region traffic back into the 2×2
+//! CPS × processing-time grid.
+//!
+//! The region generators are *parameterized* by the paper's mix, so this
+//! harness is a closed-loop check: draw per-connection cases from each
+//! region model, classify, and confirm the empirical distribution lands on
+//! the configured (paper) values.
+
+use hermes_bench::banner;
+use hermes_metrics::table::Table;
+use hermes_workload::regions::{average_case_mix, Region};
+use hermes_workload::Case;
+
+fn main() {
+    banner("Table 4", "§6.2 'Distribution of 4 cases in Table 3 across regions'");
+    let mut t = Table::new("Table 4: case mix per region (empirical % over 100k draws | paper %)")
+        .header(["", "Region1", "Region2", "Region3", "Region4", "Avg"]);
+    let regions = Region::all();
+    let draws = 100_000;
+    // empirical[region][case]
+    let mut empirical = [[0u32; 4]; 4];
+    for (ri, region) in regions.iter().enumerate() {
+        let mut rng = hermes_workload::rng(4_000 + ri as u64);
+        for _ in 0..draws {
+            let case = region.sample_case(&mut rng);
+            let ci = Case::all().iter().position(|&c| c == case).unwrap();
+            empirical[ri][ci] += 1;
+        }
+    }
+    let avg = average_case_mix();
+    for (ci, case) in Case::all().iter().enumerate() {
+        let mut row = vec![format!("{case:?}")];
+        for ri in 0..4 {
+            let emp = empirical[ri][ci] as f64 / draws as f64 * 100.0;
+            let paper = regions[ri].case_mix[ci] * 100.0;
+            row.push(format!("{emp:.2}% | {paper:.2}%"));
+        }
+        row.push(format!("{:.2}%", avg[ci] * 100.0));
+        t.row(row);
+    }
+    println!("{t}");
+    println!("Paper Avg row: 7.41% / 4.67% / 56.19% / 31.73%.");
+}

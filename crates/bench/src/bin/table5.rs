@@ -1,0 +1,52 @@
+//! Regenerate **Table 5**: CPU overhead of Hermes components (userspace
+//! counter / scheduler / system call, kernel dispatcher) under light,
+//! medium, and heavy load — measured on the *real threaded runtime* with
+//! wall-clock accounting, the closest stand-in for the paper's
+//! perf-flame-graph attribution.
+
+use hermes_bench::banner;
+use hermes_metrics::table::Table;
+use hermes_runtime::{ConnectionScript, LbRuntime, RuntimeConfig};
+use std::time::Duration;
+
+/// Run one load level: `cps` connections/second for `secs` seconds with
+/// 60 µs requests; returns (label, overhead percentages, sched rate).
+fn run_load(label: &str, cps: u64, secs: u64) -> (String, [f64; 4], f64) {
+    let workers = 4;
+    let mut rt = LbRuntime::start(RuntimeConfig::new(workers));
+    std::thread::sleep(Duration::from_millis(10));
+    let gap = Duration::from_nanos(1_000_000_000 / cps);
+    let total = cps * secs;
+    for i in 0..total {
+        rt.submit(ConnectionScript {
+            flow_hash: (i as u32).wrapping_mul(0x9E37_79B9).rotate_left(9),
+            requests: vec![Duration::from_micros(60)],
+            probe: false,
+        });
+        std::thread::sleep(gap);
+    }
+    let report = rt.shutdown();
+    let pct = report.overhead.as_cpu_percent(report.workers, report.wall_ns);
+    (label.to_string(), pct, report.sched_rate())
+}
+
+fn main() {
+    banner("Table 5", "§6.2 'Overhead (CPU utilization) of Hermes components'");
+    let mut t = Table::new("Table 5: Hermes component overhead (% of total worker CPU)").header([
+        "Load", "Counter", "Scheduler", "System call", "Dispatcher", "sched calls/s",
+    ]);
+    for (label, cps) in [("Light", 500u64), ("Medium", 2_000), ("Heavy", 6_000)] {
+        let (l, pct, rate) = run_load(label, cps, 3);
+        t.row([
+            l,
+            format!("{:.3}%", pct[0]),
+            format!("{:.3}%", pct[1]),
+            format!("{:.3}%", pct[2]),
+            format!("{:.3}%", pct[3]),
+            format!("{rate:.0}"),
+        ]);
+    }
+    println!("{t}");
+    println!("Paper shape: all components sub-1% each under light/medium load; the");
+    println!("dispatcher is the cheapest; counter and syscall grow with load.");
+}

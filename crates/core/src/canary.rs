@@ -1,0 +1,161 @@
+//! Canary-release connection-drain model (§6.2, Fig. 11's tail).
+//!
+//! Hermes rolled out via canary release: new-version VMs join the
+//! cluster, old-version VMs stop accepting *new* connections but keep
+//! serving established ones until they drain. How long that takes depends
+//! on the client mix — "some mobile clients drop connections quickly due
+//! to network changes, while IoT clients or cloud services may keep
+//! connections alive for a long time". In Region1 probes kept reaching
+//! old VMs for up to 11 days.
+//!
+//! The drain is a mixture of exponential lifetimes, one component per
+//! client class.
+
+/// One client class: a share of connections with a mean lifetime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClientClass {
+    /// Fraction of established connections (mixture weight).
+    pub share: f64,
+    /// Mean connection lifetime in days.
+    pub mean_lifetime_days: f64,
+}
+
+/// A connection-drain model over a mixture of client classes.
+#[derive(Clone, Debug)]
+pub struct DrainModel {
+    classes: Vec<ClientClass>,
+}
+
+impl DrainModel {
+    /// Build from classes; shares must sum to ~1.
+    pub fn new(classes: Vec<ClientClass>) -> Self {
+        assert!(!classes.is_empty(), "need at least one client class");
+        let total: f64 = classes.iter().map(|c| c.share).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "class shares must sum to 1 (got {total})"
+        );
+        assert!(
+            classes
+                .iter()
+                .all(|c| c.share >= 0.0 && c.mean_lifetime_days > 0.0),
+            "shares must be non-negative and lifetimes positive"
+        );
+        Self { classes }
+    }
+
+    /// The paper's Region1-like mix: mostly mobile/web, a stubborn
+    /// IoT/cloud tail that keeps probes flowing to old VMs for ~11 days.
+    pub fn region1_like() -> Self {
+        Self::new(vec![
+            ClientClass {
+                share: 0.70,
+                mean_lifetime_days: 0.02, // mobile: ~30 minutes
+            },
+            ClientClass {
+                share: 0.25,
+                mean_lifetime_days: 0.5, // web/keep-alive: ~half a day
+            },
+            ClientClass {
+                share: 0.05,
+                mean_lifetime_days: 1.8, // IoT / cloud services
+            },
+        ])
+    }
+
+    /// A fast-draining mix (the paper's Region2: "connections drained
+    /// faster, and probes quickly shifted to new VMs").
+    pub fn region2_like() -> Self {
+        Self::new(vec![
+            ClientClass {
+                share: 0.9,
+                mean_lifetime_days: 0.02,
+            },
+            ClientClass {
+                share: 0.1,
+                mean_lifetime_days: 0.3,
+            },
+        ])
+    }
+
+    /// Fraction of the original connections still alive after `t` days.
+    pub fn remaining(&self, t_days: f64) -> f64 {
+        assert!(t_days >= 0.0, "time must be non-negative");
+        self.classes
+            .iter()
+            .map(|c| c.share * (-t_days / c.mean_lifetime_days).exp())
+            .sum()
+    }
+
+    /// Daily remaining-fraction series for `days` days (index 0 = release
+    /// day).
+    pub fn drain_series(&self, days: usize) -> Vec<f64> {
+        (0..=days).map(|d| self.remaining(d as f64)).collect()
+    }
+
+    /// First day on which the remaining fraction falls below `epsilon`
+    /// (probes effectively stop reaching old VMs).
+    pub fn days_to_drain(&self, epsilon: f64) -> u32 {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        let mut d = 0u32;
+        while self.remaining(d as f64) >= epsilon {
+            d += 1;
+            if d > 10_000 {
+                break; // pathological mixes: refuse to loop forever
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_is_monotone_decreasing_from_one() {
+        let m = DrainModel::region1_like();
+        assert!((m.remaining(0.0) - 1.0).abs() < 1e-12);
+        let series = m.drain_series(14);
+        for w in series.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn region1_tail_lasts_on_the_order_of_11_days() {
+        // Fig. 11: "lasting up to 11 days until all connections expired".
+        // With ~10k conns per VM, "all expired" ≈ remaining < 1e-4.
+        let d = DrainModel::region1_like().days_to_drain(1e-4);
+        assert!(
+            (8..=16).contains(&d),
+            "Region1-like drain took {d} days (paper: ~11)"
+        );
+    }
+
+    #[test]
+    fn region2_drains_much_faster() {
+        let r1 = DrainModel::region1_like().days_to_drain(1e-3);
+        let r2 = DrainModel::region2_like().days_to_drain(1e-3);
+        assert!(r2 < r1 / 2, "r2 {r2} vs r1 {r1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn shares_must_sum_to_one() {
+        DrainModel::new(vec![ClientClass {
+            share: 0.5,
+            mean_lifetime_days: 1.0,
+        }]);
+    }
+
+    #[test]
+    fn degenerate_single_class() {
+        let m = DrainModel::new(vec![ClientClass {
+            share: 1.0,
+            mean_lifetime_days: 1.0,
+        }]);
+        // Pure exponential: remaining(1) = 1/e.
+        assert!((m.remaining(1.0) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,291 @@
+//! Two-level worker-group scheduling.
+//!
+//! §7 ("Will the 64-bit atomic limit Hermes on 128-core servers?"): workers
+//! are partitioned into groups of at most 64. A new connection first picks a
+//! group by hashing (level 1), then the ordinary Hermes bitmap logic picks a
+//! worker within the group (level 2). Each group has its own independent WST
+//! and selection map, updated only by its own workers.
+//!
+//! Appendix C (Fig. A6) generalizes the same structure into a cache-locality
+//! knob: hashing the *DIP & Dport* (instead of the full 4-tuple) at level 1
+//! pins a tenant's traffic to one group while level 2 still balances within
+//! it. One group ⇒ standard Hermes; one worker per group ⇒ pure reuseport.
+
+use crate::bitmap::WorkerBitmap;
+use crate::dispatch::{ConnDispatcher, DispatchOutcome};
+use crate::hash::{jhash_3words, reciprocal_scale, FlowKey};
+use crate::sched::{SchedConfig, SchedDecision, Scheduler};
+use crate::selmap::SelMap;
+use crate::wst::Wst;
+use crate::WorkerId;
+use std::sync::Arc;
+
+/// What the level-1 group hash covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupBy {
+    /// Hash the full 4-tuple (§7): connections spray across groups.
+    FlowHash,
+    /// Hash destination IP and port only (Appendix C, Fig. A6): a tenant's
+    /// traffic sticks to one group for cache locality.
+    DipDport,
+}
+
+/// A worker's position under two-level scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupedWorker {
+    /// Group index.
+    pub group: usize,
+    /// Worker index within the group.
+    pub local: WorkerId,
+    /// Flattened global worker id (`group * group_size + local`).
+    pub global: WorkerId,
+}
+
+/// One worker group: its own WST, selection map, and dispatcher.
+#[derive(Debug)]
+pub struct Group {
+    wst: Arc<Wst>,
+    sel: Arc<SelMap>,
+    dispatcher: ConnDispatcher,
+}
+
+impl Group {
+    /// The group's worker status table.
+    pub fn wst(&self) -> &Arc<Wst> {
+        &self.wst
+    }
+
+    /// The group's selection map.
+    pub fn sel(&self) -> &Arc<SelMap> {
+        &self.sel
+    }
+
+    /// Workers in this group.
+    pub fn workers(&self) -> usize {
+        self.dispatcher.workers()
+    }
+}
+
+/// Two-level Hermes scheduler/dispatcher over `groups * group_size`
+/// workers.
+#[derive(Debug)]
+pub struct GroupScheduler {
+    groups: Vec<Group>,
+    group_size: usize,
+    group_by: GroupBy,
+    scheduler: Scheduler,
+}
+
+impl GroupScheduler {
+    /// Partition `total_workers` into groups of `group_size` (last group may
+    /// be smaller), with level-1 hashing per `group_by`.
+    pub fn new(
+        total_workers: usize,
+        group_size: usize,
+        group_by: GroupBy,
+        config: SchedConfig,
+    ) -> Self {
+        assert!(total_workers >= 1, "need at least one worker");
+        assert!(
+            (1..=crate::MAX_WORKERS_PER_GROUP).contains(&group_size),
+            "group size must be 1..=64"
+        );
+        let mut groups = Vec::new();
+        let mut remaining = total_workers;
+        while remaining > 0 {
+            let n = remaining.min(group_size);
+            groups.push(Group {
+                wst: Arc::new(Wst::new(n)),
+                sel: Arc::new(SelMap::new()),
+                dispatcher: ConnDispatcher::new(n),
+            });
+            remaining -= n;
+        }
+        Self {
+            groups,
+            group_size,
+            group_by,
+            scheduler: Scheduler::new(config),
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total workers across all groups.
+    pub fn total_workers(&self) -> usize {
+        self.groups.iter().map(Group::workers).sum()
+    }
+
+    /// Borrow group `g`.
+    pub fn group(&self, g: usize) -> &Group {
+        &self.groups[g]
+    }
+
+    /// Resolve a global worker id into its group coordinates.
+    pub fn locate(&self, global: WorkerId) -> GroupedWorker {
+        assert!(global < self.total_workers(), "worker id out of range");
+        GroupedWorker {
+            group: global / self.group_size,
+            local: global % self.group_size,
+            global,
+        }
+    }
+
+    /// Level-1 group selection for a flow.
+    pub fn group_for(&self, flow: &FlowKey) -> usize {
+        let h = match self.group_by {
+            GroupBy::FlowHash => flow.hash(),
+            GroupBy::DipDport => jhash_3words(flow.dst_ip, flow.dst_port as u32, 0, 0x4a6f_9d21),
+        };
+        reciprocal_scale(h, self.groups.len() as u32) as usize
+    }
+
+    /// Run the per-group scheduler for group `g` at `now_ns` and sync its
+    /// bitmap. Returns the decision (mirrors `schedule_and_sync`).
+    pub fn schedule_group(&self, g: usize, now_ns: u64) -> SchedDecision {
+        let group = &self.groups[g];
+        let decision = self.scheduler.schedule(&group.wst, now_ns);
+        group.sel.store(decision.bitmap);
+        decision
+    }
+
+    /// Run the scheduler for every group (used by harnesses; production
+    /// workers each schedule only their own group).
+    pub fn schedule_all(&self, now_ns: u64) {
+        for g in 0..self.groups.len() {
+            self.schedule_group(g, now_ns);
+        }
+    }
+
+    /// Full two-level dispatch for a new connection.
+    pub fn dispatch(&self, flow: &FlowKey) -> (usize, DispatchOutcome) {
+        let g = self.group_for(flow);
+        let group = &self.groups[g];
+        let out = group.dispatcher.dispatch(group.sel.load(), flow.hash());
+        (g, out)
+    }
+
+    /// Flatten a `(group, local)` outcome into the global worker id.
+    pub fn global_id(&self, group: usize, local: WorkerId) -> WorkerId {
+        group * self.group_size + local
+    }
+
+    /// Union of per-group bitmaps lifted to global ids — monitoring helper.
+    pub fn global_selected(&self) -> Vec<WorkerId> {
+        let mut out = Vec::new();
+        for (g, group) in self.groups.iter().enumerate() {
+            let bm: WorkerBitmap = group.sel.load();
+            out.extend(bm.iter().map(|local| self.global_id(g, local)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SchedConfig {
+        SchedConfig {
+            hang_threshold_ns: 100,
+            ..SchedConfig::default()
+        }
+    }
+
+    #[test]
+    fn partitions_workers_into_groups() {
+        let gs = GroupScheduler::new(130, 64, GroupBy::FlowHash, cfg());
+        assert_eq!(gs.group_count(), 3);
+        assert_eq!(gs.total_workers(), 130);
+        assert_eq!(gs.group(0).workers(), 64);
+        assert_eq!(gs.group(2).workers(), 2);
+    }
+
+    #[test]
+    fn locate_round_trips() {
+        let gs = GroupScheduler::new(130, 64, GroupBy::FlowHash, cfg());
+        let w = gs.locate(100);
+        assert_eq!(w.group, 1);
+        assert_eq!(w.local, 36);
+        assert_eq!(gs.global_id(w.group, w.local), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_out_of_range() {
+        GroupScheduler::new(10, 5, GroupBy::FlowHash, cfg()).locate(10);
+    }
+
+    #[test]
+    fn flowhash_sprays_groups_dipdport_pins_them() {
+        let spray = GroupScheduler::new(128, 32, GroupBy::FlowHash, cfg());
+        let pin = GroupScheduler::new(128, 32, GroupBy::DipDport, cfg());
+        let mut spray_groups = std::collections::HashSet::new();
+        let mut pin_groups = std::collections::HashSet::new();
+        // Same tenant (DIP/Dport), many client flows.
+        for i in 0..500u32 {
+            let flow = FlowKey::new(0x0a00_0000 + i, 1024 + i as u16, 0xc0a8_0001, 8443);
+            spray_groups.insert(spray.group_for(&flow));
+            pin_groups.insert(pin.group_for(&flow));
+        }
+        assert_eq!(pin_groups.len(), 1, "DipDport must pin tenant to a group");
+        assert!(
+            spray_groups.len() > 1,
+            "FlowHash must spread a tenant across groups"
+        );
+    }
+
+    #[test]
+    fn dispatch_honours_group_bitmaps() {
+        let gs = GroupScheduler::new(8, 4, GroupBy::FlowHash, cfg());
+        // Bring all workers up, overload worker local=0 of each group.
+        for g in 0..2 {
+            for w in 0..4 {
+                gs.group(g).wst().worker(w).enter_loop(1_000);
+            }
+            gs.group(g).wst().worker(0).conn_delta(1_000);
+        }
+        gs.schedule_all(1_010);
+        for i in 0..300u32 {
+            let flow = FlowKey::new(i, i as u16, 7, 443);
+            let (g, out) = gs.dispatch(&flow);
+            assert!(out.is_directed());
+            assert_ne!(out.worker(), 0, "overloaded worker selected in group {g}");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_match_paper_claims() {
+        // One group ⇒ standard Hermes (single WST covering everyone).
+        let hermes = GroupScheduler::new(32, 32, GroupBy::DipDport, cfg());
+        assert_eq!(hermes.group_count(), 1);
+        // One worker per group ⇒ reduces to reuseport: every group has a
+        // single candidate, the n>1 guard always fails, selection is pure
+        // level-1 hashing.
+        let reuseport = GroupScheduler::new(8, 1, GroupBy::FlowHash, cfg());
+        for g in 0..8 {
+            reuseport.group(g).wst().worker(0).enter_loop(1_000);
+        }
+        reuseport.schedule_all(1_010);
+        let flow = FlowKey::new(1, 2, 3, 4);
+        let (_, out) = reuseport.dispatch(&flow);
+        assert!(!out.is_directed(), "single-worker groups must fall back");
+    }
+
+    #[test]
+    fn global_selected_lifts_local_ids() {
+        let gs = GroupScheduler::new(6, 3, GroupBy::FlowHash, cfg());
+        for g in 0..2 {
+            for w in 0..3 {
+                gs.group(g).wst().worker(w).enter_loop(1_000);
+            }
+        }
+        gs.schedule_all(1_010);
+        let mut sel = gs.global_selected();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

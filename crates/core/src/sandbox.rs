@@ -1,0 +1,197 @@
+//! Tenant anomaly detection and sandbox isolation (Appendix C, exception
+//! case 2 and the single-worker-hang aftermath).
+//!
+//! Two production policies from the paper:
+//!
+//! * "Hermes leverages anomaly detection techniques to identify malicious
+//!   traffic patterns [SYN flood / Challenge Collapsar] and promptly
+//!   migrates the directly affected tenants to isolated sandboxes" —
+//!   [`AttackDetector`], an EWMA spike detector over per-tenant
+//!   connection rates.
+//! * "tenants that frequently trigger worker hangs are migrated to a
+//!   sandbox, enabling physical isolation" — [`HangLedger`], a per-tenant
+//!   hang-attribution counter with an isolation threshold.
+
+use std::collections::HashMap;
+
+/// Tenant identifier (matches `hermes_workload`'s dense tenant ids).
+pub type TenantId = u16;
+
+/// EWMA-based per-tenant traffic spike detector.
+///
+/// A tenant is flagged when its observed rate exceeds both an absolute
+/// floor (tiny tenants bursting 0→10 CPS are not attacks) and a
+/// multiplicative factor over its own smoothed baseline.
+#[derive(Clone, Debug)]
+pub struct AttackDetector {
+    /// EWMA smoothing factor for the baseline (0 < alpha <= 1).
+    alpha: f64,
+    /// Flag when rate > `spike_factor` × baseline.
+    spike_factor: f64,
+    /// Never flag below this absolute rate (conns/s).
+    min_rate: f64,
+    baselines: HashMap<TenantId, f64>,
+}
+
+impl AttackDetector {
+    /// Build a detector.
+    pub fn new(alpha: f64, spike_factor: f64, min_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+        assert!(spike_factor > 1.0, "spike factor must exceed 1");
+        assert!(min_rate >= 0.0, "min rate must be non-negative");
+        Self {
+            alpha,
+            spike_factor,
+            min_rate,
+            baselines: HashMap::new(),
+        }
+    }
+
+    /// Production-ish defaults: 10× spike over a slow baseline, 1k CPS
+    /// floor.
+    pub fn default_policy() -> Self {
+        Self::new(0.2, 10.0, 1_000.0)
+    }
+
+    /// Prime a tenant's baseline (e.g. from historical telemetry). Without
+    /// priming, the first observation *becomes* the baseline — a detector
+    /// started mid-attack would adopt the attack rate as normal, so
+    /// deployments restore baselines across restarts.
+    pub fn prime(&mut self, tenant: TenantId, baseline_rate: f64) {
+        self.baselines.insert(tenant, baseline_rate);
+    }
+
+    /// Feed one observation interval for `tenant` at `rate` conns/s.
+    /// Returns true when this interval looks like an attack. The baseline
+    /// only absorbs non-flagged intervals, so a sustained attack stays
+    /// flagged instead of normalizing itself.
+    pub fn observe(&mut self, tenant: TenantId, rate: f64) -> bool {
+        let baseline = self.baselines.entry(tenant).or_insert(rate);
+        let spike = rate > self.min_rate && rate > self.spike_factor * *baseline;
+        if !spike {
+            *baseline = self.alpha * rate + (1.0 - self.alpha) * *baseline;
+        }
+        spike
+    }
+
+    /// Current baseline for a tenant (testing/monitoring).
+    pub fn baseline(&self, tenant: TenantId) -> Option<f64> {
+        self.baselines.get(&tenant).copied()
+    }
+}
+
+/// Per-tenant hang attribution with an isolation threshold.
+#[derive(Clone, Debug)]
+pub struct HangLedger {
+    threshold: u32,
+    counts: HashMap<TenantId, u32>,
+    isolated: Vec<TenantId>,
+}
+
+impl HangLedger {
+    /// Isolate a tenant after `threshold` attributed hangs.
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        Self {
+            threshold,
+            counts: HashMap::new(),
+            isolated: Vec::new(),
+        }
+    }
+
+    /// Attribute one worker hang to `tenant` (e.g. the tenant owning the
+    /// request that trapped the event loop). Returns true when this
+    /// crosses the threshold and the tenant should move to the sandbox.
+    pub fn record_hang(&mut self, tenant: TenantId) -> bool {
+        if self.isolated.contains(&tenant) {
+            return false; // already sandboxed
+        }
+        let c = self.counts.entry(tenant).or_insert(0);
+        *c += 1;
+        if *c >= self.threshold {
+            self.isolated.push(tenant);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tenants currently in the sandbox.
+    pub fn isolated(&self) -> &[TenantId] {
+        &self.isolated
+    }
+
+    /// Hangs attributed to `tenant` so far.
+    pub fn count(&self, tenant: TenantId) -> u32 {
+        self.counts.get(&tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_traffic_is_never_flagged() {
+        let mut d = AttackDetector::default_policy();
+        for _ in 0..100 {
+            assert!(!d.observe(1, 5_000.0));
+        }
+        assert!((d.baseline(1).unwrap() - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cc_spike_is_flagged_and_baseline_holds() {
+        let mut d = AttackDetector::default_policy();
+        for _ in 0..20 {
+            d.observe(7, 2_000.0);
+        }
+        // Challenge Collapsar: rate jumps 50x.
+        assert!(d.observe(7, 100_000.0));
+        // Sustained attack keeps flagging — baseline must not absorb it.
+        for _ in 0..50 {
+            assert!(d.observe(7, 100_000.0));
+        }
+        assert!(d.baseline(7).unwrap() < 3_000.0);
+    }
+
+    #[test]
+    fn small_tenants_bursting_are_not_attacks() {
+        let mut d = AttackDetector::default_policy();
+        d.observe(3, 2.0);
+        // 100x spike but under the absolute floor.
+        assert!(!d.observe(3, 200.0));
+    }
+
+    #[test]
+    fn growth_is_absorbed_gradually() {
+        // Organic 30%/interval growth never crosses the 10x factor.
+        let mut d = AttackDetector::default_policy();
+        let mut rate = 2_000.0;
+        for _ in 0..30 {
+            assert!(!d.observe(9, rate), "flagged at rate {rate}");
+            rate *= 1.3;
+        }
+    }
+
+    #[test]
+    fn hang_ledger_isolates_repeat_offenders() {
+        let mut l = HangLedger::new(3);
+        assert!(!l.record_hang(5));
+        assert!(!l.record_hang(5));
+        assert!(l.record_hang(5)); // third strike
+        assert_eq!(l.isolated(), &[5]);
+        // Further hangs by an isolated tenant do not re-trigger.
+        assert!(!l.record_hang(5));
+        assert_eq!(l.count(5), 3);
+        // Other tenants tracked independently.
+        assert!(!l.record_hang(6));
+        assert_eq!(l.count(6), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spike factor")]
+    fn rejects_degenerate_factor() {
+        AttackDetector::new(0.2, 1.0, 100.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! The userspace scheduler: Algorithm 1's cascading worker filtering.
+//!
+//! §5.2.2: three filters run in a deliberately chosen order —
+//!
+//! 1. **FilterTime** drops hung/crashed workers (loop-entry timestamp older
+//!    than a threshold), because connections must never be assigned to them;
+//! 2. **FilterCount(conn)** keeps workers with `connections < avg + θ`,
+//!    defending against synchronized surges over accumulated long-lived
+//!    connections;
+//! 3. **FilterCount(event)** keeps workers with `pending < avg + θ`,
+//!    reducing request processing latency.
+//!
+//! θ (the *offset*) widens each baseline so the coarse filter does not
+//! select too few workers (Fig. 15 finds θ/Avg ≈ 0.5 optimal). The scheduler
+//! is O(n) — a single pass per filter over at most 64 workers — so it is
+//! cheap enough to run at the end of every epoll event loop iteration
+//! (§5.3.2).
+
+use crate::bitmap::WorkerBitmap;
+use crate::status::WorkerSnapshot;
+use crate::wst::Wst;
+
+/// One stage of the cascade; reorderable for the filter-order ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FilterStage {
+    /// Drop workers whose loop-entry timestamp is stale (hung detection).
+    Time,
+    /// Keep workers whose connection count is below `avg + θ`.
+    Connections,
+    /// Keep workers whose pending-event count is below `avg + θ`.
+    PendingEvents,
+}
+
+/// Scheduler tuning knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedConfig {
+    /// Hang threshold for FilterTime (paper: "an extended period"; the
+    /// event loop re-enters at least every 5 ms thanks to the `epoll_wait`
+    /// timeout, so a multiple of that timeout is the natural unit).
+    pub hang_threshold_ns: u64,
+    /// θ expressed as a fraction of the running average (`θ = theta_frac *
+    /// avg`), matching the θ/Avg axis of Fig. 15. Default 0.5 — the paper's
+    /// optimum.
+    pub theta_frac: f64,
+    /// Filter cascade order; default is the paper's Time → Connections →
+    /// PendingEvents (§5.2.2 "worker filtering order").
+    pub stages: Vec<FilterStage>,
+    /// Minimum candidates the coarse filter should report for the kernel to
+    /// honour the bitmap; with `count <= min_workers` the kernel falls back
+    /// to plain reuseport (Algorithm 2 checks `n > 1`).
+    pub min_workers: u32,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            hang_threshold_ns: 100 * 1_000_000, // 100 ms ≈ 20 missed loop deadlines
+            theta_frac: 0.5,
+            stages: vec![
+                FilterStage::Time,
+                FilterStage::Connections,
+                FilterStage::PendingEvents,
+            ],
+            min_workers: 1,
+        }
+    }
+}
+
+/// Outcome of one `schedule_and_sync` invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedDecision {
+    /// Workers that passed the coarse-grained filter, as the bitmap that
+    /// will be synchronized into the kernel map.
+    pub bitmap: WorkerBitmap,
+    /// Workers that passed FilterTime (i.e. are not hung) regardless of the
+    /// load filters — used by availability monitoring and degradation.
+    pub alive: WorkerBitmap,
+}
+
+/// The userspace scheduler (Algorithm 1).
+///
+/// ```
+/// use hermes_core::{Scheduler, SchedConfig, Wst};
+/// let wst = Wst::new(3);
+/// for w in 0..3 { wst.worker(w).enter_loop(1_000_000); }
+/// wst.worker(1).conn_delta(500); // overloaded
+/// let d = Scheduler::new(SchedConfig::default()).schedule(&wst, 1_500_000);
+/// assert!(!d.bitmap.contains(1));
+/// assert!(d.alive.contains(1)); // overloaded but not hung
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    config: SchedConfig,
+}
+
+impl Scheduler {
+    /// Create a scheduler with the given configuration.
+    pub fn new(config: SchedConfig) -> Self {
+        assert!(
+            config.theta_frac >= 0.0 && config.theta_frac.is_finite(),
+            "theta_frac must be a finite non-negative fraction"
+        );
+        assert!(!config.stages.is_empty(), "at least one filter stage");
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.config
+    }
+
+    /// Run the cascade over a snapshot taken at `now_ns`.
+    ///
+    /// This is `schedule_and_sync` minus the sync: the caller stores
+    /// `decision.bitmap` into a [`crate::SelMap`] (and, in the eBPF-backed
+    /// deployments, into the `BPF_MAP_TYPE_ARRAY` slot).
+    pub fn schedule(&self, wst: &Wst, now_ns: u64) -> SchedDecision {
+        let mut buf = Vec::with_capacity(wst.workers());
+        wst.snapshot_into(&mut buf);
+        self.schedule_from_snapshot(&buf, now_ns)
+    }
+
+    /// Run the cascade over an already-taken snapshot (for tests, the
+    /// simulator, and re-entrant use).
+    pub fn schedule_from_snapshot(
+        &self,
+        snapshot: &[WorkerSnapshot],
+        now_ns: u64,
+    ) -> SchedDecision {
+        debug_assert!(snapshot.len() <= 64);
+        let mut selected = WorkerBitmap::all(snapshot.len());
+        let mut alive = selected;
+        for stage in &self.config.stages {
+            match stage {
+                FilterStage::Time => {
+                    selected = self.filter_time(snapshot, selected, now_ns);
+                    alive = selected;
+                }
+                FilterStage::Connections => {
+                    selected =
+                        self.filter_count(snapshot, selected, |s| s.connections as f64);
+                }
+                FilterStage::PendingEvents => {
+                    selected =
+                        self.filter_count(snapshot, selected, |s| s.pending_events as f64);
+                }
+            }
+        }
+        // If Time never ran (ablation orders), alive === the last state
+        // after construction; recompute it for consistency.
+        if !self.config.stages.contains(&FilterStage::Time) {
+            alive = self.filter_time(snapshot, WorkerBitmap::all(snapshot.len()), now_ns);
+        }
+        SchedDecision {
+            bitmap: selected,
+            alive,
+        }
+    }
+
+    /// FilterTime (Algorithm 1 lines 9–10): keep workers whose loop-entry
+    /// timestamp is fresher than the hang threshold.
+    fn filter_time(
+        &self,
+        snapshot: &[WorkerSnapshot],
+        input: WorkerBitmap,
+        now_ns: u64,
+    ) -> WorkerBitmap {
+        let mut out = WorkerBitmap::EMPTY;
+        for id in input.iter() {
+            if !snapshot[id].is_hung(now_ns, self.config.hang_threshold_ns) {
+                out.insert(id);
+            }
+        }
+        out
+    }
+
+    /// FilterCount (Algorithm 1 lines 11–13): keep workers whose metric is
+    /// below the average over the *surviving* set plus θ.
+    fn filter_count<F: Fn(&WorkerSnapshot) -> f64>(
+        &self,
+        snapshot: &[WorkerSnapshot],
+        input: WorkerBitmap,
+        metric: F,
+    ) -> WorkerBitmap {
+        let n = input.count();
+        if n == 0 {
+            return input;
+        }
+        let sum: f64 = input.iter().map(|id| metric(&snapshot[id])).sum();
+        let avg = sum / n as f64;
+        let theta = self.config.theta_frac * avg;
+        let mut out = WorkerBitmap::EMPTY;
+        for id in input.iter() {
+            // Strict `<` per Algorithm 1 line 13 (`R_i < Avg + θ`), except
+            // when every survivor has the identical value (avg + θ == value,
+            // θ possibly 0): then the filter would empty the set for no
+            // informational gain, so an all-equal set passes through.
+            if metric(&snapshot[id]) < avg + theta {
+                out.insert(id);
+            }
+        }
+        if out.is_empty() {
+            // All survivors share the metric value; keep them all.
+            input
+        } else {
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(loop_enter_ns: u64, pending: i64, conns: i64) -> WorkerSnapshot {
+        WorkerSnapshot {
+            loop_enter_ns,
+            pending_events: pending,
+            connections: conns,
+        }
+    }
+
+    fn sched() -> Scheduler {
+        Scheduler::new(SchedConfig {
+            hang_threshold_ns: 100,
+            theta_frac: 0.5,
+            ..SchedConfig::default()
+        })
+    }
+
+    #[test]
+    fn all_fresh_idle_workers_selected() {
+        let s = sched();
+        let snaps = vec![snap(1_000, 0, 0); 4];
+        let d = s.schedule_from_snapshot(&snaps, 1_050);
+        assert_eq!(d.bitmap, WorkerBitmap::all(4));
+        assert_eq!(d.alive, WorkerBitmap::all(4));
+    }
+
+    #[test]
+    fn hung_worker_filtered_first() {
+        let s = sched();
+        let snaps = vec![
+            snap(1_000, 0, 0),
+            snap(500, 0, 0), // stale by 550 >= threshold 100 ⇒ hung
+            snap(1_000, 0, 0),
+        ];
+        let d = s.schedule_from_snapshot(&snaps, 1_050);
+        assert!(!d.bitmap.contains(1));
+        assert!(!d.alive.contains(1));
+        assert!(d.bitmap.contains(0) && d.bitmap.contains(2));
+    }
+
+    #[test]
+    fn never_started_worker_filtered_after_threshold() {
+        let s = sched();
+        // Worker 0 reads as entered-at-0; at now=1010 with threshold 100
+        // it is stale and filtered.
+        let snaps = vec![snap(0, 0, 0), snap(1_000, 0, 0)];
+        let d = s.schedule_from_snapshot(&snaps, 1_010);
+        assert_eq!(d.bitmap.iter().collect::<Vec<_>>(), vec![1]);
+        // Early on (now < threshold) it still counts as available.
+        let d = s.schedule_from_snapshot(&snaps, 50);
+        assert!(d.bitmap.contains(0));
+    }
+
+    #[test]
+    fn connection_filter_prefers_lightly_loaded() {
+        let s = sched();
+        // avg conns = (0+0+12)/3 = 4, θ = 2 ⇒ keep conns < 6.
+        let snaps = vec![snap(1_000, 0, 0), snap(1_000, 0, 0), snap(1_000, 0, 12)];
+        let d = s.schedule_from_snapshot(&snaps, 1_010);
+        assert_eq!(d.bitmap.iter().collect::<Vec<_>>(), vec![0, 1]);
+        // But the overloaded worker is still alive.
+        assert!(d.alive.contains(2));
+    }
+
+    #[test]
+    fn event_filter_runs_after_connection_filter() {
+        let s = sched();
+        // Worker 2 has huge conns (dropped in stage 2). Among {0,1}, worker 1
+        // has pending=10 vs avg (0+10)/2=5, θ=2.5 ⇒ keep pending < 7.5 ⇒ {0}.
+        let snaps = vec![snap(1_000, 0, 1), snap(1_000, 10, 1), snap(1_000, 0, 50)];
+        let d = s.schedule_from_snapshot(&snaps, 1_010);
+        assert_eq!(d.bitmap.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn uniform_load_keeps_everyone() {
+        // All equal metrics: strict `<` would empty the set; the all-equal
+        // escape keeps it intact.
+        let s = Scheduler::new(SchedConfig {
+            hang_threshold_ns: 100,
+            theta_frac: 0.0,
+            ..SchedConfig::default()
+        });
+        let snaps = vec![snap(1_000, 5, 7); 8];
+        let d = s.schedule_from_snapshot(&snaps, 1_010);
+        assert_eq!(d.bitmap, WorkerBitmap::all(8));
+    }
+
+    #[test]
+    fn larger_theta_is_more_permissive() {
+        let snaps = vec![snap(1_000, 0, 2), snap(1_000, 0, 4), snap(1_000, 0, 6)];
+        // avg = 4. θ_frac 0 ⇒ keep < 4 ⇒ {0}. θ_frac 0.75 ⇒ keep < 7 ⇒ all.
+        let tight = Scheduler::new(SchedConfig {
+            hang_threshold_ns: 100,
+            theta_frac: 0.0,
+            ..SchedConfig::default()
+        });
+        let loose = Scheduler::new(SchedConfig {
+            hang_threshold_ns: 100,
+            theta_frac: 0.75,
+            ..SchedConfig::default()
+        });
+        assert_eq!(
+            tight
+                .schedule_from_snapshot(&snaps, 1_010)
+                .bitmap
+                .iter()
+                .collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(
+            loose.schedule_from_snapshot(&snaps, 1_010).bitmap,
+            WorkerBitmap::all(3)
+        );
+    }
+
+    #[test]
+    fn ablation_order_changes_result() {
+        // With Time last, load filters see the hung worker's inflated
+        // metrics and the averages shift.
+        let snaps = vec![snap(1_000, 0, 0), snap(1_000, 0, 4), snap(200, 0, 100)];
+        let paper_order = sched();
+        let reversed = Scheduler::new(SchedConfig {
+            hang_threshold_ns: 100,
+            theta_frac: 0.5,
+            stages: vec![
+                FilterStage::Connections,
+                FilterStage::PendingEvents,
+                FilterStage::Time,
+            ],
+            ..SchedConfig::default()
+        });
+        let a = paper_order.schedule_from_snapshot(&snaps, 1_010);
+        let b = reversed.schedule_from_snapshot(&snaps, 1_010);
+        // Paper order: hung dropped first, avg conns over {0,1} = 2, θ=1 ⇒
+        // keep < 3 ⇒ {0}. Reversed: avg over all = 34.67, θ=17.3 ⇒ {0,1}
+        // survive the load filter, then hung dropped ⇒ {0,1}.
+        assert_eq!(a.bitmap.iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(b.bitmap.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn schedule_reads_live_wst() {
+        let wst = Wst::new(3);
+        for w in 0..3 {
+            wst.worker(w).enter_loop(1_000);
+        }
+        wst.worker(1).conn_delta(100);
+        let d = sched().schedule(&wst, 1_020);
+        assert!(!d.bitmap.contains(1));
+        assert!(d.bitmap.contains(0) && d.bitmap.contains(2));
+    }
+
+    #[test]
+    fn alive_computed_even_without_time_stage() {
+        let s = Scheduler::new(SchedConfig {
+            hang_threshold_ns: 100,
+            theta_frac: 0.5,
+            stages: vec![FilterStage::Connections],
+            ..SchedConfig::default()
+        });
+        let snaps = vec![snap(1_000, 0, 0), snap(1, 0, 0)];
+        let d = s.schedule_from_snapshot(&snaps, 2_000);
+        // Stage list has no Time filter, so the hung worker can pass the
+        // bitmap, but `alive` still reflects hang detection.
+        assert!(d.bitmap.contains(1));
+        assert!(!d.alive.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn rejects_negative_theta() {
+        Scheduler::new(SchedConfig {
+            theta_frac: -0.1,
+            ..SchedConfig::default()
+        });
+    }
+
+    #[test]
+    fn all_hung_yields_empty_bitmap() {
+        // §5.3.2: if all workers hang the kernel falls back to reuseport and
+        // the alert system takes over; the scheduler just reports honestly.
+        let s = sched();
+        let snaps = vec![snap(1, 0, 0); 4];
+        let d = s.schedule_from_snapshot(&snaps, 1_000_000);
+        assert!(d.bitmap.is_empty());
+        assert!(d.alive.is_empty());
+    }
+}

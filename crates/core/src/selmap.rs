@@ -1,0 +1,173 @@
+//! Userspace ↔ kernel synchronization cells.
+//!
+//! §5.4: scheduling results travel through a `BPF_MAP_TYPE_ARRAY` holding a
+//! single int element (the bitmap) — atomic by construction, so concurrent
+//! writers (every worker runs a scheduler) and the kernel reader need no
+//! locks. The worker-to-socket mapping travels through a
+//! `BPF_MAP_TYPE_REUSEPORT_SOCKARRAY`, populated once at program init.
+//!
+//! [`SelMap`] is the native stand-in used by the simulator and threaded
+//! runtime; `hermes-ebpf` provides the bytecode-visible array map with the
+//! same semantics, and the two are cross-checked in tests.
+
+use crate::bitmap::WorkerBitmap;
+use crate::WorkerId;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The single-element "array map" carrying the selected-worker bitmap.
+#[derive(Debug, Default)]
+pub struct SelMap {
+    bits: AtomicU64,
+    /// Number of `store`s performed — the paper's "call frequency of
+    /// scheduler" observable (Fig. 14) falls out of this counter.
+    updates: AtomicU64,
+}
+
+impl SelMap {
+    /// Create a map holding the empty bitmap (kernel will fall back to
+    /// reuseport until the first sync).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `BPF_MAP_UPDATE` — publish a scheduling decision.
+    #[inline]
+    pub fn store(&self, bitmap: WorkerBitmap) {
+        self.bits.store(bitmap.0, Ordering::Release);
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `bpf_map_lookup_elem` — read the current decision (kernel side).
+    #[inline]
+    pub fn load(&self) -> WorkerBitmap {
+        WorkerBitmap(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Total number of updates so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+}
+
+/// The worker-id → socket mapping (`BPF_MAP_TYPE_REUSEPORT_SOCKARRAY`).
+///
+/// Socket identities here are opaque `usize` handles owned by whichever
+/// substrate (simulator or runtime) registered them. Slots are atomically
+/// swappable so a restarted worker can re-register its listening socket
+/// without quiescing dispatch.
+#[derive(Debug)]
+pub struct SockArray {
+    slots: Box<[AtomicUsize]>,
+}
+
+/// Sentinel for an unregistered slot.
+const NO_SOCK: usize = usize::MAX;
+
+impl SockArray {
+    /// Create an array with `workers` empty slots.
+    pub fn new(workers: usize) -> Self {
+        let slots: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(NO_SOCK)).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the array has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Register worker `id`'s listening socket handle.
+    pub fn register(&self, id: WorkerId, sock: usize) {
+        assert!(sock != NO_SOCK, "socket handle collides with sentinel");
+        self.slots[id].store(sock, Ordering::Release);
+    }
+
+    /// Remove worker `id`'s socket (worker crash / drain).
+    pub fn unregister(&self, id: WorkerId) {
+        self.slots[id].store(NO_SOCK, Ordering::Release);
+    }
+
+    /// `bpf_sk_select_reuseport` target lookup: the socket handle for
+    /// worker `id`, or `None` if unregistered (the kernel call would fail
+    /// and dispatch falls back).
+    #[inline]
+    pub fn lookup(&self, id: WorkerId) -> Option<usize> {
+        match self.slots.get(id)?.load(Ordering::Acquire) {
+            NO_SOCK => None,
+            s => Some(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn selmap_store_load_round_trip() {
+        let m = SelMap::new();
+        assert!(m.load().is_empty());
+        m.store(WorkerBitmap(0b1010));
+        assert_eq!(m.load(), WorkerBitmap(0b1010));
+        assert_eq!(m.update_count(), 1);
+    }
+
+    #[test]
+    fn selmap_concurrent_writers_last_value_wins() {
+        // Multiple workers sync concurrently (§5.3.2); the cell must always
+        // contain one of the written values, never a blend.
+        let m = Arc::new(SelMap::new());
+        let valid: Vec<u64> = (1..=8).map(|i| (1u64 << i) - 1).collect();
+        let mut handles = Vec::new();
+        for &v in &valid {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    m.store(WorkerBitmap(v));
+                }
+            }));
+        }
+        let reader = {
+            let m = Arc::clone(&m);
+            let valid = valid.clone();
+            std::thread::spawn(move || {
+                for _ in 0..4_000 {
+                    let seen = m.load().0;
+                    assert!(seen == 0 || valid.contains(&seen), "torn value {seen:#x}");
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(m.update_count(), 8_000);
+    }
+
+    #[test]
+    fn sockarray_register_lookup_unregister() {
+        let a = SockArray::new(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.lookup(2), None);
+        a.register(2, 777);
+        assert_eq!(a.lookup(2), Some(777));
+        a.unregister(2);
+        assert_eq!(a.lookup(2), None);
+        // Out-of-range lookups are None, not panics: the kernel-side program
+        // may race a resize in a restarting deployment.
+        assert_eq!(a.lookup(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sockarray_rejects_sentinel_handle() {
+        SockArray::new(1).register(0, usize::MAX);
+    }
+}

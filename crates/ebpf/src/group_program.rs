@@ -1,0 +1,297 @@
+//! Two-level (grouped) dispatch program (§7).
+//!
+//! Beyond 64 workers the bitmap no longer fits one atomic word, so the
+//! paper groups workers into sets of ≤64: "we first select a worker group
+//! using a simple 4-tuple hash to choose an eBPF map (level-1 selection).
+//! Within that group, we apply the original Hermes logic based on the
+//! atomic int recorded in the eBPF map."
+//!
+//! In bytecode, "choosing an eBPF map" is computing a map fd at run time:
+//! the per-group selection maps are registered at consecutive fds, so
+//! `fd = sel_base + reciprocal_scale(hash, groups)` — and likewise for
+//! the per-group sockarrays. Everything else is the Algorithm 2 ladder.
+
+use crate::asm::Assembler;
+use crate::helpers::{HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE, HELPER_SK_SELECT_REUSEPORT};
+use crate::insn::{Alu, Cond, Insn, Reg};
+use crate::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use crate::vm::Vm;
+use hermes_core::bitmap::WorkerBitmap;
+use hermes_core::hash::reciprocal_scale;
+use std::sync::Arc;
+
+/// Emit SWAR popcount of `x` in place, clobbering `scratch` (same kernel
+/// as the single-level program).
+fn emit_popcount(a: &mut Assembler, x: Reg, scratch: Reg) {
+    a.mov(scratch, x);
+    a.alu_imm(Alu::Rsh, scratch, 1);
+    a.alu_imm(Alu::And, scratch, 0x5555_5555_5555_5555u64 as i64);
+    a.alu(Alu::Sub, x, scratch);
+    a.mov(scratch, x);
+    a.alu_imm(Alu::Rsh, scratch, 2);
+    a.alu_imm(Alu::And, scratch, 0x3333_3333_3333_3333u64 as i64);
+    a.alu_imm(Alu::And, x, 0x3333_3333_3333_3333u64 as i64);
+    a.alu(Alu::Add, x, scratch);
+    a.mov(scratch, x);
+    a.alu_imm(Alu::Rsh, scratch, 4);
+    a.alu(Alu::Add, x, scratch);
+    a.alu_imm(Alu::And, x, 0x0f0f_0f0f_0f0f_0f0fu64 as i64);
+    a.alu_imm(Alu::Mul, x, 0x0101_0101_0101_0101u64 as i64);
+    a.alu_imm(Alu::Rsh, x, 56);
+}
+
+/// Outcome of a grouped dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupedOutcome {
+    /// Level-1 group index.
+    pub group: usize,
+    /// Worker index *within* the group.
+    pub local: usize,
+    /// Whether level 2 was directed by the bitmap (false ⇒ hash fallback
+    /// within the group).
+    pub directed: bool,
+}
+
+impl GroupedOutcome {
+    /// Flatten to a global worker id given the group size.
+    pub fn global(&self, group_size: usize) -> usize {
+        self.group * group_size + self.local
+    }
+}
+
+/// A reuseport deployment of `groups * group_size` workers with the
+/// two-level program attached.
+#[derive(Debug)]
+pub struct GroupedReuseportGroup {
+    registry: MapRegistry,
+    sel_maps: Vec<Arc<ArrayMap>>,
+    vm: Vm,
+    groups: usize,
+    group_size: usize,
+    /// Stack slot layout note: the program stores the chosen group in
+    /// [fp-8] so the host can recover it from... actually the host
+    /// recomputes it; kept for documentation.
+    _sock_maps: Vec<Arc<SockArrayMap>>,
+}
+
+impl GroupedReuseportGroup {
+    /// Build `groups` groups of `group_size` workers each, all sockets
+    /// registered (socket handle = *global* worker id).
+    pub fn new(groups: usize, group_size: usize) -> Self {
+        assert!(groups >= 1, "need at least one group");
+        assert!(
+            (1..=64).contains(&group_size),
+            "group size must be 1..=64"
+        );
+        let registry = MapRegistry::new();
+        let mut sel_maps = Vec::with_capacity(groups);
+        let mut sock_maps = Vec::with_capacity(groups);
+        // Register all selection maps first (consecutive fds from 0),
+        // then all sockarrays (consecutive fds from `groups`).
+        for _ in 0..groups {
+            let m = Arc::new(ArrayMap::new(1));
+            registry.register(MapRef::Array(Arc::clone(&m)));
+            sel_maps.push(m);
+        }
+        for g in 0..groups {
+            let m = Arc::new(SockArrayMap::new(group_size));
+            for w in 0..group_size {
+                m.register(w, g * group_size + w);
+            }
+            registry.register(MapRef::SockArray(Arc::clone(&m)));
+            sock_maps.push(m);
+        }
+        let prog = Self::build_program(groups, group_size);
+        let vm = Vm::load(prog).expect("grouped dispatch program must verify");
+        Self {
+            registry,
+            sel_maps,
+            vm,
+            groups,
+            group_size,
+            _sock_maps: sock_maps,
+        }
+    }
+
+    /// Assemble the two-level program.
+    ///
+    /// Register plan: R6 = hash, R7 = bitmap, R8 = n/pos, R9 = rank,
+    /// and the computed group index parked in stack slot [fp-8].
+    fn build_program(groups: usize, group_size: usize) -> Vec<Insn> {
+        let group_mask = WorkerBitmap::all(group_size).0;
+        let mut a = Assembler::new();
+        let fallback = a.label();
+
+        a.mov(Reg::R6, Reg::R1); // hash
+        // Level 1: g = reciprocal_scale(hash, groups); park it on the stack.
+        a.mov(Reg::R1, Reg::R6);
+        a.mov_imm(Reg::R2, groups as i64);
+        a.call(HELPER_RECIPROCAL_SCALE);
+        a.stx_stack(-8, Reg::R0);
+
+        // Level 2 lookup: C = map_lookup(sel_base + g, 0); sel_base = 0.
+        a.ldx_stack(Reg::R1, -8);
+        a.mov_imm(Reg::R2, 0);
+        a.call(HELPER_MAP_LOOKUP);
+        a.mov(Reg::R7, Reg::R0);
+        a.alu_imm(Alu::And, Reg::R7, group_mask as i64);
+
+        // n = popcount(C); guard n > 1.
+        a.mov(Reg::R8, Reg::R7);
+        emit_popcount(&mut a, Reg::R8, Reg::R3);
+        a.jmp_imm(Cond::Le, Reg::R8, 1, fallback);
+
+        // Nth = reciprocal_scale(hash, n) + 1.
+        a.mov(Reg::R1, Reg::R6);
+        a.mov(Reg::R2, Reg::R8);
+        a.call(HELPER_RECIPROCAL_SCALE);
+        a.mov(Reg::R9, Reg::R0);
+        a.alu_imm(Alu::Add, Reg::R9, 1);
+
+        // Rank-select ladder (identical to the single-level program).
+        a.mov_imm(Reg::R8, 0);
+        for width in [32i64, 16, 8, 4, 2, 1] {
+            let skip = a.label();
+            a.mov(Reg::R2, Reg::R7);
+            a.alu(Alu::Rsh, Reg::R2, Reg::R8);
+            a.alu_imm(Alu::And, Reg::R2, ((1u64 << width) - 1) as i64);
+            emit_popcount(&mut a, Reg::R2, Reg::R3);
+            a.jmp(Cond::Ge, Reg::R2, Reg::R9, skip);
+            a.alu(Alu::Sub, Reg::R9, Reg::R2);
+            a.alu_imm(Alu::Add, Reg::R8, width);
+            a.bind(skip);
+        }
+
+        // Commit via the group's sockarray: fd = groups + g.
+        a.ldx_stack(Reg::R1, -8);
+        a.alu_imm(Alu::Add, Reg::R1, groups as i64);
+        a.mov(Reg::R2, Reg::R8);
+        a.call(HELPER_SK_SELECT_REUSEPORT);
+        a.jmp_imm(Cond::Ne, Reg::R0, 0, fallback);
+        a.mov_imm(Reg::R0, 1);
+        a.exit();
+
+        a.bind(fallback);
+        a.mov_imm(Reg::R0, 0);
+        a.exit();
+        a.finish()
+    }
+
+    /// Groups in the deployment.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Workers per group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Userspace sync for one group's bitmap.
+    pub fn sync_group_bitmap(&self, group: usize, bitmap: WorkerBitmap) {
+        self.sel_maps[group].update(0, bitmap.0);
+    }
+
+    /// Kernel-side dispatch: run the program; on fallback, hash within
+    /// the (deterministically known) level-1 group.
+    pub fn dispatch(&self, hash: u32) -> GroupedOutcome {
+        let result = self
+            .vm
+            .run(hash, &self.registry, 0)
+            .expect("verified program cannot fault");
+        let group = reciprocal_scale(hash, self.groups as u32) as usize;
+        if result.return_value != 0 {
+            let sock = result.selected_sock.expect("committed socket");
+            GroupedOutcome {
+                group,
+                local: sock - group * self.group_size,
+                directed: true,
+            }
+        } else {
+            GroupedOutcome {
+                group,
+                local: reciprocal_scale(hash, self.group_size as u32) as usize,
+                directed: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_core::dispatch::ConnDispatcher;
+    use proptest::prelude::*;
+
+    #[test]
+    fn program_verifies_for_varied_shapes() {
+        for (groups, size) in [(1usize, 64usize), (2, 64), (4, 32), (16, 8), (128, 1)] {
+            let g = GroupedReuseportGroup::new(groups, size);
+            assert_eq!(g.groups(), groups);
+            assert_eq!(g.group_size(), size);
+        }
+    }
+
+    #[test]
+    fn level1_is_hash_stable_and_level2_respects_bitmap() {
+        let g = GroupedReuseportGroup::new(4, 8);
+        for grp in 0..4 {
+            g.sync_group_bitmap(grp, WorkerBitmap::from_workers([1, 3, 5]));
+        }
+        for i in 0..500u32 {
+            let h = i.wrapping_mul(0x9E37_79B9);
+            let a = g.dispatch(h);
+            let b = g.dispatch(h);
+            assert_eq!(a, b, "dispatch must be deterministic");
+            assert!(a.directed);
+            assert!([1usize, 3, 5].contains(&a.local));
+            assert!(a.group < 4);
+            assert_eq!(a.global(8), a.group * 8 + a.local);
+        }
+    }
+
+    #[test]
+    fn empty_group_bitmap_falls_back_within_the_group() {
+        let g = GroupedReuseportGroup::new(4, 8);
+        // Only group 2 has a healthy bitmap; others empty.
+        g.sync_group_bitmap(2, WorkerBitmap::from_workers([0, 1]));
+        let mut saw_directed = false;
+        let mut saw_fallback = false;
+        for i in 0..2_000u32 {
+            let out = g.dispatch(i.wrapping_mul(0x517C_C1B7));
+            if out.group == 2 {
+                assert!(out.directed);
+                saw_directed = true;
+            } else {
+                assert!(!out.directed);
+                assert!(out.local < 8);
+                saw_fallback = true;
+            }
+        }
+        assert!(saw_directed && saw_fallback);
+    }
+
+    proptest! {
+        /// The grouped bytecode agrees with the native composition:
+        /// level-1 reciprocal_scale + level-2 ConnDispatcher per group.
+        #[test]
+        fn grouped_bytecode_matches_native(
+            bitmaps in prop::collection::vec(any::<u64>(), 1..6),
+            hash: u32,
+            group_size in 1usize..=64,
+        ) {
+            let groups = bitmaps.len();
+            let g = GroupedReuseportGroup::new(groups, group_size);
+            for (i, &b) in bitmaps.iter().enumerate() {
+                g.sync_group_bitmap(i, WorkerBitmap(b));
+            }
+            let out = g.dispatch(hash);
+            let expect_group = reciprocal_scale(hash, groups as u32) as usize;
+            prop_assert_eq!(out.group, expect_group);
+            let native = ConnDispatcher::new(group_size)
+                .dispatch(WorkerBitmap(bitmaps[expect_group]), hash);
+            prop_assert_eq!(out.local, native.worker());
+            prop_assert_eq!(out.directed, native.is_directed());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # hermes-ebpf
+//!
+//! A from-scratch, minimal eBPF-subset substrate, standing in for the Linux
+//! `SO_ATTACH_REUSEPORT_EBPF` machinery the paper attaches its dispatch
+//! program to (§3, §5.4).
+//!
+//! Why build this instead of calling the native dispatch code? Because a
+//! central claim of the paper is that the kernel-side stage must live within
+//! eBPF's *limited programmability* — no loops, no complex hash
+//! computations, bounded program size — which forces the bit-twiddling
+//! implementation of `CountNonZeroBits` (SWAR popcount) and
+//! `FindNthNonZeroBit` (branchless rank-select ladder). This crate
+//! reproduces those constraints honestly:
+//!
+//! * [`insn`] — a register-machine ISA mirroring eBPF: 11 registers
+//!   (R0–R10, R10 = read-only frame pointer), 64-bit ALU, forward
+//!   conditional jumps, helper calls, a 512-byte stack.
+//! * [`asm`] — a label-based assembler for building programs.
+//! * [`verifier`] — static checks before a program may run: bounded size,
+//!   in-bounds jump targets, **no back-edges** (the classic-verifier loop
+//!   ban the paper works under), all paths reach `exit`, no writes to R10,
+//!   stack accesses in bounds, known helper ids, registers
+//!   defined-before-use.
+//! * [`vm`] — the interpreter, with the per-connection reuseport context
+//!   (the kernel-precomputed 4-tuple hash) in R1 at entry.
+//! * [`maps`] — `BPF_MAP_TYPE_ARRAY` (atomic u64 elements, shared with
+//!   userspace — the `M_Sel` map of Algorithm 1/2) and
+//!   `BPF_MAP_TYPE_REUSEPORT_SOCKARRAY` (`M_socket`).
+//! * [`helpers`] — the kernel-provided functions the paper names:
+//!   `bpf_map_lookup_elem`, `reciprocal_scale`, `bpf_sk_select_reuseport`.
+//! * [`program`] — the Algorithm 2 connection-dispatch program assembled
+//!   from all of the above, plus [`program::ReuseportGroup`], the
+//!   attach-point abstraction the simulator and runtime dispatch through.
+//!
+//! The bytecode program is property-tested for exact equivalence with the
+//! native oracle `hermes_core::ConnDispatcher` over all bitmaps and hashes.
+//!
+//! ## Documented simplifications
+//!
+//! * `bpf_map_lookup_elem` returns the element *value* in R0 rather than a
+//!   pointer into map memory; the verifier therefore needs no pointer-type
+//!   tracking. Atomicity of the underlying element is preserved.
+//! * The context (R1) is the 32-bit connection hash itself rather than a
+//!   pointer to `sk_reuseport_md`; the hash is the only context field the
+//!   dispatch program reads.
+
+pub mod asm;
+pub mod disasm;
+pub mod group_program;
+pub mod helpers;
+pub mod insn;
+pub mod maps;
+pub mod program;
+pub mod verifier;
+pub mod vm;
+
+pub use asm::Assembler;
+pub use insn::{Insn, Op, Reg};
+pub use maps::{ArrayMap, MapRegistry, SockArrayMap};
+pub use group_program::GroupedReuseportGroup;
+pub use program::{DispatchProgram, ReuseportGroup};
+pub use verifier::{verify, VerifyError};
+pub use vm::{ExecError, ExecResult, Vm};

@@ -1,0 +1,241 @@
+//! eBPF maps: the kernel/userspace shared state.
+//!
+//! §5.4: the scheduling bitmap travels through a `BPF_MAP_TYPE_ARRAY` whose
+//! single element is updated atomically ("eBPF maps inherently support
+//! `atomic<int>`"), and the worker→socket mapping lives in a
+//! `BPF_MAP_TYPE_REUSEPORT_SOCKARRAY` populated at program init. Maps are
+//! registered in a [`MapRegistry`] and referenced from bytecode by fd.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// `BPF_MAP_TYPE_ARRAY` with `u64` values: index-keyed, atomic per element.
+#[derive(Debug)]
+pub struct ArrayMap {
+    elems: Box<[AtomicU64]>,
+}
+
+impl ArrayMap {
+    /// Create an array map with `size` zeroed elements.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "array map needs at least one element");
+        let elems: Vec<AtomicU64> = (0..size).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            elems: elems.into_boxed_slice(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the map has no elements (never: construction requires 1+).
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// `bpf_map_lookup_elem`: value at `key`, `None` when out of range.
+    #[inline]
+    pub fn lookup(&self, key: usize) -> Option<u64> {
+        self.elems.get(key).map(|e| e.load(Ordering::Acquire))
+    }
+
+    /// `bpf_map_update_elem` from userspace: store `value` at `key`.
+    /// Returns false when the key is out of range.
+    #[inline]
+    pub fn update(&self, key: usize, value: u64) -> bool {
+        match self.elems.get(key) {
+            Some(e) => {
+                e.store(value, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Sentinel for an empty sockarray slot.
+const NO_SOCK: usize = usize::MAX;
+
+/// `BPF_MAP_TYPE_REUSEPORT_SOCKARRAY`: worker index → socket handle.
+#[derive(Debug)]
+pub struct SockArrayMap {
+    slots: Box<[AtomicUsize]>,
+}
+
+impl SockArrayMap {
+    /// Create a sockarray with `size` empty slots.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "sockarray needs at least one slot");
+        let slots: Vec<AtomicUsize> = (0..size).map(|_| AtomicUsize::new(NO_SOCK)).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the map has no slots (never by construction).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Register a socket handle at `key` (program init / worker restart).
+    pub fn register(&self, key: usize, sock: usize) -> bool {
+        assert!(sock != NO_SOCK, "socket handle collides with sentinel");
+        match self.slots.get(key) {
+            Some(s) => {
+                s.store(sock, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clear slot `key` (worker crash / drain).
+    pub fn unregister(&self, key: usize) {
+        if let Some(s) = self.slots.get(key) {
+            s.store(NO_SOCK, Ordering::Release);
+        }
+    }
+
+    /// Socket handle at `key`, `None` when empty or out of range.
+    #[inline]
+    pub fn lookup(&self, key: usize) -> Option<usize> {
+        match self.slots.get(key)?.load(Ordering::Acquire) {
+            NO_SOCK => None,
+            s => Some(s),
+        }
+    }
+}
+
+/// A registered map: either kind, behind an fd.
+#[derive(Clone, Debug)]
+pub enum MapRef {
+    /// An array map.
+    Array(Arc<ArrayMap>),
+    /// A reuseport sockarray.
+    SockArray(Arc<SockArrayMap>),
+}
+
+/// Map registry: fd → map, as the kernel's fd table would resolve map
+/// references inside a loaded program.
+#[derive(Debug, Default)]
+pub struct MapRegistry {
+    maps: RwLock<Vec<MapRef>>,
+}
+
+impl MapRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a map, returning its fd.
+    pub fn register(&self, map: MapRef) -> u32 {
+        let mut maps = self.maps.write();
+        maps.push(map);
+        (maps.len() - 1) as u32
+    }
+
+    /// Resolve an fd.
+    pub fn get(&self, fd: u32) -> Option<MapRef> {
+        self.maps.read().get(fd as usize).cloned()
+    }
+
+    /// Resolve an fd expecting an array map.
+    pub fn array(&self, fd: u32) -> Option<Arc<ArrayMap>> {
+        match self.get(fd)? {
+            MapRef::Array(m) => Some(m),
+            MapRef::SockArray(_) => None,
+        }
+    }
+
+    /// Resolve an fd expecting a sockarray.
+    pub fn sockarray(&self, fd: u32) -> Option<Arc<SockArrayMap>> {
+        match self.get(fd)? {
+            MapRef::SockArray(m) => Some(m),
+            MapRef::Array(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_map_lookup_update() {
+        let m = ArrayMap::new(2);
+        assert_eq!(m.lookup(0), Some(0));
+        assert!(m.update(1, 42));
+        assert_eq!(m.lookup(1), Some(42));
+        assert_eq!(m.lookup(2), None);
+        assert!(!m.update(2, 1));
+    }
+
+    #[test]
+    fn sockarray_register_cycle() {
+        let m = SockArrayMap::new(3);
+        assert_eq!(m.lookup(0), None);
+        assert!(m.register(0, 99));
+        assert_eq!(m.lookup(0), Some(99));
+        m.unregister(0);
+        assert_eq!(m.lookup(0), None);
+        assert!(!m.register(7, 1));
+        m.unregister(7); // out of range unregister is a no-op
+    }
+
+    #[test]
+    fn registry_type_checked_resolution() {
+        let reg = MapRegistry::new();
+        let a_fd = reg.register(MapRef::Array(Arc::new(ArrayMap::new(1))));
+        let s_fd = reg.register(MapRef::SockArray(Arc::new(SockArrayMap::new(1))));
+        assert!(reg.array(a_fd).is_some());
+        assert!(reg.sockarray(a_fd).is_none());
+        assert!(reg.sockarray(s_fd).is_some());
+        assert!(reg.array(s_fd).is_none());
+        assert!(reg.get(99).is_none());
+    }
+
+    #[test]
+    fn array_map_concurrent_update_and_lookup() {
+        // The M_Sel pattern: many userspace writers, one kernel reader.
+        let m = Arc::new(ArrayMap::new(1));
+        let writers: Vec<_> = (1..=4u64)
+            .map(|v| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.update(0, v * 0x1111_1111_1111_1111);
+                    }
+                })
+            })
+            .collect();
+        let m2 = Arc::clone(&m);
+        let reader = std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                let v = m2.lookup(0).unwrap();
+                assert!(
+                    v == 0 || v.is_multiple_of(0x1111_1111_1111_1111),
+                    "torn read {v:#x}"
+                );
+            }
+        });
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_array_map_rejected() {
+        ArrayMap::new(0);
+    }
+}

@@ -1,0 +1,341 @@
+//! The Algorithm 2 connection-dispatch program, in bytecode, plus the
+//! reuseport attach point.
+//!
+//! The program mirrors the paper's `conn_dispatch_socket_select`:
+//!
+//! ```text
+//! C   <- bpf_map_lookup_elem(M_Sel)          // userspace bitmap
+//! n   <- CountNonZeroBits(C)                 // SWAR popcount, straight-line
+//! if n > 1:
+//!     Nth <- reciprocal_scale(hash, n) + 1   // helper
+//!     ID  <- FindNthNonZeroBit(C, Nth)       // branchless rank-select ladder
+//!     return bpf_sk_select_reuseport(M_socket, ID)
+//! else: fall back to default reuseport hashing
+//! ```
+//!
+//! `CountNonZeroBits` and `FindNthNonZeroBit` cannot be helpers — the paper
+//! implements them "based on [Bit Twiddling Hacks / Hamming weight]" because
+//! the verifier forbids loops. Here they are emitted as straight-line SWAR
+//! popcount and a six-rung forward-branching rank-select ladder, and the
+//! whole program passes this crate's verifier.
+
+use crate::asm::Assembler;
+use crate::helpers::{HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE, HELPER_SK_SELECT_REUSEPORT};
+use crate::insn::{Alu, Cond, Insn, Reg};
+use crate::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use crate::vm::Vm;
+use hermes_core::bitmap::WorkerBitmap;
+use hermes_core::dispatch::DispatchOutcome;
+use hermes_core::hash::reciprocal_scale;
+use hermes_core::WorkerId;
+use std::sync::Arc;
+
+/// Emit SWAR popcount of `x` into `x` itself, using `scratch` (clobbered).
+fn emit_popcount(a: &mut Assembler, x: Reg, scratch: Reg) {
+    // x -= (x >> 1) & 0x5555...
+    a.mov(scratch, x);
+    a.alu_imm(Alu::Rsh, scratch, 1);
+    a.alu_imm(Alu::And, scratch, 0x5555_5555_5555_5555u64 as i64);
+    a.alu(Alu::Sub, x, scratch);
+    // x = (x & 0x3333...) + ((x >> 2) & 0x3333...)
+    a.mov(scratch, x);
+    a.alu_imm(Alu::Rsh, scratch, 2);
+    a.alu_imm(Alu::And, scratch, 0x3333_3333_3333_3333u64 as i64);
+    a.alu_imm(Alu::And, x, 0x3333_3333_3333_3333u64 as i64);
+    a.alu(Alu::Add, x, scratch);
+    // x = (x + (x >> 4)) & 0x0f0f...
+    a.mov(scratch, x);
+    a.alu_imm(Alu::Rsh, scratch, 4);
+    a.alu(Alu::Add, x, scratch);
+    a.alu_imm(Alu::And, x, 0x0f0f_0f0f_0f0f_0f0fu64 as i64);
+    // x = (x * 0x0101...) >> 56
+    a.alu_imm(Alu::Mul, x, 0x0101_0101_0101_0101u64 as i64);
+    a.alu_imm(Alu::Rsh, x, 56);
+}
+
+/// A built (and buildable) dispatch program.
+#[derive(Clone, Debug)]
+pub struct DispatchProgram {
+    insns: Vec<Insn>,
+}
+
+impl DispatchProgram {
+    /// Assemble Algorithm 2 for a group of `workers` sockets, reading the
+    /// bitmap from array-map `sel_fd` (key 0) and committing the socket via
+    /// sockarray `sock_fd`.
+    ///
+    /// Register plan: R6 = hash, R7 = bitmap C, R8 = n then pos,
+    /// R9 = remaining rank r, R2/R3 = scratch.
+    pub fn build(sel_fd: u32, sock_fd: u32, workers: usize) -> Self {
+        assert!((1..=64).contains(&workers), "1..=64 workers per group");
+        let group_mask = WorkerBitmap::all(workers).0;
+        let mut a = Assembler::new();
+        let fallback = a.label();
+
+        // Save ctx hash; load C.
+        a.mov(Reg::R6, Reg::R1);
+        a.mov_imm(Reg::R1, sel_fd as i64);
+        a.mov_imm(Reg::R2, 0);
+        a.call(HELPER_MAP_LOOKUP);
+        a.mov(Reg::R7, Reg::R0);
+        // Defensive mask: never select past the group.
+        a.alu_imm(Alu::And, Reg::R7, group_mask as i64);
+
+        // n = popcount(C) in R8.
+        a.mov(Reg::R8, Reg::R7);
+        emit_popcount(&mut a, Reg::R8, Reg::R3);
+
+        // Guard: if n <= 1 fall back (two-stage filtering, §5.3.2).
+        a.jmp_imm(Cond::Le, Reg::R8, 1, fallback);
+
+        // Nth = reciprocal_scale(hash, n) + 1, in R9.
+        a.mov(Reg::R1, Reg::R6);
+        a.mov(Reg::R2, Reg::R8);
+        a.call(HELPER_RECIPROCAL_SCALE);
+        a.mov(Reg::R9, Reg::R0);
+        a.alu_imm(Alu::Add, Reg::R9, 1);
+
+        // FindNthNonZeroBit(C, Nth): pos = 0 in R8 (n no longer needed);
+        // six rungs with widths 32..1, each counting the set bits of the
+        // low half of the remaining window and branching forward.
+        a.mov_imm(Reg::R8, 0);
+        for width in [32i64, 16, 8, 4, 2, 1] {
+            let skip = a.label();
+            // low = popcount((C >> pos) & ((1 << width) - 1))
+            a.mov(Reg::R2, Reg::R7);
+            a.alu(Alu::Rsh, Reg::R2, Reg::R8);
+            let mask = if width == 64 {
+                -1i64
+            } else {
+                ((1u64 << width) - 1) as i64
+            };
+            a.alu_imm(Alu::And, Reg::R2, mask);
+            emit_popcount(&mut a, Reg::R2, Reg::R3);
+            // if low >= r: answer is in the low half, keep pos.
+            a.jmp(Cond::Ge, Reg::R2, Reg::R9, skip);
+            // else r -= low; pos += width.
+            a.alu(Alu::Sub, Reg::R9, Reg::R2);
+            a.alu_imm(Alu::Add, Reg::R8, width);
+            a.bind(skip);
+        }
+
+        // Commit: bpf_sk_select_reuseport(M_socket, pos).
+        a.mov_imm(Reg::R1, sock_fd as i64);
+        a.mov(Reg::R2, Reg::R8);
+        a.call(HELPER_SK_SELECT_REUSEPORT);
+        // Non-zero return (ENOENT: socket slot empty) ⇒ fall back.
+        a.jmp_imm(Cond::Ne, Reg::R0, 0, fallback);
+        a.mov_imm(Reg::R0, 1);
+        a.exit();
+
+        a.bind(fallback);
+        a.mov_imm(Reg::R0, 0);
+        a.exit();
+
+        Self { insns: a.finish() }
+    }
+
+    /// The instruction stream (for loading into a [`Vm`] or inspection).
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Instruction count — the paper's "avoid making eBPF programs overly
+    /// complex" concern, quantified.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+}
+
+/// A reuseport group with the Hermes program attached — the moral
+/// equivalent of `setsockopt(SO_ATTACH_REUSEPORT_EBPF)` plus its two maps.
+///
+/// Userspace-facing methods: [`sync_bitmap`](Self::sync_bitmap) (the
+/// `BPF_MAP_UPDATE` of Algorithm 1) and socket registration. Kernel-facing
+/// method: [`dispatch`](Self::dispatch), run for every incoming connection.
+///
+/// ```
+/// use hermes_ebpf::ReuseportGroup;
+/// use hermes_core::WorkerBitmap;
+/// let group = ReuseportGroup::new(8);
+/// group.sync_bitmap(WorkerBitmap::from_workers([1, 4]));
+/// let out = group.dispatch(0x1234_5678);
+/// assert!(out.is_directed());
+/// assert!([1usize, 4].contains(&out.worker()));
+/// ```
+#[derive(Debug)]
+pub struct ReuseportGroup {
+    registry: MapRegistry,
+    sel_map: Arc<ArrayMap>,
+    sock_map: Arc<SockArrayMap>,
+    vm: Vm,
+    workers: usize,
+}
+
+impl ReuseportGroup {
+    /// Create a group of `workers` sockets with the dispatch program
+    /// attached and all sockets initially registered (socket handle ==
+    /// worker id, as the paper's init populates `M_socket`).
+    pub fn new(workers: usize) -> Self {
+        let registry = MapRegistry::new();
+        let sel_map = Arc::new(ArrayMap::new(1));
+        let sock_map = Arc::new(SockArrayMap::new(workers));
+        let sel_fd = registry.register(MapRef::Array(Arc::clone(&sel_map)));
+        let sock_fd = registry.register(MapRef::SockArray(Arc::clone(&sock_map)));
+        for w in 0..workers {
+            sock_map.register(w, w);
+        }
+        let prog = DispatchProgram::build(sel_fd, sock_fd, workers);
+        let vm = Vm::load(prog.insns).expect("dispatch program must verify");
+        Self {
+            registry,
+            sel_map,
+            sock_map,
+            vm,
+            workers,
+        }
+    }
+
+    /// Workers (sockets) in the group.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Userspace sync: store the scheduling bitmap (Algorithm 1 line 8).
+    pub fn sync_bitmap(&self, bitmap: WorkerBitmap) {
+        self.sel_map.update(0, bitmap.0);
+    }
+
+    /// Current bitmap (monitoring).
+    pub fn bitmap(&self) -> WorkerBitmap {
+        WorkerBitmap(self.sel_map.lookup(0).unwrap_or(0))
+    }
+
+    /// Remove a worker's socket (crash/drain): the program will fall back
+    /// if it selects this slot, and default hashing skips it too.
+    pub fn unregister_socket(&self, worker: WorkerId) {
+        self.sock_map.unregister(worker);
+    }
+
+    /// Re-register a worker's socket (restart).
+    pub fn register_socket(&self, worker: WorkerId) {
+        self.sock_map.register(worker, worker);
+    }
+
+    /// Kernel-side dispatch of one new connection with 4-tuple hash `hash`.
+    ///
+    /// Runs the verified bytecode; on program fallback applies the default
+    /// reuseport selection (hash scaled over the group, skipping to the
+    /// program's behavior exactly matches `ConnDispatcher::dispatch`).
+    pub fn dispatch(&self, hash: u32) -> DispatchOutcome {
+        let result = self
+            .vm
+            .run(hash, &self.registry, 0)
+            .expect("verified program cannot fault");
+        if result.return_value != 0 {
+            let sock = result
+                .selected_sock
+                .expect("successful program must have committed a socket");
+            DispatchOutcome::Directed(sock as WorkerId)
+        } else {
+            DispatchOutcome::Fallback(reciprocal_scale(hash, self.workers as u32) as WorkerId)
+        }
+    }
+
+    /// Instructions executed for one dispatch at the current bitmap — the
+    /// Table 5 "dispatcher" overhead, in instruction counts.
+    pub fn dispatch_cost(&self, hash: u32) -> usize {
+        self.vm
+            .run(hash, &self.registry, 0)
+            .expect("verified program cannot fault")
+            .insns_executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::verify;
+    use hermes_core::dispatch::ConnDispatcher;
+    use proptest::prelude::*;
+
+    #[test]
+    fn program_verifies_for_all_group_sizes() {
+        for workers in [1usize, 2, 7, 32, 63, 64] {
+            let prog = DispatchProgram::build(0, 1, workers);
+            assert!(verify(prog.insns()).is_ok(), "workers={workers}");
+            assert!(prog.len() < 256, "program unexpectedly large: {}", prog.len());
+        }
+    }
+
+    #[test]
+    fn directed_dispatch_lands_in_bitmap() {
+        let g = ReuseportGroup::new(8);
+        let bm = WorkerBitmap::from_workers([1, 4, 6]);
+        g.sync_bitmap(bm);
+        assert_eq!(g.bitmap(), bm);
+        for i in 0..500u32 {
+            let out = g.dispatch(i.wrapping_mul(0x9E37_79B9));
+            assert!(out.is_directed());
+            assert!(bm.contains(out.worker()));
+        }
+    }
+
+    #[test]
+    fn single_candidate_falls_back() {
+        let g = ReuseportGroup::new(8);
+        g.sync_bitmap(WorkerBitmap::from_workers([3]));
+        let out = g.dispatch(12345);
+        assert!(!out.is_directed());
+        assert!(out.worker() < 8);
+    }
+
+    #[test]
+    fn empty_bitmap_falls_back() {
+        let g = ReuseportGroup::new(4);
+        assert!(!g.dispatch(7).is_directed());
+    }
+
+    #[test]
+    fn unregistered_socket_forces_fallback() {
+        let g = ReuseportGroup::new(4);
+        g.sync_bitmap(WorkerBitmap::from_workers([0, 1]));
+        // Remove both candidate sockets: any directed pick hits ENOENT.
+        g.unregister_socket(0);
+        g.unregister_socket(1);
+        for h in 0..100u32 {
+            assert!(!g.dispatch(h).is_directed());
+        }
+        g.register_socket(0);
+        g.register_socket(1);
+        assert!(g.dispatch(1).is_directed());
+    }
+
+    #[test]
+    fn dispatch_cost_is_loop_free_bounded() {
+        let g = ReuseportGroup::new(64);
+        g.sync_bitmap(WorkerBitmap::all(64));
+        let cost = g.dispatch_cost(42);
+        // Straight-line program: cost can never exceed its length.
+        assert!(cost <= DispatchProgram::build(0, 1, 64).len());
+        assert!(cost > 50, "popcount + ladder should dominate, got {cost}");
+    }
+
+    proptest! {
+        /// The bytecode program agrees with the native oracle
+        /// `ConnDispatcher` on every bitmap/hash/group-size combination.
+        #[test]
+        fn bytecode_matches_native_oracle(bits: u64, hash: u32, workers in 1usize..=64) {
+            let g = ReuseportGroup::new(workers);
+            g.sync_bitmap(WorkerBitmap(bits));
+            let native = ConnDispatcher::new(workers).dispatch(WorkerBitmap(bits), hash);
+            let bytecode = g.dispatch(hash);
+            prop_assert_eq!(native, bytecode);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The static verifier.
+//!
+//! §5.1.3: "for security and performance reasons, eBPF's programmability is
+//! limited: it does not support loops, recursive calls, or complex hash
+//! computations." This verifier enforces the classic-verifier discipline the
+//! paper designs Algorithm 2 under:
+//!
+//! * program size bounded by [`MAX_INSNS`];
+//! * every jump target in bounds and **strictly forward** (no back-edges ⇒
+//!   termination is structural, no path explosion needed);
+//! * no fallthrough off the end: the last reachable instruction on every
+//!   path is `exit`;
+//! * R10 (frame pointer) never written;
+//! * stack accesses 8-byte aligned within the 512-byte frame;
+//! * only known helper ids called;
+//! * registers defined before use (R1 = context and R10 = fp are defined at
+//!   entry; helper calls define R0 and clobber R1–R5; stack slots must be
+//!   stored before loaded).
+//!
+//! Because jumps only go forward, a single linear pass in program order
+//! visits instructions in topological order, so def-before-use can be
+//! checked with a meet (intersection) over predecessor states — a miniature
+//! of the real verifier's state pruning.
+
+use crate::helpers::KNOWN_HELPERS;
+use crate::insn::{Insn, Op, Reg, Src, MAX_INSNS, NUM_REGS, STACK_SIZE};
+
+/// Why a program was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Program has no instructions.
+    Empty,
+    /// Program exceeds [`MAX_INSNS`].
+    TooLong(usize),
+    /// Jump at `at` targets `target`, outside the program.
+    JumpOutOfBounds {
+        /// Jump instruction index.
+        at: usize,
+        /// Computed absolute target.
+        target: i64,
+    },
+    /// Jump at `at` targets an earlier or same instruction — a loop.
+    BackEdge {
+        /// Jump instruction index.
+        at: usize,
+        /// Computed absolute target.
+        target: usize,
+    },
+    /// Execution can run off the end of the program.
+    FallsOffEnd,
+    /// Instruction at `at` writes the read-only frame pointer.
+    WritesFramePointer {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// Stack access at `at` is out of frame or misaligned.
+    BadStackAccess {
+        /// Offending instruction index.
+        at: usize,
+        /// Byte offset used.
+        off: i32,
+    },
+    /// Call at `at` names a helper the kernel does not export.
+    UnknownHelper {
+        /// Offending instruction index.
+        at: usize,
+        /// Helper id.
+        helper: u32,
+    },
+    /// Instruction at `at` reads register `reg` before any definition.
+    UninitRegister {
+        /// Offending instruction index.
+        at: usize,
+        /// Register read.
+        reg: u8,
+    },
+    /// Instruction at `at` loads stack slot `off` before any store to it.
+    UninitStack {
+        /// Offending instruction index.
+        at: usize,
+        /// Byte offset loaded.
+        off: i32,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "empty program"),
+            VerifyError::TooLong(n) => write!(f, "program too long: {n} > {MAX_INSNS}"),
+            VerifyError::JumpOutOfBounds { at, target } => {
+                write!(f, "insn {at}: jump target {target} out of bounds")
+            }
+            VerifyError::BackEdge { at, target } => {
+                write!(f, "insn {at}: back-edge to {target} (loops forbidden)")
+            }
+            VerifyError::FallsOffEnd => write!(f, "execution can fall off program end"),
+            VerifyError::WritesFramePointer { at } => {
+                write!(f, "insn {at}: write to read-only frame pointer R10")
+            }
+            VerifyError::BadStackAccess { at, off } => {
+                write!(f, "insn {at}: bad stack access at offset {off}")
+            }
+            VerifyError::UnknownHelper { at, helper } => {
+                write!(f, "insn {at}: unknown helper {helper}")
+            }
+            VerifyError::UninitRegister { at, reg } => {
+                write!(f, "insn {at}: read of uninitialized register r{reg}")
+            }
+            VerifyError::UninitStack { at, off } => {
+                write!(f, "insn {at}: load of uninitialized stack slot {off}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Number of 8-byte stack slots.
+const STACK_SLOTS: usize = STACK_SIZE / 8;
+
+/// Per-program-point dataflow facts: which registers/slots are definitely
+/// initialized on *every* path reaching this point.
+#[derive(Clone, PartialEq, Eq)]
+struct Facts {
+    regs: [bool; NUM_REGS],
+    stack: [bool; STACK_SLOTS],
+}
+
+impl Facts {
+    fn entry() -> Self {
+        let mut regs = [false; NUM_REGS];
+        regs[Reg::R1.idx()] = true; // context
+        regs[Reg::R10.idx()] = true; // frame pointer
+        Self {
+            regs,
+            stack: [false; STACK_SLOTS],
+        }
+    }
+
+    /// Meet: a fact holds after a join only if it held on both paths.
+    fn meet(&mut self, other: &Facts) {
+        for i in 0..NUM_REGS {
+            self.regs[i] &= other.regs[i];
+        }
+        for i in 0..STACK_SLOTS {
+            self.stack[i] &= other.stack[i];
+        }
+    }
+}
+
+/// Validate a stack offset, returning the slot index.
+fn stack_slot(at: usize, off: i32) -> Result<usize, VerifyError> {
+    if off >= 0 || off < -(STACK_SIZE as i32) || off % 8 != 0 {
+        return Err(VerifyError::BadStackAccess { at, off });
+    }
+    Ok(((-off) / 8 - 1) as usize)
+}
+
+/// Verify a program. Returns `Ok(())` when the program is safe to run.
+pub fn verify(prog: &[Insn]) -> Result<(), VerifyError> {
+    if prog.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if prog.len() > MAX_INSNS {
+        return Err(VerifyError::TooLong(prog.len()));
+    }
+
+    // Pass 1: structural checks on jumps and terminators.
+    for (at, insn) in prog.iter().enumerate() {
+        let check_target = |off: i32| -> Result<usize, VerifyError> {
+            let target = at as i64 + 1 + off as i64;
+            if target < 0 || target as usize >= prog.len() {
+                return Err(VerifyError::JumpOutOfBounds { at, target });
+            }
+            let target = target as usize;
+            if target <= at {
+                return Err(VerifyError::BackEdge { at, target });
+            }
+            Ok(target)
+        };
+        match insn.0 {
+            Op::Ja { off } => {
+                check_target(off)?;
+            }
+            Op::Jmp { off, .. } => {
+                check_target(off)?;
+            }
+            Op::Alu { dst, .. } if dst == Reg::R10 => {
+                return Err(VerifyError::WritesFramePointer { at });
+            }
+            Op::LdxStack { dst, off } => {
+                if dst == Reg::R10 {
+                    return Err(VerifyError::WritesFramePointer { at });
+                }
+                stack_slot(at, off)?;
+            }
+            Op::StxStack { off, .. } => {
+                stack_slot(at, off)?;
+            }
+            Op::Call { helper }
+                if !KNOWN_HELPERS.contains(&helper) => {
+                    return Err(VerifyError::UnknownHelper { at, helper });
+                }
+            _ => {}
+        }
+    }
+
+    // Pass 2: since all edges go forward, a single in-order pass is a
+    // topological traversal. Track reachability and definite-initialization.
+    let mut incoming: Vec<Option<Facts>> = vec![None; prog.len()];
+    incoming[0] = Some(Facts::entry());
+    let merge = |slot: &mut Option<Facts>, facts: &Facts| match slot {
+        None => *slot = Some(facts.clone()),
+        Some(existing) => existing.meet(facts),
+    };
+
+    for at in 0..prog.len() {
+        let Some(mut facts) = incoming[at].clone() else {
+            continue; // unreachable instruction: dead code is tolerated
+        };
+        // A reachable instruction at the last index must not fall through.
+        let falls_through = !matches!(prog[at].0, Op::Exit | Op::Ja { .. });
+        if falls_through && at + 1 == prog.len() {
+            return Err(VerifyError::FallsOffEnd);
+        }
+        let require =
+            |facts: &Facts, reg: Reg| -> Result<(), VerifyError> {
+                if facts.regs[reg.idx()] {
+                    Ok(())
+                } else {
+                    Err(VerifyError::UninitRegister { at, reg: reg.0 })
+                }
+            };
+        let require_src = |facts: &Facts, src: Src| -> Result<(), VerifyError> {
+            match src {
+                Src::Reg(r) => require(facts, r),
+                Src::Imm(_) => Ok(()),
+            }
+        };
+        match prog[at].0 {
+            Op::Alu { op, dst, src } => {
+                // Mov defines dst without reading it; others read-modify.
+                if op != crate::insn::Alu::Mov {
+                    require(&facts, dst)?;
+                }
+                require_src(&facts, src)?;
+                facts.regs[dst.idx()] = true;
+                merge(&mut incoming[at + 1], &facts);
+            }
+            Op::Ja { off } => {
+                let target = (at as i64 + 1 + off as i64) as usize;
+                merge(&mut incoming[target], &facts);
+            }
+            Op::Jmp { dst, src, off, .. } => {
+                require(&facts, dst)?;
+                require_src(&facts, src)?;
+                let target = (at as i64 + 1 + off as i64) as usize;
+                merge(&mut incoming[target], &facts);
+                merge(&mut incoming[at + 1], &facts);
+            }
+            Op::StxStack { off, src } => {
+                require(&facts, src)?;
+                let slot = stack_slot(at, off)?;
+                facts.stack[slot] = true;
+                merge(&mut incoming[at + 1], &facts);
+            }
+            Op::LdxStack { dst, off } => {
+                let slot = stack_slot(at, off)?;
+                if !facts.stack[slot] {
+                    return Err(VerifyError::UninitStack { at, off });
+                }
+                facts.regs[dst.idx()] = true;
+                merge(&mut incoming[at + 1], &facts);
+            }
+            Op::Call { .. } => {
+                // Args flow through R1..R5; the ABI does not require all
+                // five (helpers ignore trailing args), but R1 must be live.
+                require(&facts, Reg::R1)?;
+                // Call defines R0 and clobbers R1-R5.
+                facts.regs[Reg::R0.idx()] = true;
+                for r in 1..=5 {
+                    facts.regs[r] = false;
+                }
+                merge(&mut incoming[at + 1], &facts);
+            }
+            Op::Exit => {
+                require(&facts, Reg::R0)?;
+                // No successors.
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::helpers::HELPER_RECIPROCAL_SCALE;
+    use crate::insn::{Alu, Cond};
+
+    fn trivial() -> Vec<Insn> {
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 0);
+        a.exit();
+        a.finish()
+    }
+
+    #[test]
+    fn accepts_trivial_program() {
+        assert_eq!(verify(&trivial()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(verify(&[]), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn rejects_too_long() {
+        let mut prog = Vec::new();
+        for _ in 0..MAX_INSNS {
+            prog.push(Insn(Op::Alu {
+                op: Alu::Mov,
+                dst: Reg::R0,
+                src: Src::Imm(0),
+            }));
+        }
+        prog.push(Insn(Op::Exit));
+        assert!(matches!(verify(&prog), Err(VerifyError::TooLong(_))));
+    }
+
+    #[test]
+    fn rejects_back_edge() {
+        let mut a = Assembler::new();
+        let top = a.label();
+        a.bind(top);
+        a.mov_imm(Reg::R0, 0);
+        a.ja(top);
+        let prog = a.finish();
+        assert!(matches!(verify(&prog), Err(VerifyError::BackEdge { .. })));
+    }
+
+    #[test]
+    fn rejects_self_jump() {
+        // `ja -1` targets itself: also a back-edge.
+        let prog = vec![
+            Insn(Op::Alu {
+                op: Alu::Mov,
+                dst: Reg::R0,
+                src: Src::Imm(0),
+            }),
+            Insn(Op::Ja { off: -1 }),
+        ];
+        assert!(matches!(verify(&prog), Err(VerifyError::BackEdge { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_jump() {
+        let prog = vec![Insn(Op::Ja { off: 5 }), Insn(Op::Exit)];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifyError::JumpOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let prog = vec![Insn(Op::Alu {
+            op: Alu::Mov,
+            dst: Reg::R0,
+            src: Src::Imm(0),
+        })];
+        assert_eq!(verify(&prog), Err(VerifyError::FallsOffEnd));
+    }
+
+    #[test]
+    fn rejects_frame_pointer_writes() {
+        let prog = vec![
+            Insn(Op::Alu {
+                op: Alu::Mov,
+                dst: Reg::R10,
+                src: Src::Imm(0),
+            }),
+            Insn(Op::Exit),
+        ];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifyError::WritesFramePointer { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_stack_offsets() {
+        for off in [0, 8, -4, -520] {
+            let mut a = Assembler::new();
+            a.mov_imm(Reg::R0, 0);
+            a.stx_stack(off, Reg::R0);
+            a.exit();
+            assert!(
+                matches!(verify(&a.finish()), Err(VerifyError::BadStackAccess { .. })),
+                "offset {off} should be rejected"
+            );
+        }
+        // A valid slot passes.
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 0);
+        a.stx_stack(-8, Reg::R0);
+        a.exit();
+        assert_eq!(verify(&a.finish()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unknown_helper() {
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R1, 0);
+        a.call(999);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish()),
+            Err(VerifyError::UnknownHelper { helper: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_uninit_register_read() {
+        let mut a = Assembler::new();
+        a.mov(Reg::R0, Reg::R7); // R7 never written
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish()),
+            Err(VerifyError::UninitRegister { reg: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn context_and_fp_are_live_at_entry() {
+        let mut a = Assembler::new();
+        a.mov(Reg::R0, Reg::R1); // context readable
+        a.mov(Reg::R2, Reg::R10); // fp readable
+        a.exit();
+        assert_eq!(verify(&a.finish()), Ok(()));
+    }
+
+    #[test]
+    fn call_clobbers_arg_registers() {
+        // After a call, R1-R5 are dead; reading R2 must fail.
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R2, 5);
+        a.call(HELPER_RECIPROCAL_SCALE); // R1 is live (context)
+        a.mov(Reg::R0, Reg::R2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish()),
+            Err(VerifyError::UninitRegister { reg: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_uninit_stack_load() {
+        let mut a = Assembler::new();
+        a.ldx_stack(Reg::R0, -8);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish()),
+            Err(VerifyError::UninitStack { off: -8, .. })
+        ));
+    }
+
+    #[test]
+    fn meet_over_joined_paths() {
+        // R6 is set on only one branch; reading it after the join must fail.
+        let mut a = Assembler::new();
+        let join = a.label();
+        a.mov_imm(Reg::R0, 0);
+        a.jmp_imm(Cond::Eq, Reg::R1, 0, join);
+        a.mov_imm(Reg::R6, 1);
+        a.bind(join);
+        a.mov(Reg::R0, Reg::R6);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish()),
+            Err(VerifyError::UninitRegister { reg: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn both_paths_defined_is_accepted() {
+        let mut a = Assembler::new();
+        let else_l = a.label();
+        let join_l = a.label();
+        a.mov_imm(Reg::R0, 0);
+        a.jmp_imm(Cond::Eq, Reg::R1, 0, else_l);
+        a.mov_imm(Reg::R6, 1);
+        a.ja(join_l);
+        a.bind(else_l);
+        a.mov_imm(Reg::R6, 2);
+        a.bind(join_l);
+        a.mov(Reg::R0, Reg::R6);
+        a.exit();
+        assert_eq!(verify(&a.finish()), Ok(()));
+    }
+
+    #[test]
+    fn exit_requires_r0() {
+        let prog = vec![Insn(Op::Exit)];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifyError::UninitRegister { reg: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn dead_code_after_exit_is_tolerated() {
+        // Unreachable instructions are skipped (like pruned states).
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 0);
+        a.exit();
+        a.mov(Reg::R0, Reg::R9); // unreachable, would be uninit otherwise
+        a.exit();
+        assert_eq!(verify(&a.finish()), Ok(()));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::BackEdge { at: 3, target: 1 };
+        assert!(e.to_string().contains("back-edge"));
+        let e = VerifyError::UninitRegister { at: 0, reg: 6 };
+        assert!(e.to_string().contains("r6"));
+    }
+}

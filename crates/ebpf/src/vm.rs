@@ -1,0 +1,296 @@
+//! The bytecode interpreter.
+//!
+//! Executes a *verified* program against a map registry and a reuseport
+//! context. The verifier has already ruled out loops, bad jumps, and
+//! uninitialized reads, so the interpreter can be a straight-line fetch /
+//! decode / execute loop; residual runtime errors (which indicate a
+//! verifier bug, not a program bug) surface as [`ExecError`] rather than
+//! being silently masked.
+
+use crate::helpers::{call_helper, HelperCtx};
+use crate::insn::{Insn, Op, Reg, Src, NUM_REGS, STACK_SIZE};
+use crate::maps::MapRegistry;
+use crate::verifier::{verify, VerifyError};
+
+/// Result of one program execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecResult {
+    /// R0 at `exit` — for reuseport programs, nonzero means "selection
+    /// committed" and zero means "fall back to default hashing".
+    pub return_value: u64,
+    /// Socket committed via `bpf_sk_select_reuseport`, if any.
+    pub selected_sock: Option<usize>,
+    /// Instructions retired (bounded by program length: no loops).
+    pub insns_executed: usize,
+}
+
+/// Runtime failure (a verified program should never hit these; they exist
+/// to fail loudly instead of corrupting state if the verifier were wrong).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Program counter left the program without `exit`.
+    PcOutOfBounds(i64),
+    /// A helper id unknown at run time.
+    UnknownHelper(u32),
+    /// Stack access outside the frame.
+    StackOutOfBounds(i32),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::PcOutOfBounds(pc) => write!(f, "pc {pc} out of bounds"),
+            ExecError::UnknownHelper(h) => write!(f, "unknown helper {h}"),
+            ExecError::StackOutOfBounds(off) => write!(f, "stack offset {off} out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A loaded (verified) program plus its execution engine.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    prog: Vec<Insn>,
+}
+
+impl Vm {
+    /// Load a program, verifying it first — mirroring `bpf(BPF_PROG_LOAD)`,
+    /// which refuses unverifiable programs.
+    pub fn load(prog: Vec<Insn>) -> Result<Self, VerifyError> {
+        verify(&prog)?;
+        Ok(Self { prog })
+    }
+
+    /// Number of instructions in the loaded program.
+    pub fn len(&self) -> usize {
+        self.prog.len()
+    }
+
+    /// True when the program is empty (cannot happen post-verification).
+    pub fn is_empty(&self) -> bool {
+        self.prog.is_empty()
+    }
+
+    /// Run the program with `ctx_hash` in R1 (the kernel-precomputed
+    /// 4-tuple hash — our simplified `sk_reuseport_md`).
+    pub fn run(
+        &self,
+        ctx_hash: u32,
+        maps: &MapRegistry,
+        now_ns: u64,
+    ) -> Result<ExecResult, ExecError> {
+        let mut regs = [0u64; NUM_REGS];
+        let mut stack = [0u8; STACK_SIZE];
+        regs[Reg::R1.idx()] = ctx_hash as u64;
+        // R10 points one past the top of the stack; slots are addressed by
+        // negative offsets.
+        regs[Reg::R10.idx()] = STACK_SIZE as u64;
+        let mut helper_ctx = HelperCtx {
+            selected_sock: None,
+            now_ns,
+        };
+        let mut pc: i64 = 0;
+        let mut executed = 0usize;
+
+        loop {
+            if pc < 0 || pc as usize >= self.prog.len() {
+                return Err(ExecError::PcOutOfBounds(pc));
+            }
+            executed += 1;
+            let insn = self.prog[pc as usize];
+            pc += 1;
+            match insn.0 {
+                Op::Alu { op, dst, src } => {
+                    let s = match src {
+                        Src::Reg(r) => regs[r.idx()],
+                        Src::Imm(i) => i as u64,
+                    };
+                    regs[dst.idx()] = op.eval(regs[dst.idx()], s);
+                }
+                Op::Ja { off } => {
+                    pc += off as i64;
+                }
+                Op::Jmp {
+                    cond,
+                    dst,
+                    src,
+                    off,
+                } => {
+                    let s = match src {
+                        Src::Reg(r) => regs[r.idx()],
+                        Src::Imm(i) => i as u64,
+                    };
+                    if cond.eval(regs[dst.idx()], s) {
+                        pc += off as i64;
+                    }
+                }
+                Op::StxStack { off, src } => {
+                    let base = Self::stack_base(off)?;
+                    stack[base..base + 8].copy_from_slice(&regs[src.idx()].to_le_bytes());
+                }
+                Op::LdxStack { dst, off } => {
+                    let base = Self::stack_base(off)?;
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&stack[base..base + 8]);
+                    regs[dst.idx()] = u64::from_le_bytes(buf);
+                }
+                Op::Call { helper } => {
+                    let args = [
+                        regs[Reg::R1.idx()],
+                        regs[Reg::R2.idx()],
+                        regs[Reg::R3.idx()],
+                        regs[Reg::R4.idx()],
+                        regs[Reg::R5.idx()],
+                    ];
+                    let ret = call_helper(helper, args, maps, &mut helper_ctx)
+                        .map_err(|e| ExecError::UnknownHelper(e.0))?;
+                    regs[Reg::R0.idx()] = ret;
+                    // Clobber caller-saved registers as the ABI declares, so
+                    // a program that slipped past a verifier bug cannot rely
+                    // on stale argument values.
+                    regs[1..=5].fill(0);
+                }
+                Op::Exit => {
+                    return Ok(ExecResult {
+                        return_value: regs[Reg::R0.idx()],
+                        selected_sock: helper_ctx.selected_sock,
+                        insns_executed: executed,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Translate a frame-pointer-relative byte offset into a stack index;
+    /// `off` must be negative and the 8-byte access must stay in frame.
+    fn stack_base(off: i32) -> Result<usize, ExecError> {
+        let addr = STACK_SIZE as i64 + off as i64;
+        if off >= 0 || addr < 0 || (addr as usize) + 8 > STACK_SIZE {
+            return Err(ExecError::StackOutOfBounds(off));
+        }
+        Ok(addr as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::helpers::HELPER_RECIPROCAL_SCALE;
+    use crate::insn::{Alu, Cond};
+
+    fn run(prog: Vec<Insn>, hash: u32) -> ExecResult {
+        let vm = Vm::load(prog).expect("verifies");
+        vm.run(hash, &MapRegistry::new(), 0).expect("executes")
+    }
+
+    #[test]
+    fn returns_r0() {
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 42);
+        a.exit();
+        assert_eq!(run(a.finish(), 0).return_value, 42);
+    }
+
+    #[test]
+    fn context_hash_arrives_in_r1() {
+        let mut a = Assembler::new();
+        a.mov(Reg::R0, Reg::R1);
+        a.exit();
+        assert_eq!(run(a.finish(), 0xdead_beef).return_value, 0xdead_beef);
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        // R0 = (hash > 100) ? 1 : 2
+        let mut a = Assembler::new();
+        let big = a.label();
+        let done = a.label();
+        a.jmp_imm(Cond::Gt, Reg::R1, 100, big);
+        a.mov_imm(Reg::R0, 2);
+        a.ja(done);
+        a.bind(big);
+        a.mov_imm(Reg::R0, 1);
+        a.bind(done);
+        a.exit();
+        let prog = a.finish();
+        assert_eq!(run(prog.clone(), 101).return_value, 1);
+        assert_eq!(run(prog, 100).return_value, 2);
+    }
+
+    #[test]
+    fn stack_round_trip() {
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R6, 0x1234_5678_9abc_def0u64 as i64);
+        a.stx_stack(-16, Reg::R6);
+        a.ldx_stack(Reg::R0, -16);
+        a.exit();
+        assert_eq!(run(a.finish(), 0).return_value, 0x1234_5678_9abc_def0);
+    }
+
+    #[test]
+    fn helper_call_and_clobber() {
+        // reciprocal_scale(hash, 8) via helper; R1/R2 die after the call.
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R2, 8);
+        a.call(HELPER_RECIPROCAL_SCALE);
+        a.exit();
+        let r = run(a.finish(), u32::MAX);
+        assert_eq!(r.return_value, 7);
+    }
+
+    #[test]
+    fn swar_popcount_in_bytecode() {
+        // The CountNonZeroBits kernel of Algorithm 2, straight-line SWAR:
+        // x -= (x >> 1) & 0x5555...; x = (x & 0x3333) + ((x>>2) & 0x3333);
+        // x = (x + (x >> 4)) & 0x0f0f...; x = (x * 0x0101...) >> 56.
+        let mut a = Assembler::new();
+        a.mov(Reg::R6, Reg::R1); // x
+        a.mov(Reg::R7, Reg::R6);
+        a.alu_imm(Alu::Rsh, Reg::R7, 1);
+        a.alu_imm(Alu::And, Reg::R7, 0x5555_5555_5555_5555u64 as i64);
+        a.alu(Alu::Sub, Reg::R6, Reg::R7);
+        a.mov(Reg::R7, Reg::R6);
+        a.alu_imm(Alu::Rsh, Reg::R7, 2);
+        a.alu_imm(Alu::And, Reg::R7, 0x3333_3333_3333_3333u64 as i64);
+        a.alu_imm(Alu::And, Reg::R6, 0x3333_3333_3333_3333u64 as i64);
+        a.alu(Alu::Add, Reg::R6, Reg::R7);
+        a.mov(Reg::R7, Reg::R6);
+        a.alu_imm(Alu::Rsh, Reg::R7, 4);
+        a.alu(Alu::Add, Reg::R6, Reg::R7);
+        a.alu_imm(Alu::And, Reg::R6, 0x0f0f_0f0f_0f0f_0f0fu64 as i64);
+        a.alu_imm(Alu::Mul, Reg::R6, 0x0101_0101_0101_0101u64 as i64);
+        a.alu_imm(Alu::Rsh, Reg::R6, 56);
+        a.mov(Reg::R0, Reg::R6);
+        a.exit();
+        let prog = a.finish();
+        for x in [0u32, 1, 0b1011, u32::MAX, 0x8000_0001] {
+            assert_eq!(
+                run(prog.clone(), x).return_value,
+                x.count_ones() as u64,
+                "popcount({x:#x})"
+            );
+        }
+    }
+
+    #[test]
+    fn insn_count_is_bounded_by_program_length() {
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 1);
+        a.mov_imm(Reg::R0, 2);
+        a.exit();
+        let r = run(a.finish(), 0);
+        assert_eq!(r.insns_executed, 3);
+    }
+
+    #[test]
+    fn load_rejects_unverifiable() {
+        let mut a = Assembler::new();
+        let top = a.label();
+        a.bind(top);
+        a.mov_imm(Reg::R0, 0);
+        a.ja(top);
+        assert!(Vm::load(a.finish()).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Exact order statistics over a retained sample.
+//!
+//! Several harnesses (Table 1, Fig. 15) operate on sample sets small enough
+//! to retain in full; [`Summary`] gives exact percentiles there, serving as
+//! the ground truth the log-bucketed [`crate::Histogram`] is validated
+//! against.
+
+/// A retained sample of `f64` observations with exact order statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Create an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a summary pre-sized for `n` observations.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            values: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Record one observation. Non-finite values are rejected with a panic:
+    /// they would poison every order statistic silently otherwise.
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite(), "Summary::record: non-finite value {v}");
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Record every value of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile using the nearest-rank method (the convention the
+    /// paper's Pxx values use). Returns 0.0 for an empty summary.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.values.len() as f64).ceil() as usize).max(1);
+        self.values[rank - 1]
+    }
+
+    /// Median (P50).
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+    /// 90th percentile.
+    pub fn p90(&mut self) -> f64 {
+        self.quantile(0.90)
+    }
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+    /// 99.9th percentile.
+    pub fn p999(&mut self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Population standard deviation (0.0 when fewer than 2 observations).
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&mut self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        self.values[0]
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&mut self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.values.last().unwrap()
+    }
+
+    /// Borrow the retained sample (unsorted order not guaranteed).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let mut s = Summary::new();
+        s.extend((1..=100).map(|v| v as f64));
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p90(), 90.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let mut s = Summary::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn interleaved_record_and_quantile() {
+        let mut s = Summary::new();
+        s.record(3.0);
+        assert_eq!(s.p50(), 3.0);
+        s.record(1.0);
+        s.record(2.0);
+        assert_eq!(s.p50(), 2.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Streaming mean/variance (Welford's online algorithm).
+//!
+//! Fig. 13 reports the standard deviation of per-worker CPU utilization and
+//! connection counts at every sampling point over two days. Retaining every
+//! sample would be wasteful; Welford accumulation gives numerically stable
+//! single-pass mean and variance.
+
+/// Online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator (Chan et al. parallel formula).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.n = n;
+    }
+}
+
+/// Population standard deviation of a slice, for one-shot use at sampling
+/// points (e.g. the per-sample cross-worker SD in Fig. 13).
+pub fn stddev_of(values: &[f64]) -> f64 {
+    let mut w = Welford::new();
+    for &v in values {
+        w.record(v);
+    }
+    w.stddev()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.record(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn empty_and_single_observation() {
+        let mut w = Welford::new();
+        assert_eq!(w.variance(), 0.0);
+        w.record(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..33] {
+            left.record(x);
+        }
+        for &x in &xs[33..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w = Welford::new();
+        w.record(1.0);
+        w.record(3.0);
+        let before = (w.count(), w.mean(), w.variance());
+        w.merge(&Welford::new());
+        assert_eq!(before, (w.count(), w.mean(), w.variance()));
+
+        let mut e = Welford::new();
+        e.merge(&w);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_of_slice() {
+        assert_eq!(stddev_of(&[]), 0.0);
+        assert_eq!(stddev_of(&[5.0]), 0.0);
+        assert!((stddev_of(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Monotonic nanosecond clock shared by all runtime threads.
+//!
+//! The WST stores loop-entry timestamps as `u64` nanoseconds; every thread
+//! must read the *same* clock for hang detection to mean anything. This is
+//! the userspace analogue of the kernel's `ktime_get_ns`.
+
+use std::time::Instant;
+
+/// A process-wide monotonic epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// Start a clock at "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Busy-spin for `ns` nanoseconds — models request CPU cost with *real*
+/// CPU consumption (a sleep would let the OS schedule other workers and
+/// understate contention).
+pub fn spin_for_ns(ns: u64) {
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = Clock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clones_share_the_epoch() {
+        let c = Clock::new();
+        let d = c;
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = d.now_ns();
+        assert!(b > a);
+        assert!(b - a >= 900_000, "clone drifted: {}", b - a);
+    }
+
+    #[test]
+    fn spin_consumes_at_least_requested_time() {
+        let c = Clock::new();
+        let before = c.now_ns();
+        spin_for_ns(200_000);
+        assert!(c.now_ns() - before >= 200_000);
+    }
+}

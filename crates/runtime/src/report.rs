@@ -1,0 +1,116 @@
+//! Run results and per-component overhead accounting (Table 5).
+
+use hermes_metrics::Histogram;
+
+/// Wall-clock time spent in each Hermes component, summed across workers.
+///
+/// Mirrors Table 5's columns: the userspace **counter** (WST atomic
+/// updates), **scheduler** (Algorithm 1 passes), **system call** (bitmap
+/// sync into the kernel map), and the kernel-side **dispatcher**
+/// (Algorithm 2 per connection).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ComponentOverhead {
+    /// Counter updates (enter_loop / busy / conn deltas), ns.
+    pub counter_ns: u64,
+    /// Scheduler (cascading filters), ns.
+    pub scheduler_ns: u64,
+    /// Map-sync "system call", ns.
+    pub sync_ns: u64,
+    /// Dispatcher (per-connection socket selection), ns.
+    pub dispatcher_ns: u64,
+}
+
+impl ComponentOverhead {
+    /// Express each component as a percentage of total worker CPU time
+    /// (`workers * wall_ns`), the Table 5 metric.
+    pub fn as_cpu_percent(&self, workers: usize, wall_ns: u64) -> [f64; 4] {
+        let denom = (workers as f64) * (wall_ns as f64);
+        if denom == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.counter_ns as f64 / denom * 100.0,
+            self.scheduler_ns as f64 / denom * 100.0,
+            self.sync_ns as f64 / denom * 100.0,
+            self.dispatcher_ns as f64 / denom * 100.0,
+        ]
+    }
+
+    /// Sum of all components (ns).
+    pub fn total_ns(&self) -> u64 {
+        self.counter_ns + self.scheduler_ns + self.sync_ns + self.dispatcher_ns
+    }
+}
+
+/// Result of one threaded-runtime run.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Wall-clock duration of the run (ns).
+    pub wall_ns: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Requests completed.
+    pub completed_requests: u64,
+    /// Connections accepted per worker.
+    pub accepted_per_worker: Vec<u64>,
+    /// End-to-end request latency (submission → processed).
+    pub request_latency: Histogram,
+    /// Probe latency (scripts marked `probe`).
+    pub probe_latency: Histogram,
+    /// Hermes component overheads.
+    pub overhead: ComponentOverhead,
+    /// `schedule_and_sync` invocations across workers.
+    pub sched_calls: u64,
+    /// Dispatches that took the directed (bitmap) path.
+    pub directed_dispatches: u64,
+    /// Dispatches that fell back to hashing.
+    pub fallback_dispatches: u64,
+}
+
+impl RuntimeReport {
+    /// Cross-worker standard deviation of accepted connections.
+    pub fn accept_sd(&self) -> f64 {
+        let v: Vec<f64> = self
+            .accepted_per_worker
+            .iter()
+            .map(|&a| a as f64)
+            .collect();
+        hermes_metrics::welford::stddev_of(&v)
+    }
+
+    /// Scheduler call rate (per second).
+    pub fn sched_rate(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.sched_calls as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_percent_normalizes_by_worker_seconds() {
+        let o = ComponentOverhead {
+            counter_ns: 2_000_000,
+            scheduler_ns: 1_000_000,
+            sync_ns: 500_000,
+            dispatcher_ns: 250_000,
+        };
+        // 4 workers over 100 ms wall: denom = 400 ms of CPU.
+        let pct = o.as_cpu_percent(4, 100_000_000);
+        assert!((pct[0] - 0.5).abs() < 1e-9);
+        assert!((pct[1] - 0.25).abs() < 1e-9);
+        assert!((pct[2] - 0.125).abs() < 1e-9);
+        assert!((pct[3] - 0.0625).abs() < 1e-9);
+        assert_eq!(o.total_ns(), 3_750_000);
+    }
+
+    #[test]
+    fn zero_wall_is_safe() {
+        assert_eq!(ComponentOverhead::default().as_cpu_percent(4, 0), [0.0; 4]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Multi-device cluster simulation (§6.1 methodology).
+//!
+//! The paper evaluates by redeploying "one LB with epoll exclusive and
+//! another with reuseport, along with others with Hermes, in a single LB
+//! cluster (8 LBs in total for load sharing and failure recovery)" — the
+//! upstream L4 LB splits connections across devices, so every device sees
+//! statistically identical production traffic and the dispatch modes can
+//! be compared side by side.
+//!
+//! [`run_cluster`] models exactly that: an ECMP-style flow-hash split of
+//! one workload across per-device simulators, each with its own
+//! [`SimConfig`] (mode, faults, Hermes tuning).
+
+use crate::config::SimConfig;
+use crate::metrics::DeviceReport;
+use crate::sim::Simulator;
+use hermes_core::hash::{jhash_3words, reciprocal_scale};
+use hermes_workload::{ConnectionSpec, Workload};
+
+/// Seed for the L4 LB's ECMP hash — deliberately different from the
+/// in-kernel reuseport seed so device choice and worker choice are
+/// independent, as they are in production.
+const L4_HASH_SEED: u32 = 0x5bd1_e995;
+
+/// L4-level device selection for a connection.
+pub fn device_for(conn: &ConnectionSpec, devices: usize) -> usize {
+    let f = &conn.flow;
+    let h = jhash_3words(
+        f.src_ip,
+        f.dst_ip,
+        ((f.src_port as u32) << 16) | f.dst_port as u32,
+        L4_HASH_SEED,
+    );
+    reciprocal_scale(h, devices as u32) as usize
+}
+
+/// Split one cluster workload into per-device workloads by flow hash.
+pub fn split_workload(wl: &Workload, devices: usize) -> Vec<Workload> {
+    assert!(devices >= 1, "need at least one device");
+    let mut per_device: Vec<Workload> = (0..devices)
+        .map(|d| Workload::new(format!("{}-dev{}", wl.name, d), wl.duration_ns))
+        .collect();
+    for conn in &wl.conns {
+        per_device[device_for(conn, devices)].push(conn.clone());
+    }
+    per_device.into_iter().map(Workload::seal).collect()
+}
+
+/// Result of a cluster run: one report per device, in config order.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Per-device reports.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl ClusterReport {
+    /// Total completed requests across the cluster.
+    pub fn completed_requests(&self) -> u64 {
+        self.devices.iter().map(|d| d.completed_requests).sum()
+    }
+
+    /// Cluster-wide throughput (requests/second).
+    pub fn throughput_rps(&self) -> f64 {
+        self.devices.iter().map(DeviceReport::throughput_rps).sum()
+    }
+}
+
+/// Run `workload` across a cluster of devices, one [`SimConfig`] each
+/// (the per-device worker counts may differ; modes certainly may).
+pub fn run_cluster(workload: &Workload, configs: Vec<SimConfig>) -> ClusterReport {
+    assert!(!configs.is_empty(), "need at least one device");
+    let shards = split_workload(workload, configs.len());
+    let devices = configs
+        .into_iter()
+        .zip(shards.iter())
+        .map(|(cfg, shard)| Simulator::new(cfg, shard).run())
+        .collect();
+    ClusterReport { devices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use hermes_workload::{Case, CaseLoad};
+
+    #[test]
+    fn split_partitions_the_workload() {
+        let wl = Case::Case1.workload(CaseLoad::Light, 4, 1_000_000_000, 3);
+        let shards = split_workload(&wl, 8);
+        let total: usize = shards.iter().map(Workload::connection_count).sum();
+        assert_eq!(total, wl.connection_count());
+        // ECMP balance: every device gets a fair share.
+        for (d, s) in shards.iter().enumerate() {
+            let share = s.connection_count() as f64 / wl.connection_count() as f64;
+            assert!(
+                (share - 0.125).abs() < 0.03,
+                "device {d} share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_choice_is_deterministic_and_flow_stable() {
+        let wl = Case::Case1.workload(CaseLoad::Light, 2, 200_000_000, 4);
+        for conn in wl.conns.iter().take(50) {
+            assert_eq!(device_for(conn, 8), device_for(conn, 8));
+        }
+    }
+
+    #[test]
+    fn mixed_mode_cluster_reproduces_the_methodology() {
+        // One exclusive device, one reuseport device, two Hermes devices —
+        // same cluster traffic; the exclusive device must show the worst
+        // accept imbalance (this is how Fig. 13 was measured).
+        let wl = Case::Case3.workload(CaseLoad::Light, 4, 3_000_000_000, 5);
+        let configs = vec![
+            SimConfig::new(4, Mode::ExclusiveLifo),
+            SimConfig::new(4, Mode::Reuseport),
+            SimConfig::new(4, Mode::Hermes),
+            SimConfig::new(4, Mode::Hermes),
+        ];
+        let report = run_cluster(&wl, configs);
+        assert_eq!(report.devices.len(), 4);
+        let sds: Vec<f64> = report.devices.iter().map(DeviceReport::accepted_sd).collect();
+        assert!(
+            sds[0] > 2.0 * sds[2].max(1.0),
+            "exclusive device SD {} vs hermes {}",
+            sds[0],
+            sds[2]
+        );
+        // Load sharing works: every device served traffic.
+        for d in &report.devices {
+            assert!(d.completed_requests > 0);
+        }
+        assert!(report.completed_requests() > 0);
+        assert!(report.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cluster_rejected() {
+        let wl = Workload::new("empty", 1);
+        run_cluster(&wl, vec![]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Simulator configuration: dispatch mode, cost model, faults.
+
+use hermes_core::sched::SchedConfig;
+use hermes_metrics::NANOS_PER_MILLI;
+
+/// The I/O event notification / dispatch discipline under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// epoll exclusive (Linux ≥4.5): shared accept queue, LIFO wakeup.
+    ExclusiveLifo,
+    /// epoll round-robin (unmerged patch): shared queue, rotating wakeup.
+    RoundRobin,
+    /// Early epoll: every idle waiter wakes (thundering herd).
+    WakeAll,
+    /// io_uring's default interrupt mode (§8 related work): fixed FIFO
+    /// wakeup order — like epoll exclusive but preferring the
+    /// *first*-registered waiter, with the mirror-image concentration.
+    IoUringFifo,
+    /// SO_REUSEPORT: per-worker sockets, stateless hash at SYN.
+    Reuseport,
+    /// Hermes: userspace-directed bitmap dispatch over reuseport sockets.
+    Hermes,
+    /// Userspace dispatcher (§2.2): worker 0 fetches and redistributes.
+    UserspaceDispatcher,
+}
+
+impl Mode {
+    /// Paper display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::ExclusiveLifo => "Epoll exclusive",
+            Mode::RoundRobin => "Epoll roundrobin",
+            Mode::WakeAll => "Epoll wake-all",
+            Mode::IoUringFifo => "io_uring FIFO",
+            Mode::Reuseport => "Epoll with reuseport",
+            Mode::Hermes => "Hermes",
+            Mode::UserspaceDispatcher => "Userspace dispatcher",
+        }
+    }
+
+    /// The three modes Table 3 / Fig. 13 compare.
+    pub fn paper_trio() -> [Mode; 3] {
+        [Mode::ExclusiveLifo, Mode::Reuseport, Mode::Hermes]
+    }
+}
+
+/// Fixed costs of kernel/userspace mechanics (ns). Defaults are laptop-scale
+/// estimates of the syscall/context-switch costs the paper discusses; the
+/// comparison between modes is insensitive to their absolute values, but the
+/// *asymmetries* (per-port poll cost for exclusive, scheduling cost for
+/// Hermes) reproduce the paper's overhead arguments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostParams {
+    /// Base cost of an `epoll_wait` call that returns events.
+    pub epoll_wait_ns: u64,
+    /// Per-port component of the *connection dispatch* overhead in
+    /// shared-queue modes: §6.2 Case 1 — "the overhead of dispatching new
+    /// connections is O(1) for Hermes and reuseport, but O(#ports) for
+    /// exclusive", because every worker's epoll instance registers all
+    /// ports' listening sockets and each accept walks that state. Charged
+    /// per accept as `per_port_poll_ns * #ports`; per-socket modes pay
+    /// only the O(1) `accept_ns`.
+    pub per_port_poll_ns: u64,
+    /// Wakeup latency: event arrival → worker running (context switch).
+    pub wake_ns: u64,
+    /// `accept()` + conn_fd setup + `epoll_ctl(ADD)` per new connection.
+    pub accept_ns: u64,
+    /// Hermes: one WST counter update (`atomic<int>` ops in Fig. 9).
+    pub counter_ns: u64,
+    /// Hermes: one scheduler pass (Algorithm 1, O(workers)).
+    pub sched_ns: u64,
+    /// Hermes: one map-update syscall (bitmap sync).
+    pub sync_ns: u64,
+    /// Userspace dispatcher: per-event redistribution cost (queue push +
+    /// wake), paid by the dispatcher worker.
+    pub dispatch_us_ns: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            epoll_wait_ns: 1_500,
+            per_port_poll_ns: 120,
+            wake_ns: 3_000,
+            accept_ns: 4_000,
+            counter_ns: 25,
+            sched_ns: 400,
+            sync_ns: 1_200,
+            dispatch_us_ns: 1_000,
+        }
+    }
+}
+
+/// Injected worker faults (the §7 / Appendix C failure studies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Worker stops processing forever at `at_ns` (process crash). Its
+    /// established connections die; dispatch-mode behaviour decides how
+    /// much *new* traffic keeps landing on it.
+    Crash {
+        /// Victim worker.
+        worker: usize,
+        /// Crash time.
+        at_ns: u64,
+    },
+    /// Worker is trapped in a poison task for `duration_ns` starting at
+    /// `at_ns` (the edge-triggered read-loop hang of Appendix C).
+    Hang {
+        /// Victim worker.
+        worker: usize,
+        /// Hang start.
+        at_ns: u64,
+        /// Hang length.
+        duration_ns: u64,
+    },
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Worker processes on the device (1..=64 for single-group Hermes).
+    pub workers: usize,
+    /// Dispatch mode under test.
+    pub mode: Mode,
+    /// `epoll_wait` timeout (the paper sets 5 ms).
+    pub epoll_timeout_ns: u64,
+    /// Max events returned per `epoll_wait` (MAX_EVENTS in Fig. A1).
+    pub max_events: usize,
+    /// Kernel/userspace cost model.
+    pub costs: CostParams,
+    /// Hermes scheduler tuning (θ, hang threshold, filter order).
+    pub hermes: SchedConfig,
+    /// Route Hermes dispatch through the verified eBPF bytecode instead of
+    /// the native oracle (slower to simulate, byte-identical decisions).
+    pub use_ebpf: bool,
+    /// Run `schedule_and_sync` at the *start* of the loop instead of the
+    /// end (§5.3.2 scheduling-timing ablation).
+    pub sched_at_loop_start: bool,
+    /// Metrics sampling interval (CPU util, connection counts).
+    pub sample_interval_ns: u64,
+    /// Injected faults.
+    pub faults: Vec<Fault>,
+    /// NIC RSS queues to model for the Fig. 7 tap (0 disables).
+    pub nic_queues: usize,
+    /// Port whose live-connection/request-rate trace to record (Fig. 3).
+    pub trace_port: Option<u16>,
+    /// When set, inject a health probe into *every* worker's event queue
+    /// at this interval (Fig. 11's per-worker probing; the LB contains no
+    /// probe logic beyond echoing, so delay ⇒ an unresponsive worker).
+    pub probe_interval_ns: Option<u64>,
+    /// CPU cost of answering one probe.
+    pub probe_service_ns: u64,
+    /// Proactive service degradation (Appendix C exception case 1): when
+    /// a worker stays hot, RST a slice of its connections so clients
+    /// reconnect and get rescheduled to healthy workers. Evaluated at
+    /// every sampling point; Hermes mode only (the policy reschedules via
+    /// the bitmap dispatch).
+    pub degrade: Option<hermes_core::degrade::DegradeConfig>,
+}
+
+impl SimConfig {
+    /// A standard configuration for `workers` workers in `mode`.
+    pub fn new(workers: usize, mode: Mode) -> Self {
+        Self {
+            workers,
+            mode,
+            epoll_timeout_ns: 5 * NANOS_PER_MILLI,
+            max_events: 512,
+            costs: CostParams::default(),
+            hermes: SchedConfig::default(),
+            use_ebpf: false,
+            sched_at_loop_start: false,
+            sample_interval_ns: 100 * NANOS_PER_MILLI,
+            faults: Vec::new(),
+            nic_queues: 0,
+            trace_port: None,
+            probe_interval_ns: None,
+            probe_service_ns: 10_000,
+            degrade: None,
+        }
+    }
+
+    /// Validate invariants (called by the simulator).
+    pub fn validate(&self) {
+        assert!(
+            (1..=64).contains(&self.workers),
+            "1..=64 workers per simulated device"
+        );
+        assert!(self.epoll_timeout_ns > 0, "epoll timeout must be positive");
+        assert!(self.max_events >= 1, "max_events must be >= 1");
+        assert!(self.sample_interval_ns > 0, "sampling interval must be positive");
+        if self.mode == Mode::UserspaceDispatcher {
+            assert!(
+                self.workers >= 2,
+                "userspace dispatcher needs a dispatcher plus >= 1 backend"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paperlike() {
+        let c = SimConfig::new(32, Mode::Hermes);
+        assert_eq!(c.epoll_timeout_ns, 5_000_000);
+        assert_eq!(c.max_events, 512);
+        assert_eq!(c.hermes.theta_frac, 0.5);
+        c.validate();
+    }
+
+    #[test]
+    fn paper_trio_order() {
+        let [a, b, c] = Mode::paper_trio();
+        assert_eq!(a, Mode::ExclusiveLifo);
+        assert_eq!(b, Mode::Reuseport);
+        assert_eq!(c, Mode::Hermes);
+        assert_eq!(c.name(), "Hermes");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_zero_workers() {
+        SimConfig::new(0, Mode::Reuseport).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatcher")]
+    fn dispatcher_needs_two_workers() {
+        SimConfig::new(1, Mode::UserspaceDispatcher).validate();
+    }
+}

@@ -1,0 +1,85 @@
+//! NIC RSS tap for Fig. 7.
+//!
+//! The paper's Fig. 7 shows that packets spread evenly across NIC queues
+//! (RSS hashes the 5-tuple) while CPU-core utilization stays wildly
+//! unbalanced — the argument for why L4-style packet balancing cannot fix
+//! L7 load imbalance. The simulator counts each connection's packets into
+//! the RSS queue its flow hash selects; the harness contrasts those counts
+//! with per-worker CPU.
+
+use hermes_core::hash::reciprocal_scale;
+use hermes_core::FlowKey;
+
+/// Per-queue packet counters.
+#[derive(Clone, Debug)]
+pub struct NicRss {
+    queues: Vec<u64>,
+}
+
+impl NicRss {
+    /// An RSS indirection over `queues` queues (0 disables counting).
+    pub fn new(queues: usize) -> Self {
+        Self {
+            queues: vec![0; queues],
+        }
+    }
+
+    /// Whether the tap is enabled.
+    pub fn enabled(&self) -> bool {
+        !self.queues.is_empty()
+    }
+
+    /// Account `packets` packets of `flow` to its RSS queue.
+    pub fn record(&mut self, flow: &FlowKey, packets: u64) {
+        if self.queues.is_empty() {
+            return;
+        }
+        let q = reciprocal_scale(flow.hash(), self.queues.len() as u32) as usize;
+        self.queues[q] += packets;
+    }
+
+    /// Final per-queue packet counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tap_is_noop() {
+        let mut n = NicRss::new(0);
+        assert!(!n.enabled());
+        n.record(&FlowKey::new(1, 2, 3, 4), 10);
+        assert!(n.counts().is_empty());
+    }
+
+    #[test]
+    fn rss_spreads_flows_evenly() {
+        let mut n = NicRss::new(8);
+        for i in 0..40_000u32 {
+            let flow = FlowKey::new(0x0a000000 + i, (i % 50_000) as u16, 7, 443);
+            n.record(&flow, 3);
+        }
+        let total: u64 = n.counts().iter().sum();
+        assert_eq!(total, 120_000);
+        for (q, &c) in n.counts().iter().enumerate() {
+            let share = c as f64 / total as f64;
+            assert!(
+                (share - 0.125).abs() < 0.02,
+                "queue {q} share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_flow_same_queue() {
+        let mut n = NicRss::new(4);
+        let flow = FlowKey::new(9, 9, 9, 9);
+        n.record(&flow, 1);
+        n.record(&flow, 1);
+        assert_eq!(n.counts().iter().filter(|&&c| c > 0).count(), 1);
+    }
+}

@@ -1,0 +1,1019 @@
+//! The discrete-event engine.
+//!
+//! One [`Simulator`] runs one workload under one dispatch mode on one
+//! simulated device. The event loop mirrors the real pipeline:
+//!
+//! ```text
+//! SYN ──(assign socket / enqueue shared)──► accept queue
+//!      ──(wake order / bitmap dispatch)───► worker epoll_wait returns
+//!      ──(run-to-completion batch)────────► request completions
+//!      ──(Hermes hooks: WST + schedule_and_sync)──► next loop iteration
+//! ```
+//!
+//! Determinism: the event heap breaks timestamp ties by insertion sequence,
+//! so identical inputs replay identically under every mode.
+
+use crate::config::{Fault, SimConfig};
+use crate::metrics::{BalanceStats, DeviceReport, PortTrace, WorkerReport};
+use crate::modes::Dispatcher;
+use crate::nic::NicRss;
+use crate::state::{ConnId, ConnState, IoEvent, Phase, WorkerState};
+use hermes_metrics::Histogram;
+use hermes_workload::Workload;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Scheduled simulation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    /// SYN arrival of a workload connection.
+    Syn(ConnId),
+    /// Request `req` of `conn` becomes readable.
+    RequestReady { conn: ConnId, req: usize },
+    /// Worker wake (epoll_wait returns), valid only for its generation.
+    Wake { worker: usize, generation: u64 },
+    /// Worker finished its batch (+ trailing loop hooks).
+    BatchDone { worker: usize, batch_cost: u64 },
+    /// Connection teardown.
+    Close(ConnId),
+    /// Periodic metrics sampling.
+    Sample,
+    /// Injected fault trigger (index into config).
+    FaultAt(usize),
+    /// Per-worker health-probe injection tick (Fig. 11).
+    ProbeTick,
+}
+
+/// Heap item ordered by (time, sequence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Item {
+    t: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator for one device run.
+pub struct Simulator<'w> {
+    cfg: SimConfig,
+    wl: &'w Workload,
+    heap: BinaryHeap<Reverse<Item>>,
+    seq: u64,
+    now: u64,
+    workers: Vec<WorkerState>,
+    conns: Vec<ConnState>,
+    dispatcher: Dispatcher,
+    /// Dense port table and shared accept queues.
+    ports: Vec<u16>,
+    port_index: HashMap<u16, usize>,
+    port_queues: Vec<VecDeque<ConnId>>,
+    /// Ports with non-empty accept queues (the kernel's ready list):
+    /// draining is O(1) per accepted connection, not O(#ports).
+    ready_ports: VecDeque<usize>,
+    /// Membership flags for `ready_ports`.
+    port_ready: Vec<bool>,
+    port_live_conns: Vec<i64>,
+    // Measurement state.
+    worker_reports: Vec<WorkerReport>,
+    request_latency: Histogram,
+    probe_latency: Histogram,
+    completed_requests: u64,
+    accepted_connections: u64,
+    probes_sent: u64,
+    balance: BalanceStats,
+    busy_at_last_sample: Vec<u64>,
+    port_trace: Option<PortTrace>,
+    nic: NicRss,
+    /// Appendix C degradation: monitor + count of RST-rescheduled conns.
+    degrade: Option<hermes_core::degrade::DegradeMonitor>,
+    rst_reschedules: u64,
+}
+
+impl<'w> Simulator<'w> {
+    /// Build a simulator over a sealed workload.
+    pub fn new(cfg: SimConfig, wl: &'w Workload) -> Self {
+        cfg.validate();
+        let n = cfg.workers;
+        let dispatcher = Dispatcher::new(cfg.mode, n, cfg.hermes.clone(), cfg.use_ebpf);
+        // Dense port table from the workload.
+        let mut ports: Vec<u16> = wl.conns.iter().map(|c| c.port).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        let port_index: HashMap<u16, usize> =
+            ports.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let conns: Vec<ConnState> = wl
+            .conns
+            .iter()
+            .map(|c| ConnState::new(c.requests.iter().map(|r| r.events)))
+            .collect();
+        let port_trace = cfg
+            .trace_port
+            .map(|p| PortTrace::new(p, cfg.sample_interval_ns));
+        let nic = NicRss::new(cfg.nic_queues);
+        let mut sim = Self {
+            workers: (0..n).map(|_| WorkerState::new()).collect(),
+            worker_reports: (0..n).map(|_| WorkerReport::new()).collect(),
+            busy_at_last_sample: vec![0; n],
+            conns,
+            dispatcher,
+            port_queues: vec![VecDeque::new(); ports.len()],
+            ready_ports: VecDeque::new(),
+            port_ready: vec![false; ports.len()],
+            port_live_conns: vec![0; ports.len()],
+            ports,
+            port_index,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            request_latency: Histogram::latency(),
+            probe_latency: Histogram::latency(),
+            completed_requests: 0,
+            accepted_connections: 0,
+            probes_sent: 0,
+            balance: BalanceStats::default(),
+            port_trace,
+            nic,
+            degrade: cfg
+                .degrade
+                .map(|d| hermes_core::degrade::DegradeMonitor::new(n, d)),
+            rst_reschedules: 0,
+            cfg,
+            wl,
+        };
+        sim.prime();
+        sim
+    }
+
+    fn push(&mut self, t: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Item {
+            t,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Seed the heap: arrivals, request readiness, worker boot, sampling,
+    /// faults.
+    fn prime(&mut self) {
+        for (id, spec) in self.wl.conns.iter().enumerate() {
+            self.push(spec.arrival_ns, Ev::Syn(id));
+            for (r, req) in spec.requests.iter().enumerate() {
+                self.push(
+                    spec.arrival_ns.saturating_add(req.start_offset_ns),
+                    Ev::RequestReady { conn: id, req: r },
+                );
+            }
+        }
+        // Workers boot idle at t=0: loop entry recorded, timeout armed,
+        // and (for Hermes) an initial all-available bitmap synced — the
+        // workers were looping long before the first connection arrives.
+        for w in 0..self.cfg.workers {
+            if let Some(h) = self.dispatcher.hermes() {
+                h.wst.worker(w).enter_loop(0);
+            }
+            self.block_worker(w, 0);
+        }
+        if let Dispatcher::Hermes(h) = &mut self.dispatcher {
+            h.schedule_and_sync(0);
+        }
+        let mut t = self.cfg.sample_interval_ns;
+        while t <= self.wl.duration_ns {
+            self.push(t, Ev::Sample);
+            t += self.cfg.sample_interval_ns;
+        }
+        for (i, f) in self.cfg.faults.clone().into_iter().enumerate() {
+            let at = match f {
+                Fault::Crash { at_ns, .. } | Fault::Hang { at_ns, .. } => at_ns,
+            };
+            self.push(at, Ev::FaultAt(i));
+        }
+        if let Some(interval) = self.cfg.probe_interval_ns {
+            self.push(interval, Ev::ProbeTick);
+        }
+    }
+
+    /// Run to the horizon and produce the report.
+    pub fn run(mut self) -> DeviceReport {
+        while let Some(Reverse(item)) = self.heap.pop() {
+            if item.t > self.wl.duration_ns {
+                break;
+            }
+            self.now = item.t;
+            match item.ev {
+                Ev::Syn(c) => self.on_syn(c),
+                Ev::RequestReady { conn, req } => self.on_request_ready(conn, req),
+                Ev::Wake { worker, generation } => self.on_wake(worker, generation),
+                Ev::BatchDone { worker, batch_cost } => self.on_batch_done(worker, batch_cost),
+                Ev::Close(c) => self.on_close(c),
+                Ev::Sample => self.on_sample(),
+                Ev::FaultAt(i) => self.on_fault(i),
+                Ev::ProbeTick => self.on_probe_tick(),
+            }
+        }
+        self.finish()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_syn(&mut self, c: ConnId) {
+        let spec = &self.wl.conns[c];
+        if self.nic.enabled() {
+            // SYN + ACK + one packet per scripted event.
+            self.nic.record(&spec.flow, 2 + spec.requests.len() as u64);
+        }
+        self.conns[c].enqueue_ns = self.now;
+        if self.dispatcher.assigns_at_syn() {
+            let counts: Vec<i64> = self.workers.iter().map(|w| w.connections).collect();
+            let w = self
+                .dispatcher
+                .assign_at_syn(&spec.flow, &counts)
+                .expect("per-socket modes always assign");
+            self.conns[c].worker = Some(w);
+            // The accept notification lands on the epoll instance that owns
+            // the socket — the dispatcher worker (0) in userspace mode.
+            let target = if matches!(self.dispatcher, Dispatcher::Userspace) {
+                0
+            } else {
+                w
+            };
+            self.workers[target].pending.push_back(IoEvent::Accept(c));
+            self.notify(target);
+        } else {
+            let pidx = self.port_index[&spec.port];
+            self.port_queues[pidx].push_back(c);
+            if !self.port_ready[pidx] {
+                self.port_ready[pidx] = true;
+                self.ready_ports.push_back(pidx);
+            }
+            let idle: Vec<bool> = self
+                .workers
+                .iter()
+                .map(|w| w.is_idle() && !w.crashed)
+                .collect();
+            for w in self.dispatcher.pick_wake(&idle) {
+                self.notify(w);
+            }
+        }
+    }
+
+    fn on_request_ready(&mut self, conn: ConnId, req: usize) {
+        let ready = self.now;
+        if self.conns[conn].closed {
+            return;
+        }
+        if !self.conns[conn].accepted {
+            self.conns[conn].waiting.push((req, ready));
+            return;
+        }
+        self.deliver_request(conn, req);
+    }
+
+    /// Push a ready request's events onto the owning epoll instance.
+    fn deliver_request(&mut self, conn: ConnId, req: usize) {
+        let owner = self.conns[conn].worker.expect("accepted conn has owner");
+        // In userspace-dispatcher mode all epoll events flow through the
+        // dispatcher first.
+        let target = if matches!(self.dispatcher, Dispatcher::Userspace) {
+            0
+        } else {
+            owner
+        };
+        let spec = &self.wl.conns[conn].requests[req];
+        let per_event = spec.service_per_event_ns().max(1);
+        for _ in 0..spec.events.max(1) {
+            self.workers[target].pending.push_back(IoEvent::Request {
+                conn,
+                req,
+                service_ns: per_event,
+            });
+        }
+        self.notify(target);
+    }
+
+    /// An event arrived for worker `w`: wake it if it is blocked.
+    fn notify(&mut self, w: usize) {
+        let ws = &mut self.workers[w];
+        if ws.crashed || !ws.is_idle() || ws.wake_scheduled {
+            return;
+        }
+        ws.generation += 1;
+        ws.wake_scheduled = true;
+        let gen = ws.generation;
+        self.push(
+            self.now + self.cfg.costs.wake_ns,
+            Ev::Wake {
+                worker: w,
+                generation: gen,
+            },
+        );
+    }
+
+    /// Enter the blocked-in-`epoll_wait` state and arm the 5 ms timeout.
+    fn block_worker(&mut self, w: usize, at: u64) {
+        let ws = &mut self.workers[w];
+        ws.phase = Phase::Idle { since: at };
+        ws.generation += 1;
+        ws.wake_scheduled = false;
+        let gen = ws.generation;
+        self.push(
+            at + self.cfg.epoll_timeout_ns,
+            Ev::Wake {
+                worker: w,
+                generation: gen,
+            },
+        );
+    }
+
+    fn on_wake(&mut self, w: usize, generation: u64) {
+        let ws = &self.workers[w];
+        if ws.crashed || ws.generation != generation || !ws.is_idle() {
+            return; // stale timeout or superseded wake
+        }
+        let since = match ws.phase {
+            Phase::Idle { since } => since,
+            Phase::Running => unreachable!(),
+        };
+        let blocked = self.now.saturating_sub(since);
+        self.worker_reports[w].blocking_ns.record(blocked);
+        self.start_batch(w);
+    }
+
+    /// Collect a batch (epoll_wait return) and schedule its completion.
+    fn start_batch(&mut self, w: usize) {
+        let max_events = self.cfg.max_events;
+        let mut batch: Vec<IoEvent> = Vec::new();
+        while batch.len() < max_events {
+            match self.workers[w].pending.pop_front() {
+                Some(e) => batch.push(e),
+                None => break,
+            }
+        }
+        // Shared-queue modes: drain ready ports' accept queues into the
+        // batch (O(1) per connection via the ready list).
+        if !self.dispatcher.assigns_at_syn() {
+            while batch.len() < max_events {
+                let Some(&q) = self.ready_ports.front() else {
+                    break;
+                };
+                match self.port_queues[q].pop_front() {
+                    Some(c) => batch.push(IoEvent::Accept(c)),
+                    None => {
+                        self.ready_ports.pop_front();
+                        self.port_ready[q] = false;
+                    }
+                }
+            }
+        }
+
+        let costs = self.cfg.costs;
+        let is_shared = !self.dispatcher.assigns_at_syn();
+        let is_hermes = self.dispatcher.hermes().is_some();
+        let is_dispatcher_mode = matches!(self.dispatcher, Dispatcher::Userspace);
+        let mut cost = costs.epoll_wait_ns;
+        // §6.2 Case 1's dispatch-overhead asymmetry: shared-queue modes
+        // register every port's listening socket with every epoll instance,
+        // so dispatching (accepting) a connection costs O(#ports); the
+        // per-socket modes pay O(1).
+        let accept_cost = costs.accept_ns
+            + if is_shared {
+                costs.per_port_poll_ns * self.ports.len() as u64
+            } else {
+                0
+            };
+
+        if batch.is_empty() {
+            // Timeout / lost race: empty loop iteration.
+            self.workers[w].empty_wakes += 1;
+            self.worker_reports[w].events_per_wait.record(0);
+            if is_hermes {
+                cost += costs.counter_ns + costs.sched_ns + costs.sync_ns;
+            }
+            self.workers[w].phase = Phase::Running;
+            self.push(self.now + cost, Ev::BatchDone {
+                worker: w,
+                batch_cost: cost,
+            });
+            return;
+        }
+
+        self.worker_reports[w]
+            .events_per_wait
+            .record(batch.len() as u64);
+        if is_hermes {
+            // shm_busy_count(event_num) + per-event decrement + scheduler.
+            let h = self.dispatcher.hermes_mut();
+            h.wst.worker(w).add_pending(batch.len() as i64);
+            cost += costs.counter_ns * (1 + batch.len() as u64)
+                + costs.sched_ns
+                + costs.sync_ns;
+        }
+
+        // Walk the batch accumulating completion times. The WST pending
+        // count stays elevated until the batch completes (the per-event
+        // decrements of Fig. 9 line 18 land at BatchDone), so concurrent
+        // schedulers see this worker as busy for the whole batch.
+        self.workers[w].in_flight_events = batch.len() as i64;
+        let mut t = self.now + cost;
+        for ev in batch {
+            match ev {
+                IoEvent::Accept(c) => {
+                    t += accept_cost;
+                    if is_hermes {
+                        t += costs.counter_ns;
+                    }
+                    self.do_accept(w, c);
+                }
+                IoEvent::Request {
+                    conn,
+                    req,
+                    service_ns,
+                } => {
+                    if is_dispatcher_mode && w == 0 {
+                        // Forwarding stub: dispatcher pays redistribution
+                        // cost and the backend gets the real event.
+                        t += costs.dispatch_us_ns;
+                        let backend = self.conns[conn].worker.expect("owned");
+                        self.workers[backend].pending.push_back(IoEvent::Request {
+                            conn,
+                            req,
+                            service_ns,
+                        });
+                        self.notify(backend);
+                    } else {
+                        t += service_ns;
+                        self.complete_request_event(conn, req, t);
+                    }
+                }
+                IoEvent::Poison { duration_ns } => {
+                    t += duration_ns;
+                }
+                IoEvent::Probe { submitted_ns } => {
+                    t += self.cfg.probe_service_ns;
+                    self.probe_latency.record(t.saturating_sub(submitted_ns));
+                }
+            }
+        }
+        let batch_cost = t - self.now;
+        self.worker_reports[w].batch_proc_ns.record(batch_cost);
+        self.workers[w].phase = Phase::Running;
+        self.push(t, Ev::BatchDone {
+            worker: w,
+            batch_cost,
+        });
+    }
+
+    /// Execute `accept()` bookkeeping for connection `c` on worker `w`.
+    fn do_accept(&mut self, w: usize, c: ConnId) {
+        let conn = &mut self.conns[c];
+        if conn.closed || conn.accepted {
+            return; // raced: another worker drained it first
+        }
+        conn.accepted = true;
+        if conn.worker.is_none() {
+            conn.worker = Some(w);
+        }
+        let owner = conn.worker.expect("assigned");
+        self.workers[owner].connections += 1;
+        self.workers[owner].accepted_total += 1;
+        self.accepted_connections += 1;
+        if let Some(h) = self.dispatcher.hermes() {
+            h.wst.worker(owner).conn_delta(1);
+        }
+        let pidx = self.port_index[&self.wl.conns[c].port];
+        self.port_live_conns[pidx] += 1;
+        if let Some(tr) = &mut self.port_trace {
+            if tr.port == self.wl.conns[c].port {
+                tr.connections
+                    .record(self.now, self.port_live_conns[pidx] as f64);
+            }
+        }
+        // Requests that arrived while the connection waited in the accept
+        // queue become deliverable now.
+        let waiting: Vec<(usize, u64)> = std::mem::take(&mut self.conns[c].waiting);
+        for (req, _ready) in waiting {
+            self.deliver_request(c, req);
+        }
+        // A connection with no scripted requests closes after linger.
+        if self.conns[c].remaining_requests == 0 {
+            let linger = self.wl.conns[c].linger_ns.unwrap_or(0);
+            self.push(self.now + linger, Ev::Close(c));
+        }
+    }
+
+    /// One of a request's events finished at `t`.
+    fn complete_request_event(&mut self, conn: ConnId, req: usize, t: u64) {
+        let c = &mut self.conns[conn];
+        if c.closed {
+            return;
+        }
+        c.remaining_events[req] = c.remaining_events[req].saturating_sub(1);
+        if c.remaining_events[req] > 0 {
+            return;
+        }
+        // Request complete: latency from readiness to final event.
+        let spec = &self.wl.conns[conn];
+        let ready = spec.arrival_ns + spec.requests[req].start_offset_ns;
+        let latency = t.saturating_sub(ready);
+        if spec.tenant == u16::MAX {
+            self.probe_latency.record(latency);
+        } else {
+            self.request_latency.record(latency);
+        }
+        self.completed_requests += 1;
+        if let Some(tr) = &mut self.port_trace {
+            if tr.port == spec.port {
+                tr.requests.record(t.min(self.wl.duration_ns), 1.0);
+            }
+        }
+        let c = &mut self.conns[conn];
+        c.remaining_requests -= 1;
+        if c.remaining_requests == 0 {
+            let linger = spec.linger_ns.unwrap_or(0);
+            self.push(t + linger, Ev::Close(conn));
+        }
+    }
+
+    fn on_batch_done(&mut self, w: usize, batch_cost: u64) {
+        if self.workers[w].crashed {
+            return;
+        }
+        self.workers[w].busy_ns += batch_cost;
+        let sched_at_start = self.cfg.sched_at_loop_start;
+        let drained = std::mem::take(&mut self.workers[w].in_flight_events);
+        if let Dispatcher::Hermes(h) = &mut self.dispatcher {
+            // Per-event decrements of Fig. 9 line 18, applied at batch end.
+            h.wst.worker(w).add_pending(-drained);
+        }
+        if let Dispatcher::Hermes(h) = &mut self.dispatcher {
+            if !sched_at_start {
+                // schedule_and_sync at the end of the loop (Fig. 9 line 20).
+                h.schedule_and_sync(self.now);
+            }
+            // Loop top: shm_avail_update(current_time).
+            h.wst.worker(w).enter_loop(self.now);
+            if sched_at_start {
+                // Ablation: schedule before epoll_wait, observing pre-batch
+                // (possibly stale) status.
+                h.schedule_and_sync(self.now);
+            }
+        }
+        // epoll_wait: immediate return if events are pending, else block.
+        // Possibly-stale ready entries cost at most one empty batch, which
+        // cleans them.
+        let has_shared_work =
+            !self.dispatcher.assigns_at_syn() && !self.ready_ports.is_empty();
+        if !self.workers[w].pending.is_empty() || has_shared_work {
+            self.start_batch(w);
+        } else {
+            self.block_worker(w, self.now);
+        }
+    }
+
+    fn on_close(&mut self, c: ConnId) {
+        let conn = &mut self.conns[c];
+        if conn.closed {
+            return;
+        }
+        conn.closed = true;
+        if conn.accepted {
+            let owner = conn.worker.expect("accepted conn has owner");
+            self.workers[owner].connections -= 1;
+            if let Some(h) = self.dispatcher.hermes() {
+                h.wst.worker(owner).conn_delta(-1);
+            }
+            let pidx = self.port_index[&self.wl.conns[c].port];
+            self.port_live_conns[pidx] -= 1;
+            if let Some(tr) = &mut self.port_trace {
+                if tr.port == self.wl.conns[c].port {
+                    tr.connections
+                        .record(self.now, self.port_live_conns[pidx] as f64);
+                }
+            }
+        }
+    }
+
+    fn on_sample(&mut self) {
+        let interval = self.cfg.sample_interval_ns as f64;
+        let mut utils = Vec::with_capacity(self.workers.len());
+        let mut conns = Vec::with_capacity(self.workers.len());
+        for (w, ws) in self.workers.iter().enumerate() {
+            let delta = ws.busy_ns.saturating_sub(self.busy_at_last_sample[w]);
+            self.busy_at_last_sample[w] = ws.busy_ns;
+            utils.push(((delta as f64 / interval) * 100.0).min(100.0));
+            conns.push(ws.connections as f64);
+        }
+        let cpu_sd = hermes_metrics::welford::stddev_of(&utils);
+        let conn_sd = hermes_metrics::welford::stddev_of(&conns);
+        self.balance.cpu_sd.record(cpu_sd);
+        self.balance.conn_sd.record(conn_sd);
+        self.balance.series.push((self.now, cpu_sd, conn_sd));
+        self.run_degradation(&utils);
+    }
+
+    /// Appendix C exception case 1: feed per-worker utilization into the
+    /// degradation monitor; on a reset action, re-home a slice of the hot
+    /// worker's connections through the Hermes dispatch (the clients'
+    /// reconnects land on healthy workers). Hermes mode only.
+    fn run_degradation(&mut self, utils: &[f64]) {
+        use hermes_core::degrade::DegradeAction;
+        let Some(monitor) = &mut self.degrade else {
+            return;
+        };
+        if self.dispatcher.hermes().is_none() {
+            return;
+        }
+        let mut resets: Vec<(usize, usize)> = Vec::new();
+        for (w, ws) in self.workers.iter().enumerate() {
+            let live = ws.connections.max(0) as usize;
+            if let DegradeAction::ResetConnections { count, .. } =
+                monitor.observe(w, utils[w] / 100.0, live)
+            {
+                resets.push((w, count));
+            }
+        }
+        for (victim, count) in resets {
+            let mut shed = 0;
+            // Re-home the victim's live connections until `count` moved:
+            // owner changes, so all *future* request events deliver to the
+            // new worker; in-flight events finish where they are.
+            for c in 0..self.conns.len() {
+                if shed >= count {
+                    break;
+                }
+                let st = &self.conns[c];
+                if !st.accepted
+                    || st.closed
+                    || st.worker != Some(victim)
+                    || st.remaining_requests == 0
+                {
+                    continue;
+                }
+                let flow = self.wl.conns[c].flow;
+                let new_owner = self.dispatcher.hermes_mut().redirect(&flow);
+                if new_owner == victim {
+                    continue; // fallback hashed straight back: skip
+                }
+                self.conns[c].worker = Some(new_owner);
+                self.workers[victim].connections -= 1;
+                self.workers[new_owner].connections += 1;
+                if let Some(h) = self.dispatcher.hermes() {
+                    h.wst.worker(victim).conn_delta(-1);
+                    h.wst.worker(new_owner).conn_delta(1);
+                }
+                self.rst_reschedules += 1;
+                shed += 1;
+            }
+        }
+    }
+
+    /// Inject one probe into every worker's event queue and re-arm.
+    fn on_probe_tick(&mut self) {
+        let now = self.now;
+        for w in 0..self.workers.len() {
+            self.workers[w].pending.push_back(IoEvent::Probe { submitted_ns: now });
+            self.probes_sent += 1;
+            self.notify(w);
+        }
+        if let Some(interval) = self.cfg.probe_interval_ns {
+            self.push(now + interval, Ev::ProbeTick);
+        }
+    }
+
+    fn on_fault(&mut self, i: usize) {
+        match self.cfg.faults[i] {
+            Fault::Crash { worker, .. } => {
+                self.workers[worker].crashed = true;
+            }
+            Fault::Hang {
+                worker,
+                duration_ns,
+                ..
+            } => {
+                self.workers[worker]
+                    .pending
+                    .push_front(IoEvent::Poison { duration_ns });
+                self.notify(worker);
+            }
+        }
+    }
+
+    fn finish(mut self) -> DeviceReport {
+        let horizon = self.wl.duration_ns;
+        let mut incomplete = 0u64;
+        let mut unaccepted = 0u64;
+        for (c, st) in self.conns.iter().enumerate() {
+            if self.wl.conns[c].arrival_ns <= horizon {
+                if !st.accepted {
+                    unaccepted += 1;
+                }
+                incomplete += st.remaining_requests as u64;
+            }
+        }
+        for (w, ws) in self.workers.iter().enumerate() {
+            let r = &mut self.worker_reports[w];
+            r.busy_ns = ws.busy_ns;
+            r.accepted = ws.accepted_total;
+            r.final_connections = ws.connections;
+            r.empty_wakes = ws.empty_wakes;
+            r.utilization = (ws.busy_ns as f64 / horizon as f64).min(1.0);
+        }
+        let sched = self
+            .dispatcher
+            .hermes()
+            .map(|h| h.stats.clone())
+            .unwrap_or_default();
+        DeviceReport {
+            label: format!("{} [{}]", self.wl.name, self.cfg.mode.name()),
+            horizon_ns: horizon,
+            request_latency: self.request_latency,
+            probe_latency: self.probe_latency,
+            probes_sent: self.probes_sent,
+            completed_requests: self.completed_requests,
+            incomplete_requests: incomplete,
+            accepted_connections: self.accepted_connections,
+            unaccepted_connections: unaccepted,
+            workers: self.worker_reports,
+            balance: self.balance,
+            sched,
+            port_trace: self.port_trace,
+            nic_queue_packets: self.nic.counts().to_vec(),
+            rst_reschedules: self.rst_reschedules,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use hermes_core::FlowKey;
+    use hermes_metrics::{NANOS_PER_MILLI, NANOS_PER_SEC};
+    use hermes_workload::{ConnectionSpec, RequestSpec};
+
+    /// A workload of `n` one-request connections, `service` ns each,
+    /// arriving every `gap` ns.
+    fn uniform_workload(n: usize, gap: u64, service: u64) -> Workload {
+        let mut w = Workload::new("uniform", n as u64 * gap + NANOS_PER_SEC);
+        for i in 0..n {
+            w.push(ConnectionSpec {
+                arrival_ns: i as u64 * gap,
+                flow: FlowKey::new(0x0a000000 + i as u32, (i % 60_000) as u16, 1, 443),
+                tenant: 0,
+                port: 443,
+                requests: vec![RequestSpec {
+                    start_offset_ns: 0,
+                    service_ns: service,
+                    events: 2,
+                    size_bytes: 100,
+                }],
+                linger_ns: None,
+            });
+        }
+        w.seal()
+    }
+
+    fn run(mode: Mode, wl: &Workload, workers: usize) -> DeviceReport {
+        Simulator::new(SimConfig::new(workers, mode), wl).run()
+    }
+
+    #[test]
+    fn all_requests_complete_under_light_load() {
+        let wl = uniform_workload(500, 1_000_000, 50_000);
+        for mode in [
+            Mode::ExclusiveLifo,
+            Mode::RoundRobin,
+            Mode::WakeAll,
+            Mode::Reuseport,
+            Mode::Hermes,
+            Mode::UserspaceDispatcher,
+        ] {
+            let r = run(mode, &wl, 4);
+            assert_eq!(
+                r.completed_requests, 500,
+                "{mode:?}: {} completed, {} incomplete",
+                r.completed_requests, r.incomplete_requests
+            );
+            assert_eq!(r.accepted_connections, 500, "{mode:?}");
+            assert_eq!(r.unaccepted_connections, 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn latency_includes_service_and_wake() {
+        // A single cheap connection: latency ≈ wake + epoll + accept +
+        // (second epoll round) + service; must be well under a millisecond
+        // and at least the service time.
+        let wl = uniform_workload(1, 1_000_000, 100_000);
+        let r = run(Mode::Reuseport, &wl, 2);
+        assert_eq!(r.completed_requests, 1);
+        let lat = r.request_latency.max();
+        assert!(lat >= 100_000, "latency {lat} < service");
+        assert!(lat < 1_000_000, "latency {lat} unreasonably high");
+    }
+
+    #[test]
+    fn exclusive_lifo_concentrates_reuseport_spreads() {
+        // Light, serialized arrivals: LIFO should park nearly everything on
+        // the last-registered worker; reuseport spreads by hashing.
+        let wl = uniform_workload(2_000, 500_000, 20_000);
+        let excl = run(Mode::ExclusiveLifo, &wl, 8);
+        let reuse = run(Mode::Reuseport, &wl, 8);
+        let top_excl = excl.workers.iter().map(|w| w.accepted).max().unwrap();
+        let top_reuse = reuse.workers.iter().map(|w| w.accepted).max().unwrap();
+        assert!(
+            top_excl as f64 > 0.8 * 2_000.0,
+            "exclusive top worker only {top_excl}"
+        );
+        assert!(
+            (top_reuse as f64) < 0.3 * 2_000.0,
+            "reuseport top worker {top_reuse}"
+        );
+        assert!(excl.accepted_sd() > 5.0 * reuse.accepted_sd());
+    }
+
+    #[test]
+    fn round_robin_balances_accepts() {
+        let wl = uniform_workload(800, 500_000, 20_000);
+        let r = run(Mode::RoundRobin, &wl, 4);
+        for w in &r.workers {
+            assert!(
+                (w.accepted as i64 - 200).abs() < 40,
+                "rr accepted {}",
+                w.accepted
+            );
+        }
+    }
+
+    #[test]
+    fn hermes_balances_connections_and_uses_directed_path() {
+        let wl = uniform_workload(4_000, 200_000, 30_000);
+        let r = run(Mode::Hermes, &wl, 8);
+        assert_eq!(r.completed_requests, 4_000);
+        assert!(
+            r.sched.directed_dispatches > 3_000,
+            "directed {} fallback {}",
+            r.sched.directed_dispatches,
+            r.sched.fallback_dispatches
+        );
+        let max = r.workers.iter().map(|w| w.accepted).max().unwrap();
+        let min = r.workers.iter().map(|w| w.accepted).min().unwrap();
+        assert!(
+            max < 2 * min.max(1),
+            "hermes accept spread {min}..{max}"
+        );
+        assert!(r.sched.calls > 0);
+    }
+
+    #[test]
+    fn iouring_fifo_concentrates_on_first_worker() {
+        // §8: io_uring's fixed FIFO wakeup causes the mirror image of
+        // exclusive's concentration — on the *first*-registered worker.
+        let wl = uniform_workload(2_000, 500_000, 20_000);
+        let r = run(Mode::IoUringFifo, &wl, 8);
+        assert!(
+            r.workers[0].accepted as f64 > 0.8 * 2_000.0,
+            "first worker only accepted {}",
+            r.workers[0].accepted
+        );
+        assert_eq!(r.completed_requests, 2_000);
+    }
+
+    #[test]
+    fn wake_all_pays_empty_wakes() {
+        let wl = uniform_workload(300, 2_000_000, 20_000);
+        let herd = run(Mode::WakeAll, &wl, 8);
+        let excl = run(Mode::ExclusiveLifo, &wl, 8);
+        let herd_empty: u64 = herd.workers.iter().map(|w| w.empty_wakes).sum();
+        let excl_empty: u64 = excl.workers.iter().map(|w| w.empty_wakes).sum();
+        assert!(
+            herd_empty > excl_empty + 300,
+            "herd {herd_empty} vs exclusive {excl_empty}"
+        );
+    }
+
+    #[test]
+    fn crashed_reuseport_worker_strands_connections() {
+        let mut cfg = SimConfig::new(4, Mode::Reuseport);
+        cfg.faults.push(Fault::Crash { worker: 1, at_ns: 0 });
+        let wl = uniform_workload(1_000, 500_000, 20_000);
+        let r = Simulator::new(cfg, &wl).run();
+        // Roughly 1/4 of connections hash to the dead worker and strand.
+        assert!(
+            r.unaccepted_connections > 150,
+            "stranded {}",
+            r.unaccepted_connections
+        );
+        assert!(r.completed_requests < 1_000);
+    }
+
+    #[test]
+    fn crashed_worker_under_hermes_is_bypassed() {
+        let mut cfg = SimConfig::new(4, Mode::Hermes);
+        cfg.hermes.hang_threshold_ns = 20 * NANOS_PER_MILLI;
+        cfg.faults.push(Fault::Crash {
+            worker: 1,
+            at_ns: 50 * NANOS_PER_MILLI,
+        });
+        let wl = uniform_workload(2_000, 500_000, 20_000);
+        let r = Simulator::new(cfg, &wl).run();
+        // Hermes detects the stale loop timestamp and routes around it; a
+        // small slice of early connections is lost.
+        assert!(
+            r.unaccepted_connections < 100,
+            "stranded {}",
+            r.unaccepted_connections
+        );
+        assert!(r.completed_requests > 1_800);
+    }
+
+    #[test]
+    fn hang_fault_stalls_then_recovers() {
+        let mut cfg = SimConfig::new(2, Mode::Reuseport);
+        cfg.faults.push(Fault::Hang {
+            worker: 0,
+            at_ns: 10 * NANOS_PER_MILLI,
+            duration_ns: 200 * NANOS_PER_MILLI,
+        });
+        let wl = uniform_workload(200, 2_000_000, 20_000);
+        let r = Simulator::new(cfg, &wl).run();
+        // Everything completes eventually, but the hang inflates the tail.
+        assert_eq!(r.completed_requests, 200);
+        assert!(
+            r.request_latency.max() > 100 * NANOS_PER_MILLI,
+            "max latency {}",
+            r.request_latency.max()
+        );
+    }
+
+    #[test]
+    fn sampling_produces_balance_series() {
+        let wl = uniform_workload(1_000, 400_000, 100_000);
+        let r = run(Mode::ExclusiveLifo, &wl, 4);
+        assert!(!r.balance.series.is_empty());
+        assert!(r.balance.cpu_sd.count() > 0);
+    }
+
+    #[test]
+    fn port_trace_records_gauge_and_rate() {
+        let mut cfg = SimConfig::new(2, Mode::Reuseport);
+        cfg.trace_port = Some(443);
+        let wl = uniform_workload(100, 1_000_000, 20_000);
+        let r = Simulator::new(cfg, &wl).run();
+        let tr = r.port_trace.expect("trace enabled");
+        assert_eq!(tr.port, 443);
+        let total_reqs: f64 = tr.requests.points().iter().map(|(_, v)| v).sum();
+        assert_eq!(total_reqs as u64, 100);
+    }
+
+    #[test]
+    fn nic_tap_counts_all_packets() {
+        let mut cfg = SimConfig::new(2, Mode::ExclusiveLifo);
+        cfg.nic_queues = 4;
+        let wl = uniform_workload(100, 1_000_000, 20_000);
+        let r = Simulator::new(cfg, &wl).run();
+        let total: u64 = r.nic_queue_packets.iter().sum();
+        assert_eq!(total, 100 * 3); // 2 + 1 scripted request each
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let wl = uniform_workload(500, 300_000, 40_000);
+        let a = run(Mode::Hermes, &wl, 4);
+        let b = run(Mode::Hermes, &wl, 4);
+        assert_eq!(a.completed_requests, b.completed_requests);
+        assert_eq!(a.request_latency.p99(), b.request_latency.p99());
+        assert_eq!(
+            a.workers.iter().map(|w| w.accepted).collect::<Vec<_>>(),
+            b.workers.iter().map(|w| w.accepted).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ebpf_and_native_hermes_agree_end_to_end() {
+        let wl = uniform_workload(800, 400_000, 30_000);
+        let mut native_cfg = SimConfig::new(4, Mode::Hermes);
+        native_cfg.use_ebpf = false;
+        let mut ebpf_cfg = SimConfig::new(4, Mode::Hermes);
+        ebpf_cfg.use_ebpf = true;
+        let a = Simulator::new(native_cfg, &wl).run();
+        let b = Simulator::new(ebpf_cfg, &wl).run();
+        assert_eq!(a.completed_requests, b.completed_requests);
+        assert_eq!(
+            a.workers.iter().map(|w| w.accepted).collect::<Vec<_>>(),
+            b.workers.iter().map(|w| w.accepted).collect::<Vec<_>>()
+        );
+    }
+}

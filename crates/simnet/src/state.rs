@@ -1,0 +1,169 @@
+//! Runtime state of simulated entities.
+
+use std::collections::VecDeque;
+
+/// Index of a connection in the workload.
+pub type ConnId = usize;
+
+/// One queued I/O event awaiting a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoEvent {
+    /// A new connection is waiting in an accept queue (listening socket
+    /// readable).
+    Accept(ConnId),
+    /// Data readable on an established connection: one of request `req`'s
+    /// events, costing `service_ns` of worker CPU.
+    Request {
+        /// Connection.
+        conn: ConnId,
+        /// Request index within the connection.
+        req: usize,
+        /// CPU cost of this event.
+        service_ns: u64,
+    },
+    /// A fault-injected poison task that pins the worker (Appendix C hang).
+    Poison {
+        /// How long the worker is trapped.
+        duration_ns: u64,
+    },
+    /// A health probe addressed to this specific worker (§6.2: "we
+    /// periodically send probes to all workers and measure their
+    /// end-to-end delays"). Bypasses connection dispatch by design.
+    Probe {
+        /// Injection time for latency accounting.
+        submitted_ns: u64,
+    },
+}
+
+/// Worker execution phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Blocked in `epoll_wait` since `since` (generation-tagged so stale
+    /// wake events are ignored).
+    Idle {
+        /// Block start time.
+        since: u64,
+    },
+    /// Processing a batch; `BatchDone` is scheduled.
+    Running,
+}
+
+/// Per-worker runtime state.
+#[derive(Debug)]
+pub struct WorkerState {
+    /// Events delivered to this worker's epoll instance, awaiting the next
+    /// `epoll_wait` return.
+    pub pending: VecDeque<IoEvent>,
+    /// Execution phase.
+    pub phase: Phase,
+    /// Wake-generation counter: a `WorkerWake` event only fires if its
+    /// generation matches (stale timeouts/wakeups are dropped).
+    pub generation: u64,
+    /// Whether a wake event is already in flight for the current
+    /// generation (avoid flooding the heap with redundant wakes).
+    pub wake_scheduled: bool,
+    /// Total CPU time consumed (ns).
+    pub busy_ns: u64,
+    /// Live connections owned by this worker.
+    pub connections: i64,
+    /// Total connections ever accepted.
+    pub accepted_total: u64,
+    /// Crashed workers stop processing forever.
+    pub crashed: bool,
+    /// `epoll_wait` calls that returned zero events.
+    pub empty_wakes: u64,
+    /// Events in the batch currently being processed (their WST pending
+    /// decrements land when the batch completes).
+    pub in_flight_events: i64,
+}
+
+impl WorkerState {
+    /// A fresh worker, idle from time 0.
+    pub fn new() -> Self {
+        Self {
+            pending: VecDeque::new(),
+            phase: Phase::Idle { since: 0 },
+            generation: 0,
+            wake_scheduled: false,
+            busy_ns: 0,
+            connections: 0,
+            accepted_total: 0,
+            crashed: false,
+            empty_wakes: 0,
+            in_flight_events: 0,
+        }
+    }
+
+    /// True when the worker is blocked in `epoll_wait`.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle { .. })
+    }
+}
+
+impl Default for WorkerState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-connection runtime state.
+#[derive(Clone, Debug)]
+pub struct ConnState {
+    /// Worker that owns the connection. For reuseport-style modes this is
+    /// assigned at SYN (socket choice); for shared-queue modes at accept.
+    pub worker: Option<usize>,
+    /// Whether a worker has accepted the connection.
+    pub accepted: bool,
+    /// Requests that became ready before the connection was accepted; they
+    /// flush into the owner's epoll as soon as `accept()` runs.
+    pub waiting: Vec<(usize, u64)>,
+    /// Per-request count of events still unprocessed (completion fires at
+    /// zero).
+    pub remaining_events: Vec<u32>,
+    /// Requests not yet completed.
+    pub remaining_requests: usize,
+    /// Whether the connection has closed.
+    pub closed: bool,
+    /// When the connection became ready in an accept queue (for
+    /// accept-latency accounting).
+    pub enqueue_ns: u64,
+}
+
+impl ConnState {
+    /// Initialize from a spec's request list.
+    pub fn new(events_per_request: impl Iterator<Item = u32>) -> Self {
+        let remaining_events: Vec<u32> = events_per_request.map(|e| e.max(1)).collect();
+        let remaining_requests = remaining_events.len();
+        Self {
+            worker: None,
+            accepted: false,
+            waiting: Vec::new(),
+            remaining_events,
+            remaining_requests,
+            closed: false,
+            enqueue_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_worker_is_idle_generation_zero() {
+        let w = WorkerState::new();
+        assert!(w.is_idle());
+        assert_eq!(w.generation, 0);
+        assert!(!w.crashed);
+        assert!(w.pending.is_empty());
+    }
+
+    #[test]
+    fn conn_state_tracks_remaining() {
+        let c = ConnState::new([2u32, 0, 3].into_iter());
+        assert_eq!(c.remaining_events, vec![2, 1, 3]); // zero clamps to 1
+        assert_eq!(c.remaining_requests, 3);
+        assert!(!c.accepted);
+    }
+}

@@ -1,0 +1,206 @@
+//! Arrival processes: when connections reach the LB.
+//!
+//! Table 3's cases are parameterized by connections-per-second (CPS); the
+//! Fig. 3 lag-effect scenario needs an on/off bursty source layered over a
+//! long-lived connection pool. All processes generate absolute arrival
+//! timestamps in nanoseconds, deterministically from the workspace RNG.
+
+use crate::distr::{Distribution, Exp};
+use hermes_metrics::NANOS_PER_SEC;
+
+/// A connection arrival process.
+#[derive(Clone, Debug)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate_per_sec`.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_sec: f64,
+    },
+    /// Deterministic arrivals at fixed intervals.
+    Paced {
+        /// Arrivals per second (evenly spaced).
+        rate_per_sec: f64,
+    },
+    /// Two-state on/off burst process (MMPP-2): Poisson at `on_rate` during
+    /// "on" periods, silent during "off" periods, with exponentially
+    /// distributed state holding times.
+    OnOffBurst {
+        /// Arrival rate while on (per second).
+        on_rate_per_sec: f64,
+        /// Mean on-period duration (seconds).
+        mean_on_secs: f64,
+        /// Mean off-period duration (seconds).
+        mean_off_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Long-run average arrival rate per second.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } | ArrivalProcess::Paced { rate_per_sec } => {
+                rate_per_sec
+            }
+            ArrivalProcess::OnOffBurst {
+                on_rate_per_sec,
+                mean_on_secs,
+                mean_off_secs,
+            } => on_rate_per_sec * mean_on_secs / (mean_on_secs + mean_off_secs),
+        }
+    }
+
+    /// Generate arrival timestamps in `[start_ns, start_ns + duration_ns)`.
+    pub fn generate(&self, start_ns: u64, duration_ns: u64, rng: &mut crate::Rng) -> Vec<u64> {
+        let end = start_ns + duration_ns;
+        let mut out = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "rate must be positive");
+                let inter = Exp::new(rate_per_sec / NANOS_PER_SEC as f64);
+                let mut t = start_ns as f64;
+                loop {
+                    t += inter.sample(rng);
+                    if t >= end as f64 {
+                        break;
+                    }
+                    out.push(t as u64);
+                }
+            }
+            ArrivalProcess::Paced { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "rate must be positive");
+                let step = NANOS_PER_SEC as f64 / rate_per_sec;
+                let mut t = start_ns as f64;
+                while t < end as f64 {
+                    out.push(t as u64);
+                    t += step;
+                }
+            }
+            ArrivalProcess::OnOffBurst {
+                on_rate_per_sec,
+                mean_on_secs,
+                mean_off_secs,
+            } => {
+                assert!(on_rate_per_sec > 0.0, "rate must be positive");
+                assert!(
+                    mean_on_secs > 0.0 && mean_off_secs >= 0.0,
+                    "period means must be positive"
+                );
+                let inter = Exp::new(on_rate_per_sec / NANOS_PER_SEC as f64);
+                let on_dur = Exp::with_mean(mean_on_secs * NANOS_PER_SEC as f64);
+                let off_dur = Exp::with_mean((mean_off_secs.max(1e-9)) * NANOS_PER_SEC as f64);
+                let mut t = start_ns as f64;
+                let mut on = true; // start in a burst: worst case for LIFO
+                let mut phase_end = t + on_dur.sample(rng);
+                while t < end as f64 {
+                    if on {
+                        let next = t + inter.sample(rng);
+                        if next < phase_end && next < end as f64 {
+                            out.push(next as u64);
+                            t = next;
+                        } else {
+                            t = phase_end;
+                            on = false;
+                            phase_end = t + if mean_off_secs > 0.0 {
+                                off_dur.sample(rng)
+                            } else {
+                                0.0
+                            };
+                        }
+                    } else {
+                        t = phase_end;
+                        on = true;
+                        phase_end = t + on_dur.sample(rng);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_converges() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 1_000.0 };
+        let mut rng = crate::rng(11);
+        let arrivals = p.generate(0, 20 * NANOS_PER_SEC, &mut rng);
+        let rate = arrivals.len() as f64 / 20.0;
+        assert!((rate - 1_000.0).abs() < 30.0, "rate {rate}");
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*arrivals.last().unwrap() < 20 * NANOS_PER_SEC);
+    }
+
+    #[test]
+    fn paced_is_evenly_spaced() {
+        let p = ArrivalProcess::Paced { rate_per_sec: 10.0 };
+        let mut rng = crate::rng(12);
+        let arrivals = p.generate(0, NANOS_PER_SEC, &mut rng);
+        assert_eq!(arrivals.len(), 10);
+        assert_eq!(arrivals[1] - arrivals[0], NANOS_PER_SEC / 10);
+    }
+
+    #[test]
+    fn paced_respects_start_offset() {
+        let p = ArrivalProcess::Paced { rate_per_sec: 4.0 };
+        let mut rng = crate::rng(13);
+        let arrivals = p.generate(5 * NANOS_PER_SEC, NANOS_PER_SEC, &mut rng);
+        assert_eq!(arrivals[0], 5 * NANOS_PER_SEC);
+        assert!(arrivals.iter().all(|&t| t >= 5 * NANOS_PER_SEC));
+    }
+
+    #[test]
+    fn onoff_long_run_rate_matches_duty_cycle() {
+        let p = ArrivalProcess::OnOffBurst {
+            on_rate_per_sec: 2_000.0,
+            mean_on_secs: 0.5,
+            mean_off_secs: 1.5,
+        };
+        assert!((p.mean_rate() - 500.0).abs() < 1e-9);
+        let mut rng = crate::rng(14);
+        let arrivals = p.generate(0, 120 * NANOS_PER_SEC, &mut rng);
+        let rate = arrivals.len() as f64 / 120.0;
+        assert!((rate - 500.0).abs() < 100.0, "rate {rate}");
+    }
+
+    #[test]
+    fn onoff_is_burstier_than_poisson() {
+        // Compare the variance of per-100ms counts at equal mean rate.
+        let window = NANOS_PER_SEC / 10;
+        let count_var = |arrivals: &[u64]| {
+            let buckets = 600usize;
+            let mut counts = vec![0f64; buckets];
+            for &a in arrivals {
+                let b = (a / window) as usize;
+                if b < buckets {
+                    counts[b] += 1.0;
+                }
+            }
+            hermes_metrics::welford::stddev_of(&counts)
+        };
+        let mut rng = crate::rng(15);
+        let poisson = ArrivalProcess::Poisson { rate_per_sec: 500.0 }
+            .generate(0, 60 * NANOS_PER_SEC, &mut rng);
+        let bursty = ArrivalProcess::OnOffBurst {
+            on_rate_per_sec: 2_000.0,
+            mean_on_secs: 0.5,
+            mean_off_secs: 1.5,
+        }
+        .generate(0, 60 * NANOS_PER_SEC, &mut rng);
+        assert!(
+            count_var(&bursty) > 2.0 * count_var(&poisson),
+            "bursty {} vs poisson {}",
+            count_var(&bursty),
+            count_var(&poisson)
+        );
+    }
+
+    #[test]
+    fn empty_window_yields_no_arrivals() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 100.0 };
+        let mut rng = crate::rng(16);
+        assert!(p.generate(0, 0, &mut rng).is_empty());
+    }
+}

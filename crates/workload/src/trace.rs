@@ -1,0 +1,130 @@
+//! Workload trace serialization.
+//!
+//! The paper's Table 3 methodology is *capture and replay*: traffic from
+//! problem cases was collected and replayed at 1×/2×/3×. This module gives
+//! the workspace the same workflow — a generated (or hand-built) workload
+//! can be saved as a JSON trace, shared, and replayed bit-identically
+//! under any dispatch mode or configuration.
+
+use crate::spec::Workload;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed trace content.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Format(e) => write!(f, "trace format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Format(e)
+    }
+}
+
+/// Serialize a workload to a JSON string.
+pub fn to_json(wl: &Workload) -> Result<String, TraceError> {
+    Ok(serde_json::to_string(wl)?)
+}
+
+/// Deserialize a workload from JSON and re-seal it (sorting invariants are
+/// re-established rather than trusted).
+pub fn from_json(json: &str) -> Result<Workload, TraceError> {
+    let wl: Workload = serde_json::from_str(json)?;
+    Ok(wl.seal())
+}
+
+/// Write a workload trace to disk.
+pub fn save(wl: &Workload, path: impl AsRef<Path>) -> Result<(), TraceError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(wl)?.as_bytes())?;
+    Ok(())
+}
+
+/// Load a workload trace from disk.
+pub fn load(path: impl AsRef<Path>) -> Result<Workload, TraceError> {
+    let mut s = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut s)?;
+    from_json(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Case, CaseLoad};
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let wl = Case::Case2.workload(CaseLoad::Light, 2, 300_000_000, 11);
+        let json = to_json(&wl).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.name, wl.name);
+        assert_eq!(back.duration_ns, wl.duration_ns);
+        assert_eq!(back.conns, wl.conns);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let wl = Case::Case1.workload(CaseLoad::Light, 2, 100_000_000, 12);
+        let path = std::env::temp_dir().join("hermes_trace_test.json");
+        save(&wl, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.conns, wl.conns);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_reseals_unsorted_traces() {
+        // A hand-edited trace with out-of-order arrivals must come back
+        // sorted (the simulator requires sealed workloads).
+        let json = r#"{
+            "name": "hand",
+            "duration_ns": 1000000,
+            "conns": [
+                {"arrival_ns": 500, "flow": {"src_ip":1,"src_port":2,"dst_ip":3,"dst_port":4},
+                 "tenant": 0, "port": 4, "requests": [], "linger_ns": null},
+                {"arrival_ns": 100, "flow": {"src_ip":5,"src_port":6,"dst_ip":7,"dst_port":8},
+                 "tenant": 0, "port": 8, "requests": [], "linger_ns": null}
+            ]
+        }"#;
+        let wl = from_json(json).unwrap();
+        assert_eq!(wl.conns[0].arrival_ns, 100);
+        assert_eq!(wl.conns[1].arrival_ns, 500);
+    }
+
+    #[test]
+    fn malformed_json_is_a_format_error() {
+        match from_json("{not json") {
+            Err(TraceError::Format(_)) => {}
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        match load("/nonexistent/path/to/trace.json") {
+            Err(TraceError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The lag effect, §2.3 / Fig. 3: long-lived connections accumulate, then
+//! fire simultaneously. Connection imbalance stored under epoll exclusive
+//! becomes a sudden CPU explosion; Hermes's connection-count filter
+//! defuses it ahead of time.
+//!
+//! Run with: `cargo run --release --example surge`
+
+use hermes::prelude::*;
+use hermes::workload::scenario::{surge, SurgeConfig};
+
+fn main() {
+    let cfg = SurgeConfig::default();
+    let wl = surge(cfg, 7);
+    println!(
+        "{} long-lived connections ramp over {}s, idle {}s, then all burst in {} ms\n",
+        cfg.connections,
+        cfg.ramp_ns / 1_000_000_000,
+        cfg.quiet_ns / 1_000_000_000,
+        cfg.surge_window_ns / 1_000_000,
+    );
+    for mode in Mode::paper_trio() {
+        let r = hermes::simnet::run(&wl, SimConfig::new(8, mode));
+        // Peak per-worker CPU SD around the surge.
+        let peak_sd = r
+            .balance
+            .series
+            .iter()
+            .map(|(_, cpu, _)| *cpu)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<22} conn SD {:>6.1}   peak CPU SD {:>5.1} pp   P999 {:>8.1} ms   max {:>8.1} ms",
+            mode.name(),
+            r.balance.conn_sd.mean(),
+            peak_sd,
+            r.request_latency.p999() as f64 / 1e6,
+            r.request_latency.max() as f64 / 1e6,
+        );
+    }
+    println!("\nExclusive stores the imbalance during the quiet ramp and pays at the");
+    println!("burst (the paper measured P999 spiking from ~300us to 30ms in production);");
+    println!("Hermes spreads connections at accept time, so the burst lands evenly.");
+}
