@@ -150,7 +150,8 @@ fn ablation_filter_order(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300));
     let wst = Wst::new(32);
     for w in 0..32 {
-        wst.worker(w).enter_loop(if w % 5 == 0 { 1 } else { 1_000_000 });
+        wst.worker(w)
+            .enter_loop(if w % 5 == 0 { 1 } else { 1_000_000 });
         wst.worker(w).add_pending((w % 9) as i64);
         wst.worker(w).conn_delta((w % 4) as i64 * 10);
     }

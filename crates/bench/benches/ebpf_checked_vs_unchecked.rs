@@ -1,0 +1,78 @@
+//! Checked interpreter vs proven-safe fast path.
+//!
+//! The abstract interpreter's payoff on the per-connection critical path:
+//! the same Algorithm 2 bytecode executed (a) by the checked interpreter
+//! with pc/stack/div/shift guards on every step, and (b) by the unchecked
+//! fast path those proofs admit. Also measures single-level vs two-level
+//! (grouped) programs, and the analysis itself (a load-time, not
+//! per-connection, cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_core::WorkerBitmap;
+use hermes_ebpf::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use hermes_ebpf::{AnalysisCtx, DispatchProgram, GroupedReuseportGroup, Vm};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 64;
+const BITMAP: u64 = 0x0000_F0F0_A5A5_3C3C;
+
+/// Live maps mirroring [`hermes_ebpf::ReuseportGroup::new`].
+fn registry() -> MapRegistry {
+    let registry = MapRegistry::new();
+    let sel = Arc::new(ArrayMap::new(1));
+    sel.update(0, BITMAP);
+    registry.register(MapRef::Array(sel));
+    let socks = Arc::new(SockArrayMap::new(WORKERS));
+    for w in 0..WORKERS {
+        socks.register(w, w);
+    }
+    registry.register(MapRef::SockArray(socks));
+    registry
+}
+
+fn bench_checked_vs_unchecked(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ebpf_checked_vs_unchecked");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(300));
+
+    let prog = DispatchProgram::build(0, 1, WORKERS);
+    let maps = registry();
+    let ctx = AnalysisCtx::from_registry(&maps);
+
+    let checked = Vm::load(prog.insns().to_vec()).expect("program verifies");
+    assert!(!checked.is_fast_path());
+    g.bench_function("checked_interpreter", |b| {
+        b.iter(|| black_box(checked.run(black_box(0x1234_5678), &maps, 0).unwrap()))
+    });
+
+    let unchecked = Vm::load_analyzed(prog.insns().to_vec(), &ctx).expect("program analyzes");
+    assert!(unchecked.is_fast_path());
+    g.bench_function("proven_fast_path", |b| {
+        b.iter(|| black_box(unchecked.run(black_box(0x1234_5678), &maps, 0).unwrap()))
+    });
+
+    // Load-time cost of the proof itself (amortized over every connection
+    // the program then serves).
+    g.bench_function("analyze_dispatch_program", |b| {
+        b.iter(|| {
+            black_box(Vm::load_analyzed(black_box(prog.insns().to_vec()), &ctx).expect("analyzes"))
+        })
+    });
+
+    // Two-level program on its fast path, for scale comparison.
+    let grouped = GroupedReuseportGroup::new(4, 16);
+    for grp in 0..4 {
+        grouped.sync_group_bitmap(grp, WorkerBitmap(0xA5A5));
+    }
+    assert!(grouped.is_fast_path());
+    g.bench_function("grouped_proven_fast_path", |b| {
+        b.iter(|| black_box(grouped.dispatch(black_box(0x1234_5678))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_checked_vs_unchecked);
+criterion_main!(benches);

@@ -11,10 +11,10 @@
 //!    connection filter (events only) or the event filter (conns only).
 
 use hermes_bench::{banner, fmt, DURATION_NS, SEED, WORKERS};
+use hermes_core::sched::FilterStage;
 use hermes_metrics::table::Table;
 use hermes_simnet::{Mode, SimConfig};
 use hermes_workload::{Case, CaseLoad};
-use hermes_core::sched::FilterStage;
 
 fn run(case: Case, load: CaseLoad, tweak: impl FnOnce(&mut SimConfig)) -> (f64, f64, f64) {
     let wl = case.workload(load, WORKERS, DURATION_NS, SEED);
@@ -29,7 +29,10 @@ fn run(case: Case, load: CaseLoad, tweak: impl FnOnce(&mut SimConfig)) -> (f64, 
 }
 
 fn main() {
-    banner("Ablation (quality)", "design choices of §5.2–§5.4 on outcomes");
+    banner(
+        "Ablation (quality)",
+        "design choices of §5.2–§5.4 on outcomes",
+    );
 
     let mut t = Table::new("1) Filter order (Case 2 heavy: hang detection matters most)")
         .header(["order", "Avg ms", "P99 ms", "conn SD"]);

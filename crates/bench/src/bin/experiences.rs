@@ -19,11 +19,19 @@ use hermes_workload::distr::Zipf;
 fn issue1_round_robin() {
     println!("--- Deployment issue 1: synchronized round-robin restarts ---");
     let (workers, reqs, servers) = (16, 30, 100);
-    let mut t = Table::new("per-backend-server request counts after a list update")
-        .header(["policy", "max", "min", "SD", "servers with 0"]);
+    let mut t = Table::new("per-backend-server request counts after a list update").header([
+        "policy",
+        "max",
+        "min",
+        "SD",
+        "servers with 0",
+    ]);
     for (name, policy) in [
         ("restart at first server (bug)", RestartPolicy::FirstServer),
-        ("randomized offsets (fix)", RestartPolicy::Randomized { seed: 7 }),
+        (
+            "randomized offsets (fix)",
+            RestartPolicy::Randomized { seed: 7 },
+        ),
     ] {
         let counts = fleet_distribution(workers, reqs, servers, policy);
         let f: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
@@ -41,8 +49,11 @@ fn issue1_round_robin() {
 fn issue2_connection_pools() {
     println!("--- Deployment issue 2: backend connection reuse ---");
     let (workers, servers) = (8usize, 50usize);
-    let mut t = Table::new("upstream connection reuse under Hermes-spread traffic")
-        .header(["pool model", "reuse rate", "handshakes per 10k requests"]);
+    let mut t = Table::new("upstream connection reuse under Hermes-spread traffic").header([
+        "pool model",
+        "reuse rate",
+        "handshakes per 10k requests",
+    ]);
     for (name, model) in [
         ("per-worker pools", PoolModel::PerWorker),
         ("shared pool (fix)", PoolModel::Shared),
@@ -123,7 +134,10 @@ fn static_port_assignment() {
 }
 
 fn main() {
-    banner("Experiences", "§7 deployment issues + canary drain + port-scatter analysis");
+    banner(
+        "Experiences",
+        "§7 deployment issues + canary drain + port-scatter analysis",
+    );
     issue1_round_robin();
     issue2_connection_pools();
     canary_drain();

@@ -74,7 +74,10 @@ fn run_region(name: &str, conns_per_wave: usize, seed: u64) {
 }
 
 fn main() {
-    banner("Fig 11", "§6.2 '#Delayed probes per day before/after Hermes'");
+    banner(
+        "Fig 11",
+        "§6.2 '#Delayed probes per day before/after Hermes'",
+    );
     run_region("Region1", 1_600, 101);
     run_region("Region2", 1_200, 202);
     println!("Paper shape: delayed probes collapse by ~99%+ after Hermes replaces exclusive.");

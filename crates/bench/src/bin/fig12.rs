@@ -12,7 +12,10 @@ use hermes_core::costmodel::{peak_reduction, CostModel};
 use hermes_metrics::ascii::line_plot;
 
 fn main() {
-    banner("Fig 12", "§6.2 'Unit cost of cloud infra before/after Hermes'");
+    banner(
+        "Fig 12",
+        "§6.2 'Unit cost of cloud infra before/after Hermes'",
+    );
     let before = CostModel::before_hermes();
     let after = CostModel::after_hermes();
     // 24 months of ~8% m/m traffic growth from a mid-size region.
@@ -21,13 +24,24 @@ fn main() {
     let a = after.unit_cost_series(&traffic);
     // Normalize to the first pre-Hermes month, as the paper normalizes.
     let norm = b[0];
-    let bp: Vec<(f64, f64)> = b.iter().enumerate().map(|(m, &v)| (m as f64, v / norm)).collect();
-    let ap: Vec<(f64, f64)> = a.iter().enumerate().map(|(m, &v)| (m as f64, v / norm)).collect();
+    let bp: Vec<(f64, f64)> = b
+        .iter()
+        .enumerate()
+        .map(|(m, &v)| (m as f64, v / norm))
+        .collect();
+    let ap: Vec<(f64, f64)> = a
+        .iter()
+        .enumerate()
+        .map(|(m, &v)| (m as f64, v / norm))
+        .collect();
     println!(
         "{}",
         line_plot(
             "normalized unit cost per month (release at month 0)",
-            &[("before (30% threshold)", &bp), ("after (40% threshold)", &ap)],
+            &[
+                ("before (30% threshold)", &bp),
+                ("after (40% threshold)", &ap)
+            ],
             72,
             14,
         )

@@ -12,11 +12,18 @@ use hermes_workload::scenario::region_mix;
 use hermes_workload::CaseLoad;
 
 fn main() {
-    banner("Fig 13", "§6.2 'Load balancing performance of Hermes in production'");
+    banner(
+        "Fig 13",
+        "§6.2 'Load balancing performance of Hermes in production'",
+    );
     let region = &Region::all()[0]; // case3-rich: long-lived connections
     let wl = region_mix(region, WORKERS, CaseLoad::Medium, 2 * DURATION_NS, SEED);
-    let mut t = Table::new("Fig 13 summary: cross-worker SD (mean over sampling points)")
-        .header(["Mode", "CPU util SD (pp)", "#connections SD", "(paper CPU/conn SD)"]);
+    let mut t = Table::new("Fig 13 summary: cross-worker SD (mean over sampling points)").header([
+        "Mode",
+        "CPU util SD (pp)",
+        "#connections SD",
+        "(paper CPU/conn SD)",
+    ]);
     let paper = [("26", "3200"), ("2.7", "50"), ("2.7", "20")];
     let mut all_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for (i, mode) in Mode::paper_trio().into_iter().enumerate() {

@@ -10,7 +10,10 @@ use hermes_simnet::{Mode, SimConfig};
 use hermes_workload::{Case, CaseLoad};
 
 fn main() {
-    banner("Fig 14", "§6.2 '#Workers passing coarse-grained filtering / scheduler frequency'");
+    banner(
+        "Fig 14",
+        "§6.2 '#Workers passing coarse-grained filtering / scheduler frequency'",
+    );
     let mut t = Table::new("Fig 14: coarse-filter pass ratio and scheduler call rate vs load")
         .header([
             "Load (x Case1 light)",
@@ -36,7 +39,7 @@ fn main() {
             let mut i = 0usize;
             wl.conns.retain(|_| {
                 i += 1;
-                i % stride == 0
+                i.is_multiple_of(stride)
             });
             wl = wl.seal();
         }

@@ -39,5 +39,9 @@ fn main() {
         ]);
     }
     println!("{t}");
-    println!("best P99 at θ/Avg = {} ({} ms); paper optimum: 0.5", best.1, fmt(best.0));
+    println!(
+        "best P99 at θ/Avg = {} ({} ms); paper optimum: 0.5",
+        best.1,
+        fmt(best.0)
+    );
 }

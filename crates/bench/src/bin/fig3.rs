@@ -30,8 +30,24 @@ fn main() {
         .into_iter()
         .map(|(t, v)| (t as f64 / NANOS_PER_SEC as f64, v))
         .collect();
-    println!("{}", line_plot("#connections through port 9000 over time", &[("conns", &conns)], 72, 12));
-    println!("{}", line_plot("request rate (req/s) through port 9000", &[("rate", &reqs)], 72, 12));
+    println!(
+        "{}",
+        line_plot(
+            "#connections through port 9000 over time",
+            &[("conns", &conns)],
+            72,
+            12
+        )
+    );
+    println!(
+        "{}",
+        line_plot(
+            "request rate (req/s) through port 9000",
+            &[("rate", &reqs)],
+            72,
+            12
+        )
+    );
 
     // The amplification: cross-worker CPU SD before vs during the surge.
     let surge_at = (cfg_wl.ramp_ns + cfg_wl.quiet_ns) as f64 / NANOS_PER_SEC as f64;

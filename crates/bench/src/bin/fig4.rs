@@ -44,7 +44,12 @@ fn main() {
         .collect();
     println!(
         "{}",
-        line_plot("CDF of #events per epoll_wait (x=events, y=F)", &series, 72, 14)
+        line_plot(
+            "CDF of #events per epoll_wait (x=events, y=F)",
+            &series,
+            72,
+            14
+        )
     );
     println!("Paper shape: busy workers' CDFs sit to the right (more events per wait).");
 }

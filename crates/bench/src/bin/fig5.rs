@@ -26,7 +26,10 @@ fn cdf_points(h: &Histogram, xmax_ms: f64) -> Vec<(f64, f64)> {
 }
 
 fn main() {
-    banner("Fig 5", "§2.3 'CDF of event processing time and epoll_wait blocking time'");
+    banner(
+        "Fig 5",
+        "§2.3 'CDF of event processing time and epoll_wait blocking time'",
+    );
     let region = &Region::all()[1];
     let wl = region_mix(region, WORKERS, CaseLoad::Medium, DURATION_NS, SEED);
     let r = hermes_simnet::run(&wl, SimConfig::new(WORKERS, Mode::ExclusiveLifo));
@@ -39,8 +42,9 @@ fn main() {
         (
             "(a) event processing time per batch (ms)",
             20.0,
-            (|w: usize, r: &hermes_simnet::DeviceReport| cdf_points(&r.workers[w].batch_proc_ns, 20.0))
-                as fn(usize, &hermes_simnet::DeviceReport) -> Vec<(f64, f64)>,
+            (|w: usize, r: &hermes_simnet::DeviceReport| {
+                cdf_points(&r.workers[w].batch_proc_ns, 20.0)
+            }) as fn(usize, &hermes_simnet::DeviceReport) -> Vec<(f64, f64)>,
         ),
         (
             "(b) epoll_wait blocking time (ms; timeout = 5 ms)",

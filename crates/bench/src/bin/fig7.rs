@@ -10,7 +10,10 @@ use hermes_workload::scenario::region_mix;
 use hermes_workload::CaseLoad;
 
 fn main() {
-    banner("Fig 7", "§3 'packets evenly distributed across NIC queues, CPU unbalanced'");
+    banner(
+        "Fig 7",
+        "§3 'packets evenly distributed across NIC queues, CPU unbalanced'",
+    );
     let region = &Region::all()[1];
     let wl = region_mix(region, WORKERS, CaseLoad::Medium, DURATION_NS, SEED);
     let mut cfg = SimConfig::new(WORKERS, Mode::ExclusiveLifo);
@@ -25,7 +28,10 @@ fn main() {
         .map(|(q, &c)| (format!("queue{q}"), c as f64 / total as f64 * 100.0))
         .collect();
     let nic_refs: Vec<(&str, f64)> = nic.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-    println!("{}", bar_chart("NIC RSS packet share per queue (%)", &nic_refs, 40));
+    println!(
+        "{}",
+        bar_chart("NIC RSS packet share per queue (%)", &nic_refs, 40)
+    );
 
     let cpu: Vec<(String, f64)> = r
         .workers
@@ -34,14 +40,15 @@ fn main() {
         .map(|(w, rep)| (format!("core{w}"), rep.utilization * 100.0))
         .collect();
     let cpu_refs: Vec<(&str, f64)> = cpu.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-    println!("{}", bar_chart("CPU utilization per worker core (%)", &cpu_refs, 40));
+    println!(
+        "{}",
+        bar_chart("CPU utilization per worker core (%)", &cpu_refs, 40)
+    );
 
-    let nic_sd = hermes_metrics::welford::stddev_of(
-        &nic.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
-    );
-    let cpu_sd = hermes_metrics::welford::stddev_of(
-        &cpu.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
-    );
+    let nic_sd =
+        hermes_metrics::welford::stddev_of(&nic.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    let cpu_sd =
+        hermes_metrics::welford::stddev_of(&cpu.iter().map(|(_, v)| *v).collect::<Vec<_>>());
     println!("NIC queue share SD: {nic_sd:.2} pp   |   CPU utilization SD: {cpu_sd:.2} pp");
     println!("Paper shape: NIC bars flat, CPU bars wildly uneven (SD ratio >> 1).");
 }

@@ -9,7 +9,10 @@ use hermes_metrics::Cdf;
 use hermes_workload::scenario::rules_per_port;
 
 fn main() {
-    banner("Fig A5", "Appendix C 'CDF of #forwarding rules per port in a region'");
+    banner(
+        "Fig A5",
+        "Appendix C 'CDF of #forwarding rules per port in a region'",
+    );
     let rules = rules_per_port(20_000, 42);
     let cdf = Cdf::from_samples(rules.iter().map(|&r| r as f64));
     // Log-spaced x-axis (the figure's interesting range spans decades).
@@ -21,7 +24,12 @@ fn main() {
         .collect();
     println!(
         "{}",
-        line_plot("CDF of rules per port (x = log10 rules)", &[("cdf", &pts)], 72, 14)
+        line_plot(
+            "CDF of rules per port (x = log10 rules)",
+            &[("cdf", &pts)],
+            72,
+            14
+        )
     );
     for q in [0.5, 0.9, 0.99, 0.999] {
         println!("P{:.1}: {:.0} rules", q * 100.0, cdf.quantile(q));

@@ -8,12 +8,23 @@ use hermes_metrics::Summary;
 use hermes_workload::regions::Region;
 
 fn main() {
-    banner("Table 1", "§2.3 'Request size and processing time distributions'");
-    let mut t = Table::new("Table 1: request size (bytes) and processing time (ms), generated vs paper")
-        .header([
-            "Region", "size P50", "P90", "P99", "(paper P50/P90/P99)", "proc P50", "P90", "P99",
-            "(paper P50/P90/P99)",
-        ]);
+    banner(
+        "Table 1",
+        "§2.3 'Request size and processing time distributions'",
+    );
+    let mut t =
+        Table::new("Table 1: request size (bytes) and processing time (ms), generated vs paper")
+            .header([
+                "Region",
+                "size P50",
+                "P90",
+                "P99",
+                "(paper P50/P90/P99)",
+                "proc P50",
+                "P90",
+                "P99",
+                "(paper P50/P90/P99)",
+            ]);
     let n = 200_000;
     for (i, region) in Region::all().iter().enumerate() {
         let mut rng = hermes_workload::rng(1000 + i as u64);

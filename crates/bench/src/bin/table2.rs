@@ -14,12 +14,21 @@ use hermes_workload::scenario::region_mix;
 use hermes_workload::CaseLoad;
 
 fn main() {
-    banner("Table 2", "§2.3 'CPU utilization imbalance ... 363 L7 LB devices'");
+    banner(
+        "Table 2",
+        "§2.3 'CPU utilization imbalance ... 363 L7 LB devices'",
+    );
     let region = &Region::all()[1]; // Region2, as in the paper
     let devices = 12;
     let mut per_device: Vec<(usize, f64, f64, f64)> = Vec::new(); // (id, max, min, avg)
     for d in 0..devices {
-        let wl = region_mix(region, WORKERS, CaseLoad::Light, DURATION_NS, 7_000 + d as u64);
+        let wl = region_mix(
+            region,
+            WORKERS,
+            CaseLoad::Light,
+            DURATION_NS,
+            7_000 + d as u64,
+        );
         let r = hermes_simnet::run(&wl, SimConfig::new(WORKERS, Mode::ExclusiveLifo));
         let utils = r.cpu_utilizations();
         let max = utils.iter().cloned().fold(f64::MIN, f64::max) * 100.0;

@@ -16,8 +16,8 @@ fn main() {
     let modes = Mode::paper_trio();
     let mut table = Table::new("Table 3: per-case performance (Avg ms / P99 ms / Thr kRPS)")
         .header([
-            "Case", "Mode", "L.Avg", "L.P99", "L.Thr", "M.Avg", "M.P99", "M.Thr", "H.Avg",
-            "H.P99", "H.Thr",
+            "Case", "Mode", "L.Avg", "L.P99", "L.Thr", "M.Avg", "M.P99", "M.Thr", "H.Avg", "H.P99",
+            "H.Thr",
         ]);
 
     for case in Case::all() {
@@ -38,7 +38,11 @@ fn main() {
         }
         for (mi, mode) in modes.into_iter().enumerate() {
             let mut row = vec![
-                if mi == 0 { case.name().to_string() } else { String::new() },
+                if mi == 0 {
+                    case.name().to_string()
+                } else {
+                    String::new()
+                },
                 mode.name().to_string(),
             ];
             for per_mode in &results {
@@ -55,5 +59,7 @@ fn main() {
         }
     }
     println!("{table}");
-    println!("(x) = >50% worse Avg latency or >20% lower throughput than the best mode at that load.");
+    println!(
+        "(x) = >50% worse Avg latency or >20% lower throughput than the best mode at that load."
+    );
 }

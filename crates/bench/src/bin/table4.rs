@@ -13,7 +13,10 @@ use hermes_workload::regions::{average_case_mix, Region};
 use hermes_workload::Case;
 
 fn main() {
-    banner("Table 4", "§6.2 'Distribution of 4 cases in Table 3 across regions'");
+    banner(
+        "Table 4",
+        "§6.2 'Distribution of 4 cases in Table 3 across regions'",
+    );
     let mut t = Table::new("Table 4: case mix per region (empirical % over 100k draws | paper %)")
         .header(["", "Region1", "Region2", "Region3", "Region4", "Avg"]);
     let regions = Region::all();

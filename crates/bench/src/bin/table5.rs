@@ -26,14 +26,24 @@ fn run_load(label: &str, cps: u64, secs: u64) -> (String, [f64; 4], f64) {
         std::thread::sleep(gap);
     }
     let report = rt.shutdown();
-    let pct = report.overhead.as_cpu_percent(report.workers, report.wall_ns);
+    let pct = report
+        .overhead
+        .as_cpu_percent(report.workers, report.wall_ns);
     (label.to_string(), pct, report.sched_rate())
 }
 
 fn main() {
-    banner("Table 5", "§6.2 'Overhead (CPU utilization) of Hermes components'");
+    banner(
+        "Table 5",
+        "§6.2 'Overhead (CPU utilization) of Hermes components'",
+    );
     let mut t = Table::new("Table 5: Hermes component overhead (% of total worker CPU)").header([
-        "Load", "Counter", "Scheduler", "System call", "Dispatcher", "sched calls/s",
+        "Load",
+        "Counter",
+        "Scheduler",
+        "System call",
+        "Dispatcher",
+        "sched calls/s",
     ]);
     for (label, cps) in [("Light", 500u64), ("Medium", 2_000), ("Heavy", 6_000)] {
         let (l, pct, rate) = run_load(label, cps, 3);

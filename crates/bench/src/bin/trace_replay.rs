@@ -26,7 +26,10 @@ fn compress(wl: &Workload, speedup: u64) -> Workload {
 }
 
 fn main() {
-    banner("Trace replay", "§6.2 methodology: capture, save, replay at 1x/2x/3x");
+    banner(
+        "Trace replay",
+        "§6.2 methodology: capture, save, replay at 1x/2x/3x",
+    );
     let captured = Case::Case2.workload(CaseLoad::Light, WORKERS, 10_000_000_000, 1234);
     let path = std::env::temp_dir().join("hermes_case2_capture.json");
     trace::save(&captured, &path).expect("save trace");
@@ -37,7 +40,10 @@ fn main() {
         path.display(),
         std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
     );
-    assert_eq!(loaded.conns, captured.conns, "trace round-trip must be exact");
+    assert_eq!(
+        loaded.conns, captured.conns,
+        "trace round-trip must be exact"
+    );
 
     let mut t = Table::new("replayed trace: Avg latency ms (1x / 2x / 3x)")
         .header(["Mode", "1x", "2x", "3x"]);

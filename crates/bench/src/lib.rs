@@ -60,7 +60,10 @@ pub fn flag(v: f64, flagged: bool) -> String {
 pub fn banner(id: &str, paper_ref: &str) {
     println!("==================================================================");
     println!("{id} — reproducing {paper_ref}");
-    println!("workers/device = {WORKERS}, horizon = {}s, seed = {SEED}", DURATION_NS / NANOS_PER_SEC);
+    println!(
+        "workers/device = {WORKERS}, horizon = {}s, seed = {SEED}",
+        DURATION_NS / NANOS_PER_SEC
+    );
     println!("==================================================================");
 }
 

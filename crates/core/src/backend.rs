@@ -38,10 +38,7 @@ impl RoundRobin {
     /// A distributor over `servers` backends, cursor at 0.
     pub fn new(servers: usize) -> Self {
         assert!(servers >= 1, "need at least one backend server");
-        Self {
-            servers,
-            cursor: 0,
-        }
+        Self { servers, cursor: 0 }
     }
 
     /// Number of servers in the current list.
@@ -280,10 +277,7 @@ mod tests {
         };
         let per_worker = run(PoolModel::PerWorker);
         let shared = run(PoolModel::Shared);
-        assert!(
-            shared > 0.8,
-            "shared pool reuse {shared} should be high"
-        );
+        assert!(shared > 0.8, "shared pool reuse {shared} should be high");
         assert!(
             per_worker < 0.4,
             "per-worker reuse {per_worker} should collapse under spreading"

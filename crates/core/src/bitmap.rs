@@ -21,6 +21,12 @@ use crate::WorkerId;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct WorkerBitmap(pub u64);
 
+/// Workers a single bitmap word can carry — the §7 scaling limit that
+/// forces grouped (two-level) dispatch beyond one atomic `u64`. Shared by
+/// the native dispatcher and the eBPF program emitters so their group-size
+/// asserts cannot drift apart.
+pub const MAX_WORKERS_PER_GROUP: usize = 64;
+
 impl WorkerBitmap {
     /// The empty set.
     pub const EMPTY: WorkerBitmap = WorkerBitmap(0);
@@ -28,8 +34,11 @@ impl WorkerBitmap {
     /// A bitmap with workers `0..n` all set (`Array2INT` of a full worker
     /// list).
     pub fn all(n: usize) -> Self {
-        assert!(n <= 64, "bitmap holds at most 64 workers");
-        if n == 64 {
+        assert!(
+            n <= MAX_WORKERS_PER_GROUP,
+            "bitmap holds at most {MAX_WORKERS_PER_GROUP} workers"
+        );
+        if n == MAX_WORKERS_PER_GROUP {
             WorkerBitmap(u64::MAX)
         } else {
             WorkerBitmap((1u64 << n) - 1)

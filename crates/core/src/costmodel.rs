@@ -46,7 +46,10 @@ impl CostModel {
     /// VMs required to carry `traffic` while keeping average CPU at or
     /// below the safety threshold.
     pub fn vms_required(&self, traffic: f64) -> u32 {
-        assert!(traffic >= 0.0 && traffic.is_finite(), "traffic must be finite");
+        assert!(
+            traffic >= 0.0 && traffic.is_finite(),
+            "traffic must be finite"
+        );
         assert!(
             self.safety_threshold > 0.0 && self.safety_threshold <= 1.0,
             "safety threshold must be a fraction"

@@ -215,9 +215,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "watermark")]
     fn rejects_bad_watermark() {
-        DegradeMonitor::new(1, DegradeConfig {
-            cpu_high_watermark: 1.5,
-            ..DegradeConfig::default()
-        });
+        DegradeMonitor::new(
+            1,
+            DegradeConfig {
+                cpu_high_watermark: 1.5,
+                ..DegradeConfig::default()
+            },
+        );
     }
 }

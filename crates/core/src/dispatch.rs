@@ -15,7 +15,7 @@
 //! `hermes-ebpf` executes the same logic as verified bytecode;
 //! [`ConnDispatcher::select`] is the semantics oracle it is tested against.
 
-use crate::bitmap::WorkerBitmap;
+use crate::bitmap::{WorkerBitmap, MAX_WORKERS_PER_GROUP};
 use crate::hash::reciprocal_scale;
 use crate::WorkerId;
 
@@ -73,7 +73,10 @@ impl ConnDispatcher {
 
     /// Dispatcher with a custom candidate guard (ablations).
     pub fn with_min_candidates(workers: usize, min_candidates: u32) -> Self {
-        assert!((1..=64).contains(&workers), "1..=64 workers per group");
+        assert!(
+            (1..=MAX_WORKERS_PER_GROUP).contains(&workers),
+            "1..=64 workers per group"
+        );
         Self {
             workers,
             min_candidates,

@@ -78,7 +78,7 @@ pub mod selmap;
 pub mod status;
 pub mod wst;
 
-pub use bitmap::WorkerBitmap;
+pub use bitmap::{WorkerBitmap, MAX_WORKERS_PER_GROUP};
 pub use dispatch::ConnDispatcher;
 pub use hash::FlowKey;
 pub use sched::{FilterStage, SchedConfig, SchedDecision, Scheduler};
@@ -89,7 +89,3 @@ pub use wst::Wst;
 
 /// Identifies a worker within one LB device (dense, 0-based).
 pub type WorkerId = usize;
-
-/// Maximum workers representable by the single-level 64-bit bitmap sync
-/// (§5.3.2); larger deployments use [`group::GroupScheduler`].
-pub const MAX_WORKERS_PER_GROUP: usize = 64;

@@ -36,7 +36,10 @@ pub struct AttackDetector {
 impl AttackDetector {
     /// Build a detector.
     pub fn new(alpha: f64, spike_factor: f64, min_rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha in (0,1]"
+        );
         assert!(spike_factor > 1.0, "spike factor must exceed 1");
         assert!(min_rate >= 0.0, "min rate must be non-negative");
         Self {

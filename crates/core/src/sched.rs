@@ -137,12 +137,10 @@ impl Scheduler {
                     alive = selected;
                 }
                 FilterStage::Connections => {
-                    selected =
-                        self.filter_count(snapshot, selected, |s| s.connections as f64);
+                    selected = self.filter_count(snapshot, selected, |s| s.connections as f64);
                 }
                 FilterStage::PendingEvents => {
-                    selected =
-                        self.filter_count(snapshot, selected, |s| s.pending_events as f64);
+                    selected = self.filter_count(snapshot, selected, |s| s.pending_events as f64);
                 }
             }
         }

@@ -175,8 +175,12 @@ mod tests {
         }
         wst.worker(2).conn_delta(100);
         let sel = Arc::new(SelMap::new());
-        let mut s =
-            WorkerSession::new(Arc::clone(&wst), 0, SchedConfig::default(), Arc::clone(&sel));
+        let mut s = WorkerSession::new(
+            Arc::clone(&wst),
+            0,
+            SchedConfig::default(),
+            Arc::clone(&sel),
+        );
         let d = s.schedule_and_sync(1_100_000);
         assert_eq!(sel.load(), d.bitmap);
         assert!(!sel.load().contains(2));
@@ -204,7 +208,12 @@ mod tests {
         let sel = Arc::new(SelMap::new());
         let sessions: Vec<_> = (0..4)
             .map(|w| {
-                WorkerSession::new(Arc::clone(&wst), w, SchedConfig::default(), Arc::clone(&sel))
+                WorkerSession::new(
+                    Arc::clone(&wst),
+                    w,
+                    SchedConfig::default(),
+                    Arc::clone(&sel),
+                )
             })
             .collect();
         for s in &sessions {

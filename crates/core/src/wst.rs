@@ -124,9 +124,10 @@ mod tests {
         wst.worker(0).enter_loop(9);
         wst.worker(1).conn_delta(3);
         wst.reset();
-        assert!(wst.snapshot().iter().all(|s| s.loop_enter_ns == 0
-            && s.pending_events == 0
-            && s.connections == 0));
+        assert!(wst
+            .snapshot()
+            .iter()
+            .all(|s| s.loop_enter_ns == 0 && s.pending_events == 0 && s.connections == 0));
     }
 
     #[test]

@@ -11,34 +11,16 @@
 //! `fd = sel_base + reciprocal_scale(hash, groups)` — and likewise for
 //! the per-group sockarrays. Everything else is the Algorithm 2 ladder.
 
+use crate::analysis::{AnalysisCtx, AnalysisReport};
 use crate::asm::Assembler;
 use crate::helpers::{HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE, HELPER_SK_SELECT_REUSEPORT};
 use crate::insn::{Alu, Cond, Insn, Reg};
 use crate::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use crate::program::emit_popcount;
 use crate::vm::Vm;
 use hermes_core::bitmap::WorkerBitmap;
 use hermes_core::hash::reciprocal_scale;
 use std::sync::Arc;
-
-/// Emit SWAR popcount of `x` in place, clobbering `scratch` (same kernel
-/// as the single-level program).
-fn emit_popcount(a: &mut Assembler, x: Reg, scratch: Reg) {
-    a.mov(scratch, x);
-    a.alu_imm(Alu::Rsh, scratch, 1);
-    a.alu_imm(Alu::And, scratch, 0x5555_5555_5555_5555u64 as i64);
-    a.alu(Alu::Sub, x, scratch);
-    a.mov(scratch, x);
-    a.alu_imm(Alu::Rsh, scratch, 2);
-    a.alu_imm(Alu::And, scratch, 0x3333_3333_3333_3333u64 as i64);
-    a.alu_imm(Alu::And, x, 0x3333_3333_3333_3333u64 as i64);
-    a.alu(Alu::Add, x, scratch);
-    a.mov(scratch, x);
-    a.alu_imm(Alu::Rsh, scratch, 4);
-    a.alu(Alu::Add, x, scratch);
-    a.alu_imm(Alu::And, x, 0x0f0f_0f0f_0f0f_0f0fu64 as i64);
-    a.alu_imm(Alu::Mul, x, 0x0101_0101_0101_0101u64 as i64);
-    a.alu_imm(Alu::Rsh, x, 56);
-}
 
 /// Outcome of a grouped dispatch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,7 +62,7 @@ impl GroupedReuseportGroup {
     pub fn new(groups: usize, group_size: usize) -> Self {
         assert!(groups >= 1, "need at least one group");
         assert!(
-            (1..=64).contains(&group_size),
+            (1..=hermes_core::MAX_WORKERS_PER_GROUP).contains(&group_size),
             "group size must be 1..=64"
         );
         let registry = MapRegistry::new();
@@ -102,7 +84,12 @@ impl GroupedReuseportGroup {
             sock_maps.push(m);
         }
         let prog = Self::build_program(groups, group_size);
-        let vm = Vm::load(prog).expect("grouped dispatch program must verify");
+        let ctx = AnalysisCtx::from_registry(&registry);
+        let vm = Vm::load_analyzed(prog, &ctx).expect("grouped dispatch program must analyze");
+        assert!(
+            vm.is_fast_path(),
+            "grouped dispatch program must be proven clean for the fast path"
+        );
         Self {
             registry,
             sel_maps,
@@ -117,13 +104,23 @@ impl GroupedReuseportGroup {
     ///
     /// Register plan: R6 = hash, R7 = bitmap, R8 = n/pos, R9 = rank,
     /// and the computed group index parked in stack slot [fp-8].
+    ///
+    /// As in the single-level program, a group size of one makes the
+    /// `n > 1` guard unsatisfiable, so the fallback is emitted directly
+    /// rather than shipping provably dead code.
     fn build_program(groups: usize, group_size: usize) -> Vec<Insn> {
+        if group_size == 1 {
+            let mut a = Assembler::new();
+            a.mov_imm(Reg::R0, 0);
+            a.exit();
+            return a.finish();
+        }
         let group_mask = WorkerBitmap::all(group_size).0;
         let mut a = Assembler::new();
         let fallback = a.label();
 
         a.mov(Reg::R6, Reg::R1); // hash
-        // Level 1: g = reciprocal_scale(hash, groups); park it on the stack.
+                                 // Level 1: g = reciprocal_scale(hash, groups); park it on the stack.
         a.mov(Reg::R1, Reg::R6);
         a.mov_imm(Reg::R2, groups as i64);
         a.call(HELPER_RECIPROCAL_SCALE);
@@ -180,6 +177,22 @@ impl GroupedReuseportGroup {
     /// Groups in the deployment.
     pub fn groups(&self) -> usize {
         self.groups
+    }
+
+    /// The analysis report the attached program was admitted under.
+    pub fn analysis(&self) -> &AnalysisReport {
+        self.vm.analysis().expect("loaded via load_analyzed")
+    }
+
+    /// The attached bytecode.
+    pub fn program(&self) -> &[crate::insn::Insn] {
+        self.vm.program()
+    }
+
+    /// True when dispatch runs on the proven-safe fast path (always, by
+    /// construction).
+    pub fn is_fast_path(&self) -> bool {
+        self.vm.is_fast_path()
     }
 
     /// Workers per group.

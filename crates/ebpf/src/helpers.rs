@@ -41,6 +41,109 @@ pub const KNOWN_HELPERS: [u32; 4] = [
     HELPER_KTIME_GET_NS,
 ];
 
+/// Static type of one helper argument, as the kernel's `bpf_func_proto`
+/// `arg_type` array declares them. The abstract-interpretation pass
+/// ([`crate::analysis`]) checks call sites against these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArgKind {
+    /// Argument ignored by the helper; any register state is acceptable.
+    Unused,
+    /// Plain scalar value.
+    Scalar,
+    /// File descriptor of a `BPF_MAP_TYPE_ARRAY` map. When `strict_key` is
+    /// set the *next* argument is an element index that must be statically
+    /// proven in bounds for every map the fd range can name (mirroring the
+    /// kernel verifier's treatment of direct array-value pointers).
+    ArrayFd {
+        /// Whether the companion key argument requires a bounds proof.
+        strict_key: bool,
+    },
+    /// File descriptor of a `BPF_MAP_TYPE_REUSEPORT_SOCKARRAY`. The socket
+    /// index is runtime-checked by the helper itself (out-of-range or empty
+    /// slots return `-ENOENT`, as in the kernel), so no static key proof is
+    /// demanded — but one is recorded as a fact when it holds.
+    SockArrayFd,
+    /// Element index for the preceding map-fd argument.
+    MapKey,
+}
+
+/// How the abstract interpreter models a helper's return value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetKind {
+    /// Arbitrary 64-bit scalar (e.g. a map element chosen by userspace).
+    AnyScalar,
+    /// `reciprocal_scale` contract: result is in `[0, range-1]` for the
+    /// u32-truncated second argument `range` (and 0 when `range == 0`).
+    ScaledBySecondArg,
+    /// Either 0 (success) or `-ENOENT` ([`ENOENT_RET`]).
+    StatusOrEnoent,
+}
+
+/// A helper's static signature — the analysis-facing analogue of the
+/// kernel's `bpf_func_proto`.
+#[derive(Clone, Copy, Debug)]
+pub struct HelperSig {
+    /// Helper id ([`HELPER_MAP_LOOKUP`], ...).
+    pub helper: u32,
+    /// Kernel-style name, for diagnostics.
+    pub name: &'static str,
+    /// Types of R1..R5 at the call site.
+    pub args: [ArgKind; 5],
+    /// Return-value model.
+    pub ret: RetKind,
+}
+
+/// Signatures of every exported helper, indexed by the analysis pass.
+pub const HELPER_SIGNATURES: [HelperSig; 4] = [
+    HelperSig {
+        helper: HELPER_MAP_LOOKUP,
+        name: "bpf_map_lookup_elem",
+        args: [
+            ArgKind::ArrayFd { strict_key: true },
+            ArgKind::MapKey,
+            ArgKind::Unused,
+            ArgKind::Unused,
+            ArgKind::Unused,
+        ],
+        ret: RetKind::AnyScalar,
+    },
+    HelperSig {
+        helper: HELPER_RECIPROCAL_SCALE,
+        name: "reciprocal_scale",
+        args: [
+            ArgKind::Scalar,
+            ArgKind::Scalar,
+            ArgKind::Unused,
+            ArgKind::Unused,
+            ArgKind::Unused,
+        ],
+        ret: RetKind::ScaledBySecondArg,
+    },
+    HelperSig {
+        helper: HELPER_SK_SELECT_REUSEPORT,
+        name: "bpf_sk_select_reuseport",
+        args: [
+            ArgKind::SockArrayFd,
+            ArgKind::MapKey,
+            ArgKind::Unused,
+            ArgKind::Unused,
+            ArgKind::Unused,
+        ],
+        ret: RetKind::StatusOrEnoent,
+    },
+    HelperSig {
+        helper: HELPER_KTIME_GET_NS,
+        name: "bpf_ktime_get_ns",
+        args: [ArgKind::Unused; 5],
+        ret: RetKind::AnyScalar,
+    },
+];
+
+/// Look up the signature for a helper id.
+pub fn signature(helper: u32) -> Option<&'static HelperSig> {
+    HELPER_SIGNATURES.iter().find(|s| s.helper == helper)
+}
+
 /// Mutable per-execution state helpers may act on.
 #[derive(Debug, Default)]
 pub struct HelperCtx {
@@ -63,10 +166,7 @@ pub fn call_helper(
         HELPER_MAP_LOOKUP => {
             let fd = args[0] as u32;
             let key = args[1] as usize;
-            Ok(maps
-                .array(fd)
-                .and_then(|m| m.lookup(key))
-                .unwrap_or(0))
+            Ok(maps.array(fd).and_then(|m| m.lookup(key)).unwrap_or(0))
         }
         HELPER_RECIPROCAL_SCALE => {
             let val = args[0] as u32;
@@ -90,6 +190,52 @@ pub fn call_helper(
         }
         HELPER_KTIME_GET_NS => Ok(ctx.now_ns),
         other => Err(UnknownHelper(other)),
+    }
+}
+
+/// Helper dispatch for the proven-safe VM fast path.
+///
+/// Callable only for programs whose [`crate::analysis`] report is clean:
+/// the array-map fd is then known to be bound and the element index proven
+/// in bounds, so the `Option` plumbing of the checked path is replaced by
+/// direct indexing ([`crate::maps::ArrayMap::lookup_fast`]). Socket
+/// selection keeps its runtime check — `-ENOENT` on an empty slot is part
+/// of Algorithm 2's semantics (worker crash ⇒ fallback), not a verifier
+/// responsibility.
+#[inline]
+pub fn call_helper_fast(
+    helper: u32,
+    args: [u64; 5],
+    maps: &MapRegistry,
+    ctx: &mut HelperCtx,
+) -> u64 {
+    match helper {
+        HELPER_MAP_LOOKUP => maps
+            .array(args[0] as u32)
+            .expect("analysis proved the array fd bound")
+            .lookup_fast(args[1] as usize),
+        HELPER_RECIPROCAL_SCALE => {
+            let val = args[0] as u32;
+            let range = args[1] as u32;
+            if range == 0 {
+                0
+            } else {
+                (val as u64 * range as u64) >> 32
+            }
+        }
+        HELPER_SK_SELECT_REUSEPORT => {
+            let fd = args[0] as u32;
+            let key = args[1] as usize;
+            match maps.sockarray(fd).and_then(|m| m.lookup(key)) {
+                Some(sock) => {
+                    ctx.selected_sock = Some(sock);
+                    0
+                }
+                None => ENOENT_RET,
+            }
+        }
+        HELPER_KTIME_GET_NS => ctx.now_ns,
+        other => unreachable!("verifier admits only known helpers, got {other}"),
     }
 }
 

@@ -128,13 +128,7 @@ impl Alu {
             Alu::Arsh => ((dst as i64) >> (src & 63)) as u64,
             // BPF runtime semantics (since v5.x the verifier patches in
             // these totalizing behaviours rather than trapping):
-            Alu::Div => {
-                if src == 0 {
-                    0
-                } else {
-                    dst / src
-                }
-            }
+            Alu::Div => dst.checked_div(src).unwrap_or(0),
             Alu::Mod => {
                 if src == 0 {
                     dst
@@ -142,6 +136,32 @@ impl Alu {
                     dst % src
                 }
             }
+        }
+    }
+
+    /// Apply the operation with the totalizing guards elided: plain
+    /// division/modulo and unmasked shifts.
+    ///
+    /// Only sound when [`crate::analysis`] has proven, for this exact
+    /// instruction, that divisors are nonzero and shift amounts are `< 64`
+    /// — the proven-safe fast path of [`crate::vm::Vm`]. This stays safe
+    /// Rust: a violated proof panics (division by zero, debug-mode shift
+    /// overflow) instead of corrupting state.
+    #[inline]
+    pub fn eval_unchecked(self, dst: u64, src: u64) -> u64 {
+        match self {
+            Alu::Mov => src,
+            Alu::Add => dst.wrapping_add(src),
+            Alu::Sub => dst.wrapping_sub(src),
+            Alu::Mul => dst.wrapping_mul(src),
+            Alu::And => dst & src,
+            Alu::Or => dst | src,
+            Alu::Xor => dst ^ src,
+            Alu::Lsh => dst << src,
+            Alu::Rsh => dst >> src,
+            Alu::Arsh => ((dst as i64) >> src) as u64,
+            Alu::Div => dst / src,
+            Alu::Mod => dst % src,
         }
     }
 }

@@ -44,6 +44,7 @@
 //!   pointer to `sk_reuseport_md`; the hash is the only context field the
 //!   dispatch program reads.
 
+pub mod analysis;
 pub mod asm;
 pub mod disasm;
 pub mod group_program;
@@ -54,10 +55,11 @@ pub mod program;
 pub mod verifier;
 pub mod vm;
 
-pub use asm::Assembler;
-pub use insn::{Insn, Op, Reg};
-pub use maps::{ArrayMap, MapRegistry, SockArrayMap};
+pub use analysis::{analyze, AnalysisCtx, AnalysisError, AnalysisReport};
+pub use asm::{parse_listing, Assembler, ParseError};
 pub use group_program::GroupedReuseportGroup;
+pub use insn::{Insn, Op, Reg};
+pub use maps::{ArrayMap, MapKind, MapRegistry, SockArrayMap};
 pub use program::{DispatchProgram, ReuseportGroup};
 pub use verifier::{verify, VerifyError};
 pub use vm::{ExecError, ExecResult, Vm};

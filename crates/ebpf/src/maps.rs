@@ -42,6 +42,16 @@ impl ArrayMap {
         self.elems.get(key).map(|e| e.load(Ordering::Acquire))
     }
 
+    /// `bpf_map_lookup_elem` on the proven-safe fast path: the analysis
+    /// pass has shown `key < len()` for every execution, so the `Option`
+    /// branch of [`lookup`](Self::lookup) is elided. Safe Rust indexing is
+    /// kept — a violated proof panics loudly instead of reading stray
+    /// memory.
+    #[inline]
+    pub fn lookup_fast(&self, key: usize) -> u64 {
+        self.elems[key].load(Ordering::Acquire)
+    }
+
     /// `bpf_map_update_elem` from userspace: store `value` at `key`.
     /// Returns false when the key is out of range.
     #[inline]
@@ -123,6 +133,24 @@ pub enum MapRef {
     SockArray(Arc<SockArrayMap>),
 }
 
+/// Map type tag, as the static analysis sees it (`BPF_MAP_TYPE_*`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapKind {
+    /// `BPF_MAP_TYPE_ARRAY`.
+    Array,
+    /// `BPF_MAP_TYPE_REUSEPORT_SOCKARRAY`.
+    SockArray,
+}
+
+impl std::fmt::Display for MapKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapKind::Array => write!(f, "array"),
+            MapKind::SockArray => write!(f, "sockarray"),
+        }
+    }
+}
+
 /// Map registry: fd → map, as the kernel's fd table would resolve map
 /// references inside a loaded program.
 #[derive(Debug, Default)]
@@ -162,6 +190,22 @@ impl MapRegistry {
             MapRef::SockArray(m) => Some(m),
             MapRef::Array(_) => None,
         }
+    }
+
+    /// Snapshot `(fd, kind, size)` for every registered map — the layout
+    /// the abstract interpreter binds program analysis against. Sizes are
+    /// fixed at map creation (as in the kernel), so the snapshot stays
+    /// valid for the registry's lifetime.
+    pub fn layout(&self) -> Vec<(u32, MapKind, usize)> {
+        self.maps
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(fd, m)| match m {
+                MapRef::Array(a) => (fd as u32, MapKind::Array, a.len()),
+                MapRef::SockArray(s) => (fd as u32, MapKind::SockArray, s.len()),
+            })
+            .collect()
     }
 }
 

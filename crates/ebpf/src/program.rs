@@ -19,10 +19,11 @@
 //! popcount and a six-rung forward-branching rank-select ladder, and the
 //! whole program passes this crate's verifier.
 
+use crate::analysis::{analyze, AnalysisCtx, AnalysisReport};
 use crate::asm::Assembler;
 use crate::helpers::{HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE, HELPER_SK_SELECT_REUSEPORT};
 use crate::insn::{Alu, Cond, Insn, Reg};
-use crate::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use crate::maps::{ArrayMap, MapKind, MapRef, MapRegistry, SockArrayMap};
 use crate::vm::Vm;
 use hermes_core::bitmap::WorkerBitmap;
 use hermes_core::dispatch::DispatchOutcome;
@@ -31,7 +32,8 @@ use hermes_core::WorkerId;
 use std::sync::Arc;
 
 /// Emit SWAR popcount of `x` into `x` itself, using `scratch` (clobbered).
-fn emit_popcount(a: &mut Assembler, x: Reg, scratch: Reg) {
+/// Shared with the two-level program in [`crate::group_program`].
+pub(crate) fn emit_popcount(a: &mut Assembler, x: Reg, scratch: Reg) {
     // x -= (x >> 1) & 0x5555...
     a.mov(scratch, x);
     a.alu_imm(Alu::Rsh, scratch, 1);
@@ -53,10 +55,13 @@ fn emit_popcount(a: &mut Assembler, x: Reg, scratch: Reg) {
     a.alu_imm(Alu::Rsh, x, 56);
 }
 
-/// A built (and buildable) dispatch program.
+/// A built (and buildable) dispatch program, carrying the proof of its own
+/// safety: the [`AnalysisReport`] produced against the map layout it was
+/// assembled for.
 #[derive(Clone, Debug)]
 pub struct DispatchProgram {
     insns: Vec<Insn>,
+    report: AnalysisReport,
 }
 
 impl DispatchProgram {
@@ -66,8 +71,27 @@ impl DispatchProgram {
     ///
     /// Register plan: R6 = hash, R7 = bitmap C, R8 = n then pos,
     /// R9 = remaining rank r, R2/R3 = scratch.
+    ///
+    /// For a single-worker group the `n > 1` guard can never pass (the
+    /// masked bitmap has at most one set bit), so the fallback program is
+    /// emitted directly — the abstract interpreter would otherwise prove
+    /// everything below the guard dead.
     pub fn build(sel_fd: u32, sock_fd: u32, workers: usize) -> Self {
-        assert!((1..=64).contains(&workers), "1..=64 workers per group");
+        assert!(
+            (1..=hermes_core::MAX_WORKERS_PER_GROUP).contains(&workers),
+            "1..=64 workers per group"
+        );
+        let ctx = AnalysisCtx::new().bind(sel_fd, MapKind::Array, 1).bind(
+            sock_fd,
+            MapKind::SockArray,
+            workers,
+        );
+        if workers == 1 {
+            let mut a = Assembler::new();
+            a.mov_imm(Reg::R0, 0);
+            a.exit();
+            return Self::finish(a, &ctx);
+        }
         let group_mask = WorkerBitmap::all(workers).0;
         let mut a = Assembler::new();
         let fallback = a.label();
@@ -132,12 +156,33 @@ impl DispatchProgram {
         a.mov_imm(Reg::R0, 0);
         a.exit();
 
-        Self { insns: a.finish() }
+        Self::finish(a, &ctx)
+    }
+
+    /// Run the abstract interpreter over the freshly assembled program.
+    /// Any failure or warning is a bug in this emitter, not in user input,
+    /// so it panics — the compile-time analogue of `BPF_PROG_LOAD` refusing
+    /// our own program.
+    fn finish(a: Assembler, ctx: &AnalysisCtx) -> Self {
+        let insns = a.finish();
+        let report = analyze(&insns, ctx).expect("dispatch program must analyze");
+        assert!(
+            report.is_clean(),
+            "dispatch program must be warning-free:\n{}",
+            report.render(&insns)
+        );
+        Self { insns, report }
     }
 
     /// The instruction stream (for loading into a [`Vm`] or inspection).
     pub fn insns(&self) -> &[Insn] {
         &self.insns
+    }
+
+    /// The proven facts and warnings for this program (always clean, by
+    /// construction).
+    pub fn analysis(&self) -> &AnalysisReport {
+        &self.report
     }
 
     /// Instruction count — the paper's "avoid making eBPF programs overly
@@ -191,7 +236,15 @@ impl ReuseportGroup {
             sock_map.register(w, w);
         }
         let prog = DispatchProgram::build(sel_fd, sock_fd, workers);
-        let vm = Vm::load(prog.insns).expect("dispatch program must verify");
+        // Re-analyze against the *live* registry (not the layout `build`
+        // assumed) and load: clean proof ⇒ the VM runs the unchecked fast
+        // path for every connection.
+        let ctx = AnalysisCtx::from_registry(&registry);
+        let vm = Vm::load_analyzed(prog.insns, &ctx).expect("dispatch program must analyze");
+        assert!(
+            vm.is_fast_path(),
+            "dispatch program must be proven clean for the fast path"
+        );
         Self {
             registry,
             sel_map,
@@ -199,6 +252,22 @@ impl ReuseportGroup {
             vm,
             workers,
         }
+    }
+
+    /// The analysis report the attached program was admitted under.
+    pub fn analysis(&self) -> &AnalysisReport {
+        self.vm.analysis().expect("loaded via load_analyzed")
+    }
+
+    /// The attached bytecode.
+    pub fn program(&self) -> &[Insn] {
+        self.vm.program()
+    }
+
+    /// True when dispatch runs on the proven-safe fast path (always, by
+    /// construction).
+    pub fn is_fast_path(&self) -> bool {
+        self.vm.is_fast_path()
     }
 
     /// Workers (sockets) in the group.
@@ -269,7 +338,11 @@ mod tests {
         for workers in [1usize, 2, 7, 32, 63, 64] {
             let prog = DispatchProgram::build(0, 1, workers);
             assert!(verify(prog.insns()).is_ok(), "workers={workers}");
-            assert!(prog.len() < 256, "program unexpectedly large: {}", prog.len());
+            assert!(
+                prog.len() < 256,
+                "program unexpectedly large: {}",
+                prog.len()
+            );
         }
     }
 

@@ -198,10 +198,9 @@ pub fn verify(prog: &[Insn]) -> Result<(), VerifyError> {
             Op::StxStack { off, .. } => {
                 stack_slot(at, off)?;
             }
-            Op::Call { helper }
-                if !KNOWN_HELPERS.contains(&helper) => {
-                    return Err(VerifyError::UnknownHelper { at, helper });
-                }
+            Op::Call { helper } if !KNOWN_HELPERS.contains(&helper) => {
+                return Err(VerifyError::UnknownHelper { at, helper });
+            }
             _ => {}
         }
     }
@@ -224,14 +223,13 @@ pub fn verify(prog: &[Insn]) -> Result<(), VerifyError> {
         if falls_through && at + 1 == prog.len() {
             return Err(VerifyError::FallsOffEnd);
         }
-        let require =
-            |facts: &Facts, reg: Reg| -> Result<(), VerifyError> {
-                if facts.regs[reg.idx()] {
-                    Ok(())
-                } else {
-                    Err(VerifyError::UninitRegister { at, reg: reg.0 })
-                }
-            };
+        let require = |facts: &Facts, reg: Reg| -> Result<(), VerifyError> {
+            if facts.regs[reg.idx()] {
+                Ok(())
+            } else {
+                Err(VerifyError::UninitRegister { at, reg: reg.0 })
+            }
+        };
         let require_src = |facts: &Facts, src: Src| -> Result<(), VerifyError> {
             match src {
                 Src::Reg(r) => require(facts, r),

@@ -1,4 +1,5 @@
-//! The bytecode interpreter.
+//! The bytecode interpreter: a checked reference path and a proven-safe
+//! fast path.
 //!
 //! Executes a *verified* program against a map registry and a reuseport
 //! context. The verifier has already ruled out loops, bad jumps, and
@@ -6,9 +7,21 @@
 //! decode / execute loop; residual runtime errors (which indicate a
 //! verifier bug, not a program bug) surface as [`ExecError`] rather than
 //! being silently masked.
+//!
+//! Programs loaded through [`Vm::load_analyzed`] additionally run the
+//! abstract interpreter ([`crate::analysis`]). When the analysis report is
+//! *clean* — every division proven nonzero, every shift proven `< 64`,
+//! every map index proven in bounds, no dead code — the bytecode is
+//! lowered once into a [`FastInsn`] stream and executed without the
+//! runtime checks the proofs made redundant: no pc bounds test, absolute
+//! jump targets, precomputed stack bases, unguarded div/mod and shifts,
+//! and direct map indexing in helpers. This mirrors how the kernel earns
+//! its in-kernel execution speed: the verifier pays at load time so the
+//! per-packet path doesn't.
 
-use crate::helpers::{call_helper, HelperCtx};
-use crate::insn::{Insn, Op, Reg, Src, NUM_REGS, STACK_SIZE};
+use crate::analysis::{analyze, AnalysisCtx, AnalysisError, AnalysisReport};
+use crate::helpers::{call_helper, call_helper_fast, HelperCtx};
+use crate::insn::{Alu, Cond, Insn, Op, Reg, Src, NUM_REGS, STACK_SIZE};
 use crate::maps::MapRegistry;
 use crate::verifier::{verify, VerifyError};
 
@@ -48,18 +61,143 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Fast-path source operand: immediates pre-converted to `u64`.
+#[derive(Clone, Copy, Debug)]
+enum FastSrc {
+    Reg(u8),
+    Imm(u64),
+}
+
+/// One lowered instruction for the proven-safe path: jump offsets resolved
+/// to absolute targets, stack offsets resolved to byte bases, so the hot
+/// loop does no address arithmetic or bounds tests.
+#[derive(Clone, Copy, Debug)]
+enum FastInsn {
+    Alu {
+        op: Alu,
+        dst: u8,
+        src: FastSrc,
+    },
+    Ja {
+        target: u32,
+    },
+    Jmp {
+        cond: Cond,
+        dst: u8,
+        src: FastSrc,
+        target: u32,
+    },
+    Stx {
+        base: u32,
+        src: u8,
+    },
+    Ldx {
+        dst: u8,
+        base: u32,
+    },
+    Call {
+        helper: u32,
+    },
+    Exit,
+}
+
+fn lower_src(src: Src) -> FastSrc {
+    match src {
+        Src::Reg(r) => FastSrc::Reg(r.0),
+        Src::Imm(i) => FastSrc::Imm(i as u64),
+    }
+}
+
+/// Lower verified bytecode into the fast stream. Only called for programs
+/// with a clean analysis report, so every offset is already proven valid.
+fn lower(prog: &[Insn]) -> Vec<FastInsn> {
+    prog.iter()
+        .enumerate()
+        .map(|(at, insn)| match insn.0 {
+            Op::Alu { op, dst, src } => FastInsn::Alu {
+                op,
+                dst: dst.0,
+                src: lower_src(src),
+            },
+            Op::Ja { off } => FastInsn::Ja {
+                target: (at as i64 + 1 + off as i64) as u32,
+            },
+            Op::Jmp {
+                cond,
+                dst,
+                src,
+                off,
+            } => FastInsn::Jmp {
+                cond,
+                dst: dst.0,
+                src: lower_src(src),
+                target: (at as i64 + 1 + off as i64) as u32,
+            },
+            Op::StxStack { off, src } => FastInsn::Stx {
+                base: (STACK_SIZE as i64 + off as i64) as u32,
+                src: src.0,
+            },
+            Op::LdxStack { dst, off } => FastInsn::Ldx {
+                dst: dst.0,
+                base: (STACK_SIZE as i64 + off as i64) as u32,
+            },
+            Op::Call { helper } => FastInsn::Call { helper },
+            Op::Exit => FastInsn::Exit,
+        })
+        .collect()
+}
+
 /// A loaded (verified) program plus its execution engine.
 #[derive(Clone, Debug)]
 pub struct Vm {
     prog: Vec<Insn>,
+    /// Lowered stream, present only when the analysis proved the program
+    /// clean (see module docs).
+    fast: Option<Vec<FastInsn>>,
+    /// Analysis report, present when loaded via [`Vm::load_analyzed`].
+    report: Option<AnalysisReport>,
 }
 
 impl Vm {
     /// Load a program, verifying it first — mirroring `bpf(BPF_PROG_LOAD)`,
-    /// which refuses unverifiable programs.
+    /// which refuses unverifiable programs. Runs on the checked path; use
+    /// [`Vm::load_analyzed`] to qualify for the proven-safe fast path.
     pub fn load(prog: Vec<Insn>) -> Result<Self, VerifyError> {
         verify(&prog)?;
-        Ok(Self { prog })
+        Ok(Self {
+            prog,
+            fast: None,
+            report: None,
+        })
+    }
+
+    /// Load a program through the full abstract interpreter, binding map
+    /// fds against `ctx`. Rejects programs the analysis cannot prove safe.
+    /// A clean report (no warnings) enables the unchecked fast path;
+    /// otherwise execution falls back to the checked interpreter.
+    pub fn load_analyzed(prog: Vec<Insn>, ctx: &AnalysisCtx) -> Result<Self, AnalysisError> {
+        let report = analyze(&prog, ctx)?;
+        let fast = report.is_clean().then(|| lower(&prog));
+        Ok(Self {
+            prog,
+            fast,
+            report: Some(report),
+        })
+    }
+
+    /// Analysis report, when loaded via [`Vm::load_analyzed`].
+    pub fn analysis(&self) -> Option<&AnalysisReport> {
+        self.report.as_ref()
+    }
+
+    /// The loaded bytecode.
+    pub fn program(&self) -> &[Insn] {
+        &self.prog
+    }
+
+    /// True when the proven-safe fast path is active.
+    pub fn is_fast_path(&self) -> bool {
+        self.fast.is_some()
     }
 
     /// Number of instructions in the loaded program.
@@ -73,8 +211,23 @@ impl Vm {
     }
 
     /// Run the program with `ctx_hash` in R1 (the kernel-precomputed
-    /// 4-tuple hash — our simplified `sk_reuseport_md`).
+    /// 4-tuple hash — our simplified `sk_reuseport_md`). Dispatches to the
+    /// proven-safe fast path when the analysis earned it.
     pub fn run(
+        &self,
+        ctx_hash: u32,
+        maps: &MapRegistry,
+        now_ns: u64,
+    ) -> Result<ExecResult, ExecError> {
+        match &self.fast {
+            Some(fast) => Ok(Self::run_fast(fast, ctx_hash, maps, now_ns)),
+            None => self.run_checked(ctx_hash, maps, now_ns),
+        }
+    }
+
+    /// The checked reference interpreter: every pc move, stack access, and
+    /// helper argument is validated at run time.
+    fn run_checked(
         &self,
         ctx_hash: u32,
         maps: &MapRegistry,
@@ -170,6 +323,89 @@ impl Vm {
             return Err(ExecError::StackOutOfBounds(off));
         }
         Ok(addr as usize)
+    }
+
+    /// The proven-safe interpreter. Every check the reference path performs
+    /// at run time was discharged statically: the analysis proved divisors
+    /// nonzero and shifts bounded (so [`Alu::eval_unchecked`]), the
+    /// verifier proved jump targets and stack offsets in frame (so plain
+    /// indexing off precomputed absolutes), and map indices were proven in
+    /// bounds (so [`call_helper_fast`]). Termination is structural: no
+    /// back-edges means pc strictly increases between revisits, and every
+    /// path ends in `Exit`.
+    fn run_fast(fast: &[FastInsn], ctx_hash: u32, maps: &MapRegistry, now_ns: u64) -> ExecResult {
+        let mut regs = [0u64; NUM_REGS];
+        let mut stack = [0u8; STACK_SIZE];
+        regs[Reg::R1.idx()] = ctx_hash as u64;
+        regs[Reg::R10.idx()] = STACK_SIZE as u64;
+        let mut helper_ctx = HelperCtx {
+            selected_sock: None,
+            now_ns,
+        };
+        let mut pc = 0usize;
+        let mut executed = 0usize;
+
+        loop {
+            executed += 1;
+            let insn = fast[pc];
+            pc += 1;
+            match insn {
+                FastInsn::Alu { op, dst, src } => {
+                    let s = match src {
+                        FastSrc::Reg(r) => regs[r as usize],
+                        FastSrc::Imm(v) => v,
+                    };
+                    regs[dst as usize] = op.eval_unchecked(regs[dst as usize], s);
+                }
+                FastInsn::Ja { target } => {
+                    pc = target as usize;
+                }
+                FastInsn::Jmp {
+                    cond,
+                    dst,
+                    src,
+                    target,
+                } => {
+                    let s = match src {
+                        FastSrc::Reg(r) => regs[r as usize],
+                        FastSrc::Imm(v) => v,
+                    };
+                    if cond.eval(regs[dst as usize], s) {
+                        pc = target as usize;
+                    }
+                }
+                FastInsn::Stx { base, src } => {
+                    let base = base as usize;
+                    stack[base..base + 8].copy_from_slice(&regs[src as usize].to_le_bytes());
+                }
+                FastInsn::Ldx { dst, base } => {
+                    let base = base as usize;
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&stack[base..base + 8]);
+                    regs[dst as usize] = u64::from_le_bytes(buf);
+                }
+                FastInsn::Call { helper } => {
+                    let args = [
+                        regs[Reg::R1.idx()],
+                        regs[Reg::R2.idx()],
+                        regs[Reg::R3.idx()],
+                        regs[Reg::R4.idx()],
+                        regs[Reg::R5.idx()],
+                    ];
+                    regs[Reg::R0.idx()] = call_helper_fast(helper, args, maps, &mut helper_ctx);
+                    // Same ABI clobber as the checked path, so the two
+                    // paths stay observationally identical.
+                    regs[1..=5].fill(0);
+                }
+                FastInsn::Exit => {
+                    return ExecResult {
+                        return_value: regs[Reg::R0.idx()],
+                        selected_sock: helper_ctx.selected_sock,
+                        insns_executed: executed,
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -292,5 +528,107 @@ mod tests {
         a.mov_imm(Reg::R0, 0);
         a.ja(top);
         assert!(Vm::load(a.finish()).is_err());
+    }
+
+    #[test]
+    fn analyzed_clean_program_takes_fast_path() {
+        use crate::analysis::AnalysisCtx;
+        use crate::helpers::HELPER_MAP_LOOKUP;
+        use crate::maps::{ArrayMap, MapKind, MapRef};
+        use std::sync::Arc;
+
+        // hash & 7 indexes an 8-element array; provable, so fast.
+        let maps = MapRegistry::new();
+        let array = Arc::new(ArrayMap::new(8));
+        for k in 0..8 {
+            array.update(k, (k as u64) * 100);
+        }
+        let fd = maps.register(MapRef::Array(array));
+        let mut a = Assembler::new();
+        a.mov(Reg::R2, Reg::R1);
+        a.alu_imm(Alu::And, Reg::R2, 7);
+        a.mov_imm(Reg::R1, fd as i64);
+        a.call(HELPER_MAP_LOOKUP);
+        a.stx_stack(-8, Reg::R0);
+        a.ldx_stack(Reg::R0, -8);
+        a.exit();
+        let prog = a.finish();
+
+        let ctx = AnalysisCtx::new().bind(fd, MapKind::Array, 8);
+        let fast_vm = Vm::load_analyzed(prog.clone(), &ctx).expect("clean");
+        assert!(fast_vm.is_fast_path());
+        assert!(fast_vm.analysis().unwrap().is_clean());
+        let checked_vm = Vm::load(prog).expect("verifies");
+        for hash in [0u32, 1, 7, 8, 0xdead_beef, u32::MAX] {
+            assert_eq!(
+                fast_vm.run(hash, &maps, 0).unwrap(),
+                checked_vm.run(hash, &maps, 0).unwrap(),
+                "fast/checked divergence at hash {hash:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn warned_program_falls_back_to_checked_path() {
+        use crate::analysis::AnalysisCtx;
+
+        // Shift by the raw hash: may exceed 63, warning → no fast path,
+        // but execution still works (the checked VM masks the shift).
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 1);
+        a.mov(Reg::R2, Reg::R1);
+        a.alu(Alu::Lsh, Reg::R0, Reg::R2);
+        a.exit();
+        let vm = Vm::load_analyzed(a.finish(), &AnalysisCtx::new()).expect("warns, loads");
+        assert!(!vm.is_fast_path());
+        assert!(!vm.analysis().unwrap().is_clean());
+        let r = vm.run(65, &MapRegistry::new(), 0).unwrap();
+        assert_eq!(r.return_value, 2, "checked path masks the shift");
+    }
+
+    #[test]
+    fn load_analyzed_rejects_unprovable_program() {
+        use crate::analysis::{AnalysisCtx, AnalysisError};
+
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 10);
+        a.mov(Reg::R2, Reg::R1);
+        a.alu(Alu::Div, Reg::R0, Reg::R2);
+        a.exit();
+        assert!(matches!(
+            Vm::load_analyzed(a.finish(), &AnalysisCtx::new()),
+            Err(AnalysisError::DivByPossiblyZero { .. })
+        ));
+    }
+
+    #[test]
+    fn fast_path_runs_sk_select_with_runtime_fallback() {
+        use crate::analysis::AnalysisCtx;
+        use crate::helpers::{ENOENT_RET, HELPER_SK_SELECT_REUSEPORT};
+        use crate::maps::{MapKind, MapRef, SockArrayMap};
+        use std::sync::Arc;
+
+        let maps = MapRegistry::new();
+        let socks = Arc::new(SockArrayMap::new(4));
+        socks.register(2, 77);
+        let fd = maps.register(MapRef::SockArray(socks));
+        // Select slot = hash & 3.
+        let mut a = Assembler::new();
+        a.mov(Reg::R2, Reg::R1);
+        a.alu_imm(Alu::And, Reg::R2, 3);
+        a.mov_imm(Reg::R1, fd as i64);
+        a.call(HELPER_SK_SELECT_REUSEPORT);
+        a.exit();
+        let ctx = AnalysisCtx::new().bind(fd, MapKind::SockArray, 4);
+        let vm = Vm::load_analyzed(a.finish(), &ctx).expect("clean");
+        assert!(vm.is_fast_path());
+        // Slot 2 is populated: success, socket committed.
+        let hit = vm.run(2, &maps, 0).unwrap();
+        assert_eq!(hit.return_value, 0);
+        assert_eq!(hit.selected_sock, Some(77));
+        // Slot 1 is empty: the fast path keeps the runtime ENOENT check.
+        let miss = vm.run(1, &maps, 0).unwrap();
+        assert_eq!(miss.return_value, ENOENT_RET);
+        assert_eq!(miss.selected_sock, None);
     }
 }

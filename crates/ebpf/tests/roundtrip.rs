@@ -1,0 +1,87 @@
+//! Listing round-trip tests: `disasm` → [`parse_listing`] must reproduce
+//! the exact bytecode for both shipped Algorithm 2 programs, the reparsed
+//! program must earn the *same* analysis report, and the report renderer
+//! output is pinned by a golden snapshot.
+
+use hermes_ebpf::asm::parse_listing;
+use hermes_ebpf::disasm::disasm;
+use hermes_ebpf::helpers::HELPER_MAP_LOOKUP;
+use hermes_ebpf::insn::{Alu, Reg};
+use hermes_ebpf::maps::MapKind;
+use hermes_ebpf::{
+    analyze, AnalysisCtx, Assembler, DispatchProgram, GroupedReuseportGroup, ReuseportGroup,
+};
+
+#[test]
+fn dispatch_program_round_trips_through_the_disassembler() {
+    for workers in [1usize, 2, 7, 32, 63, 64] {
+        let prog = DispatchProgram::build(0, 1, workers);
+        let text = disasm(prog.insns());
+        let back = parse_listing(&text).unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+        assert_eq!(back.as_slice(), prog.insns(), "workers={workers}");
+    }
+}
+
+#[test]
+fn grouped_program_round_trips_through_the_disassembler() {
+    for (groups, size) in [(1usize, 64usize), (2, 64), (4, 32), (16, 8), (128, 1)] {
+        let g = GroupedReuseportGroup::new(groups, size);
+        let text = disasm(g.program());
+        let back =
+            parse_listing(&text).unwrap_or_else(|e| panic!("groups={groups} size={size}: {e}"));
+        assert_eq!(back.as_slice(), g.program(), "groups={groups} size={size}");
+    }
+}
+
+#[test]
+fn reassembled_bytecode_earns_the_same_analysis_report() {
+    let prog = DispatchProgram::build(0, 1, 8);
+    let ctx = AnalysisCtx::new()
+        .bind(0, MapKind::Array, 1)
+        .bind(1, MapKind::SockArray, 8);
+    let back = parse_listing(&disasm(prog.insns())).unwrap();
+    let report = analyze(&back, &ctx).expect("reparsed program must analyze");
+    assert_eq!(&report, prog.analysis());
+    assert!(report.is_clean());
+}
+
+#[test]
+fn live_group_listing_parses_back_to_the_attached_bytecode() {
+    let group = ReuseportGroup::new(32);
+    let back = parse_listing(&disasm(group.program())).unwrap();
+    assert_eq!(back.as_slice(), group.program());
+}
+
+/// Small fixed program exercising the renderer: a masked map lookup (clean
+/// facts in the margin) followed by a shift by an unbounded register (the
+/// one warning class that loads anyway).
+fn snapshot_program() -> Vec<hermes_ebpf::Insn> {
+    let mut a = Assembler::new();
+    a.mov(Reg::R6, Reg::R1);
+    a.alu_imm(Alu::And, Reg::R6, 7);
+    a.mov_imm(Reg::R1, 0);
+    a.mov(Reg::R2, Reg::R6);
+    a.call(HELPER_MAP_LOOKUP);
+    a.alu(Alu::Lsh, Reg::R0, Reg::R0);
+    a.exit();
+    a.finish()
+}
+
+#[test]
+fn analysis_report_render_snapshot() {
+    let prog = snapshot_program();
+    let ctx = AnalysisCtx::new().bind(0, MapKind::Array, 8);
+    let report = analyze(&prog, &ctx).expect("snapshot program analyzes");
+    let expected = "\
+analysis: 7 insns, 1 warnings
+  0: mov r6, r1                                ; r6 in [0, 4294967295]
+  1: and r6, 7                                 ; r6 in [0, 7]
+  2: mov r1, 0                                 ; r1 in [0, 0]
+  3: mov r2, r6                                ; r2 in [0, 7]
+  4: call #1                                   ; key-bounded,typed key<8
+  5: lsh r0, r0
+  6: exit
+warning: insn 5: shift amount may reach 18446744073709551615 (>= 64)
+";
+    assert_eq!(report.render(&prog), expected);
+}

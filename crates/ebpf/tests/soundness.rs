@@ -1,0 +1,378 @@
+//! Soundness fuzzing for the abstract interpreter: any program
+//! [`Vm::load_analyzed`] accepts must never trap at run time, and when the
+//! report is clean the unchecked fast path must be observationally
+//! identical to the checked interpreter — across randomized context
+//! hashes, map contents, and socket registrations.
+//!
+//! The generator and the oracle are plain functions; proptest drives them
+//! with random seeds, and a deterministic LCG sweep keeps coverage (and an
+//! acceptance-rate floor asserting the property is not vacuous) in plain
+//! `cargo test`.
+
+use hermes_ebpf::helpers::{
+    HELPER_KTIME_GET_NS, HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE, HELPER_SK_SELECT_REUSEPORT,
+};
+use hermes_ebpf::insn::{Alu, Cond, Insn, Op, Reg, Src};
+use hermes_ebpf::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use hermes_ebpf::{AnalysisCtx, MapKind, Vm};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const ARRAY_SIZE: usize = 4;
+const SOCKS: usize = 8;
+const ARRAY_FD: u32 = 0;
+const SOCK_FD: u32 = 1;
+
+fn test_ctx() -> AnalysisCtx {
+    AnalysisCtx::new()
+        .bind(ARRAY_FD, MapKind::Array, ARRAY_SIZE)
+        .bind(SOCK_FD, MapKind::SockArray, SOCKS)
+}
+
+/// Live maps matching [`test_ctx`]: array contents from `vals`, sockarray
+/// slots registered per the low bits of `registered`.
+fn test_registry(vals: &[u64; ARRAY_SIZE], registered: u8) -> MapRegistry {
+    let registry = MapRegistry::new();
+    let arr = Arc::new(ArrayMap::new(ARRAY_SIZE));
+    for (i, &v) in vals.iter().enumerate() {
+        arr.update(i, v);
+    }
+    registry.register(MapRef::Array(arr));
+    let socks = Arc::new(SockArrayMap::new(SOCKS));
+    for w in 0..SOCKS {
+        if (registered >> w) & 1 == 1 {
+            socks.register(w, w);
+        }
+    }
+    registry.register(MapRef::SockArray(socks));
+    registry
+}
+
+/// Expand a seed byte stream into a structurally plausible program.
+///
+/// Deliberately not always verifiable: unguarded register divisors,
+/// oversized map keys, and reads after helper clobbers all appear, so the
+/// analysis gets exercised on its reject paths too. The soundness property
+/// only constrains what happens to the *accepted* remainder.
+fn gen_program(seed: &[u8]) -> Vec<Insn> {
+    let mut body: Vec<Op> = Vec::new();
+    // Give R0-R5 defined values so early ALU ops pass defined-before-use.
+    for r in 0..=5u8 {
+        body.push(Op::Alu {
+            op: Alu::Mov,
+            dst: Reg(r),
+            src: Src::Imm(seed.get(r as usize).copied().unwrap_or(r + 1) as i64),
+        });
+    }
+    // (body index, desired forward skip) for post-hoc jump patching.
+    let mut jumps: Vec<(usize, i64)> = Vec::new();
+    let mut stored_slots = 0u8; // bit i ⇒ [fp - 8*(i+1)] written
+    let mut bytes = seed.iter().copied().skip(6);
+    while let (Some(a), Some(b), Some(c)) = (bytes.next(), bytes.next(), bytes.next()) {
+        let dst = Reg(a % 6);
+        match a % 16 {
+            0..=6 => {
+                let ops = [
+                    Alu::Add,
+                    Alu::Sub,
+                    Alu::Mul,
+                    Alu::And,
+                    Alu::Or,
+                    Alu::Xor,
+                    Alu::Mov,
+                ];
+                let src = if b % 2 == 0 {
+                    Src::Reg(Reg(b % 6))
+                } else {
+                    Src::Imm(c as i64 - 128)
+                };
+                body.push(Op::Alu {
+                    op: ops[(a % 7) as usize],
+                    dst,
+                    src,
+                });
+            }
+            7 | 8 => {
+                // Shifts: usually a bounded immediate, sometimes a register
+                // (warned unless its range is proven < 64).
+                let op = match b % 3 {
+                    0 => Alu::Lsh,
+                    1 => Alu::Rsh,
+                    _ => Alu::Arsh,
+                };
+                let src = if c % 4 == 0 {
+                    Src::Reg(Reg(c % 6))
+                } else {
+                    Src::Imm((c % 64) as i64)
+                };
+                body.push(Op::Alu { op, dst, src });
+            }
+            9 => {
+                // Division: usually a nonzero immediate, sometimes a
+                // possibly-zero register (rejected unless guarded).
+                let op = if b % 2 == 0 { Alu::Div } else { Alu::Mod };
+                let src = if c % 8 == 0 {
+                    Src::Reg(Reg(c % 6))
+                } else {
+                    Src::Imm((c | 1) as i64)
+                };
+                body.push(Op::Alu { op, dst, src });
+            }
+            10 => {
+                let slot = b % 4;
+                body.push(Op::StxStack {
+                    off: -8 * (slot as i32 + 1),
+                    src: dst,
+                });
+                stored_slots |= 1 << slot;
+            }
+            11 => {
+                // Only load slots already written; the structural verifier
+                // rejects uninitialized stack reads outright.
+                let slot = b % 4;
+                if stored_slots & (1 << slot) != 0 {
+                    body.push(Op::LdxStack {
+                        dst,
+                        off: -8 * (slot as i32 + 1),
+                    });
+                }
+            }
+            12 | 13 => {
+                // Forward jump; the exact offset is patched once the final
+                // program length is known.
+                jumps.push((body.len(), (c % 4) as i64 + 1));
+                let conds = [Cond::Eq, Cond::Ne, Cond::Gt, Cond::Ge, Cond::Lt, Cond::Le];
+                body.push(Op::Jmp {
+                    cond: conds[(b % 6) as usize],
+                    dst,
+                    src: Src::Imm(c as i64),
+                    off: 0,
+                });
+            }
+            _ => {
+                // Helper call with argument setup; reinitialize R1-R5
+                // afterwards so later uses survive the clobber.
+                match b % 4 {
+                    0 => {
+                        body.push(Op::Alu {
+                            op: Alu::Mov,
+                            dst: Reg(1),
+                            src: Src::Imm(ARRAY_FD as i64),
+                        });
+                        // Sometimes mask the key in bounds, sometimes leave
+                        // it oversized (an analysis reject).
+                        let key = if c % 2 == 0 {
+                            (c % ARRAY_SIZE as u8) as i64
+                        } else {
+                            c as i64
+                        };
+                        body.push(Op::Alu {
+                            op: Alu::Mov,
+                            dst: Reg(2),
+                            src: Src::Imm(key),
+                        });
+                        body.push(Op::Call {
+                            helper: HELPER_MAP_LOOKUP,
+                        });
+                    }
+                    1 => {
+                        body.push(Op::Alu {
+                            op: Alu::Mov,
+                            dst: Reg(1),
+                            src: Src::Imm(c as i64),
+                        });
+                        body.push(Op::Alu {
+                            op: Alu::Mov,
+                            dst: Reg(2),
+                            src: Src::Imm((c % 65) as i64),
+                        });
+                        body.push(Op::Call {
+                            helper: HELPER_RECIPROCAL_SCALE,
+                        });
+                    }
+                    2 => {
+                        body.push(Op::Alu {
+                            op: Alu::Mov,
+                            dst: Reg(1),
+                            src: Src::Imm(SOCK_FD as i64),
+                        });
+                        body.push(Op::Alu {
+                            op: Alu::Mov,
+                            dst: Reg(2),
+                            src: Src::Imm((c % 16) as i64),
+                        });
+                        body.push(Op::Call {
+                            helper: HELPER_SK_SELECT_REUSEPORT,
+                        });
+                    }
+                    _ => {
+                        body.push(Op::Call {
+                            helper: HELPER_KTIME_GET_NS,
+                        });
+                    }
+                }
+                for r in 1..=5u8 {
+                    body.push(Op::Alu {
+                        op: Alu::Mov,
+                        dst: Reg(r),
+                        src: Src::Imm((c % 32) as i64),
+                    });
+                }
+            }
+        }
+    }
+    let end = body.len() as i64; // index of the final exit
+    for (at, skip) in jumps {
+        let max_off = end - at as i64 - 1;
+        if let Op::Jmp { off, .. } = &mut body[at] {
+            *off = skip.min(max_off) as i32;
+        }
+    }
+    body.push(Op::Exit);
+    body.into_iter().map(Insn).collect()
+}
+
+/// The soundness oracle. Returns whether the program was accepted.
+///
+/// For accepted programs: no trap on either path, checked and analyzed
+/// execution agree exactly, and instruction counts respect the no-loop
+/// bound.
+fn check_soundness(seed: &[u8], hashes: &[u32], vals: &[u64; ARRAY_SIZE], registered: u8) -> bool {
+    let prog = gen_program(seed);
+    let analyzed = match Vm::load_analyzed(prog.clone(), &test_ctx()) {
+        Ok(vm) => vm,
+        Err(_) => return false,
+    };
+    let checked = Vm::load(prog.clone()).expect("analysis acceptance implies verification");
+    let registry = test_registry(vals, registered);
+    for &hash in hashes {
+        let c = checked
+            .run(hash, &registry, 0)
+            .unwrap_or_else(|e| panic!("accepted program trapped (checked): {e}"));
+        let a = analyzed
+            .run(hash, &registry, 0)
+            .unwrap_or_else(|e| panic!("accepted program trapped (analyzed): {e}"));
+        assert_eq!(
+            a,
+            c,
+            "fast={} diverged from checked path on hash {hash:#x}",
+            analyzed.is_fast_path()
+        );
+        assert!(c.insns_executed <= prog.len(), "executed past the program");
+    }
+    true
+}
+
+/// Deterministic sweep so soundness coverage does not depend on proptest:
+/// 600 LCG-derived programs, each run over four hashes. Also asserts the
+/// generator's acceptance rate stays high enough to be meaningful.
+#[test]
+fn lcg_sweep_accepted_programs_never_trap() {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut lcg = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut accepted = 0usize;
+    for _ in 0..600 {
+        let len = 6 + (lcg() % 40) as usize;
+        let seed: Vec<u8> = (0..len).map(|_| lcg() as u8).collect();
+        let hashes = [0u32, 1, u32::MAX, lcg()];
+        let vals = [lcg() as u64, u64::MAX, 0, (lcg() as u64) << 32];
+        if check_soundness(&seed, &hashes, &vals, lcg() as u8) {
+            accepted += 1;
+        }
+    }
+    assert!(
+        accepted >= 100,
+        "generator acceptance collapsed: {accepted}/600 — the property is near-vacuous"
+    );
+}
+
+/// Deliberately unsafe constructs must be rejected, not silently run: an
+/// out-of-bounds constant map key and a possibly-zero register divisor.
+#[test]
+fn negative_seeds_are_rejected() {
+    let oob_key = {
+        let mut body = vec![
+            Op::Alu {
+                op: Alu::Mov,
+                dst: Reg(1),
+                src: Src::Imm(ARRAY_FD as i64),
+            },
+            Op::Alu {
+                op: Alu::Mov,
+                dst: Reg(2),
+                src: Src::Imm(ARRAY_SIZE as i64), // one past the end
+            },
+            Op::Call {
+                helper: HELPER_MAP_LOOKUP,
+            },
+        ];
+        body.push(Op::Exit);
+        body.into_iter().map(Insn).collect::<Vec<_>>()
+    };
+    assert!(Vm::load_analyzed(oob_key, &test_ctx()).is_err());
+
+    let div_by_reg = vec![
+        Insn(Op::Alu {
+            op: Alu::Mov,
+            dst: Reg(0),
+            src: Src::Imm(40),
+        }),
+        Insn(Op::Alu {
+            op: Alu::Mov,
+            dst: Reg(3),
+            src: Src::Reg(Reg(1)), // the hash: may be zero
+        }),
+        Insn(Op::Alu {
+            op: Alu::Div,
+            dst: Reg(0),
+            src: Src::Reg(Reg(3)),
+        }),
+        Insn(Op::Exit),
+    ];
+    assert!(Vm::load_analyzed(div_by_reg, &test_ctx()).is_err());
+}
+
+proptest! {
+    /// Random seeds: accepted programs never trap and both execution paths
+    /// agree, whatever the maps hold.
+    #[test]
+    fn accepted_programs_never_trap(
+        seed in prop::collection::vec(any::<u8>(), 6..80),
+        hashes in prop::collection::vec(any::<u32>(), 1..6),
+        vals in [any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()],
+        registered: u8,
+    ) {
+        check_soundness(&seed, &hashes, &vals, registered);
+    }
+
+    /// The shipped dispatch program under the fuzz harness: fast path and
+    /// checked path agree for every bitmap, hash, and registration set.
+    #[test]
+    fn dispatch_program_fast_path_matches_checked(bits: u64, hash: u32, workers in 1usize..=64) {
+        use hermes_ebpf::DispatchProgram;
+        let prog = DispatchProgram::build(ARRAY_FD, SOCK_FD, workers);
+        let ctx = AnalysisCtx::new()
+            .bind(ARRAY_FD, MapKind::Array, 1)
+            .bind(SOCK_FD, MapKind::SockArray, workers);
+        let analyzed = Vm::load_analyzed(prog.insns().to_vec(), &ctx).unwrap();
+        prop_assert!(analyzed.is_fast_path());
+        let checked = Vm::load(prog.insns().to_vec()).unwrap();
+        let registry = MapRegistry::new();
+        let arr = Arc::new(ArrayMap::new(1));
+        arr.update(0, bits);
+        registry.register(MapRef::Array(arr));
+        let socks = Arc::new(SockArrayMap::new(workers));
+        for w in 0..workers {
+            socks.register(w, w);
+        }
+        registry.register(MapRef::SockArray(socks));
+        let a = analyzed.run(hash, &registry, 0).unwrap();
+        let c = checked.run(hash, &registry, 0).unwrap();
+        prop_assert_eq!(a, c);
+    }
+}

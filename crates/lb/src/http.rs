@@ -40,7 +40,8 @@ impl Request {
 
     /// The `Host` header, as routing wants it (port stripped).
     pub fn host(&self) -> Option<&str> {
-        self.header("host").map(|h| h.split(':').next().unwrap_or(h))
+        self.header("host")
+            .map(|h| h.split(':').next().unwrap_or(h))
     }
 
     /// Path component of the target (query stripped).
@@ -131,7 +132,12 @@ pub fn parse_request(buf: &mut BytesMut) -> Result<Option<Request>, HttpError> {
             }
             headers.push((name, value));
         }
-        (method.to_string(), target.to_string(), headers, content_length)
+        (
+            method.to_string(),
+            target.to_string(),
+            headers,
+            content_length,
+        )
     };
     let total = head_end + 4 + content_length;
     if buf.len() < total {
@@ -229,7 +235,12 @@ impl Response {
     pub fn encode(&self) -> Bytes {
         let mut out = BytesMut::with_capacity(64 + self.body.len());
         out.put_slice(
-            format!("HTTP/1.1 {} {}\r\n", self.status.code(), self.status.reason()).as_bytes(),
+            format!(
+                "HTTP/1.1 {} {}\r\n",
+                self.status.code(),
+                self.status.reason()
+            )
+            .as_bytes(),
         );
         for (n, v) in &self.headers {
             out.put_slice(format!("{n}: {v}\r\n").as_bytes());
@@ -250,7 +261,8 @@ mod tests {
 
     #[test]
     fn parses_a_simple_get() {
-        let mut b = buf(b"GET /index.html?x=1 HTTP/1.1\r\nHost: example.com:8080\r\nX-A: b\r\n\r\n");
+        let mut b =
+            buf(b"GET /index.html?x=1 HTTP/1.1\r\nHost: example.com:8080\r\nX-A: b\r\n\r\n");
         let req = parse_request(&mut b).unwrap().unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.target, "/index.html?x=1");
@@ -309,9 +321,11 @@ mod tests {
         huge_head.extend_from_slice(&vec![b'a'; MAX_HEAD_BYTES + 10]);
         assert_eq!(parse_request(&mut huge_head), Err(HttpError::HeadTooLarge));
 
-        let mut big_body = buf(
-            format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1).as_bytes(),
-        );
+        let mut big_body = buf(format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .as_bytes());
         assert_eq!(parse_request(&mut big_body), Err(HttpError::BodyTooLarge));
     }
 
@@ -332,7 +346,10 @@ mod tests {
         assert_eq!(StatusCode::BadRequest.code(), 400);
         assert_eq!(StatusCode::NotFound.code(), 404);
         assert_eq!(StatusCode::BadGateway.code(), 502);
-        assert_eq!(StatusCode::ServiceUnavailable.reason(), "Service Unavailable");
+        assert_eq!(
+            StatusCode::ServiceUnavailable.reason(),
+            "Service Unavailable"
+        );
     }
 }
 

@@ -84,7 +84,9 @@ impl Proxy {
             rr.update_list(
                 worker,
                 pool.servers.len(),
-                RestartPolicy::Randomized { seed: 0x48_45_52_4d },
+                RestartPolicy::Randomized {
+                    seed: 0x48_45_52_4d,
+                },
             );
             pools.insert(
                 name.clone(),
@@ -169,8 +171,18 @@ mod tests {
         let a = p.serve(&get("/api/users"));
         let b = p.serve(&get("/api/users"));
         let (ua, ub) = (
-            a.headers.iter().find(|(n, _)| n == "x-upstream").unwrap().1.clone(),
-            b.headers.iter().find(|(n, _)| n == "x-upstream").unwrap().1.clone(),
+            a.headers
+                .iter()
+                .find(|(n, _)| n == "x-upstream")
+                .unwrap()
+                .1
+                .clone(),
+            b.headers
+                .iter()
+                .find(|(n, _)| n == "x-upstream")
+                .unwrap()
+                .1
+                .clone(),
         );
         assert_ne!(ua, ub, "round robin must alternate between api-0/api-1");
         assert_eq!(p.serve(&get("/other")).status, StatusCode::Ok);
@@ -190,14 +202,18 @@ mod tests {
         let mut p = proxy();
         let mut b = BytesMut::from(&b"GET /api/x HTTP/1.1\r\nHost: h\r\n\r\n"[..]);
         let out = p.handle_bytes(&mut b).expect("complete request");
-        assert!(std::str::from_utf8(&out).unwrap().starts_with("HTTP/1.1 200"));
+        assert!(std::str::from_utf8(&out)
+            .unwrap()
+            .starts_with("HTTP/1.1 200"));
 
         let mut partial = BytesMut::from(&b"GET /api"[..]);
         assert!(p.handle_bytes(&mut partial).is_none());
 
         let mut bad = BytesMut::from(&b"NOT HTTP AT ALL\r\n\r\n"[..]);
         let out = p.handle_bytes(&mut bad).expect("error response");
-        assert!(std::str::from_utf8(&out).unwrap().starts_with("HTTP/1.1 400"));
+        assert!(std::str::from_utf8(&out)
+            .unwrap()
+            .starts_with("HTTP/1.1 400"));
     }
 
     #[test]

@@ -57,7 +57,8 @@ impl Rule {
                 let Some(host) = host else { return false };
                 let host = host.to_ascii_lowercase();
                 if let Some(suffix) = pattern.strip_prefix("*.") {
-                    host.len() > suffix.len() && host.ends_with(suffix)
+                    host.len() > suffix.len()
+                        && host.ends_with(suffix)
                         && host.as_bytes()[host.len() - suffix.len() - 1] == b'.'
                 } else {
                     host == *pattern
@@ -106,7 +107,7 @@ impl Router {
         self.rules.push(rule);
         // Keep most-specific-first so lookup is first-match.
         self.rules
-            .sort_by(|a, b| b.specificity().cmp(&a.specificity()));
+            .sort_by_key(|r| std::cmp::Reverse(r.specificity()));
     }
 
     /// Number of rules (the Fig. A5 distribution's unit).
@@ -132,7 +133,12 @@ mod tests {
         r.add_rule(Rule::new().path_prefix("/api/v2").pool("api-v2"));
         r.add_rule(Rule::new().path_prefix("/api").pool("api"));
         r.add_rule(Rule::new().host("admin.example.com").pool("admin"));
-        r.add_rule(Rule::new().host("*.example.com").path_prefix("/img").pool("cdn"));
+        r.add_rule(
+            Rule::new()
+                .host("*.example.com")
+                .path_prefix("/img")
+                .pool("cdn"),
+        );
         r.add_rule(Rule::new().pool("default"));
         r
     }
@@ -189,7 +195,11 @@ mod tests {
         // rules still resolve correctly and deterministically.
         let mut r = Router::new();
         for i in 0..2_000 {
-            r.add_rule(Rule::new().path_prefix(format!("/svc{i}")).pool(format!("p{i}")));
+            r.add_rule(
+                Rule::new()
+                    .path_prefix(format!("/svc{i}"))
+                    .pool(format!("p{i}")),
+            );
         }
         assert_eq!(r.rule_count(), 2_000);
         assert_eq!(r.route(None, "/svc1234/x"), Some("p1234"));

@@ -59,11 +59,7 @@ pub struct TcpLb {
 impl TcpLb {
     /// Bind `addr`, spawn `workers` worker threads serving `proxy`, and
     /// start accepting.
-    pub fn start(
-        addr: impl ToSocketAddrs,
-        workers: usize,
-        proxy: Proxy,
-    ) -> std::io::Result<TcpLb> {
+    pub fn start(addr: impl ToSocketAddrs, workers: usize, proxy: Proxy) -> std::io::Result<TcpLb> {
         assert!((1..=64).contains(&workers), "1..=64 workers");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -75,6 +71,13 @@ impl TcpLb {
         });
         let wst = Arc::new(Wst::new(workers));
         let group = Arc::new(ReuseportGroup::new(workers));
+        // Serve only on a statically verified dispatch program: the
+        // analysis must have proven it clean (zero warnings) at build time.
+        assert!(
+            group.is_fast_path(),
+            "dispatch program failed static verification:\n{}",
+            group.analysis().render(group.program())
+        );
 
         let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);

@@ -10,7 +10,12 @@
 /// Each series is a list of `(x, y)` points; x values need not align across
 /// series. The plot is `width` columns by `height` rows; each series gets a
 /// distinct glyph.
-pub fn line_plot(title: &str, series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+pub fn line_plot(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
     const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
     let mut out = String::new();
     out.push_str(title);
@@ -94,7 +99,11 @@ pub fn bar_chart(title: &str, bars: &[(&str, f64)], width: usize) -> String {
         return out;
     }
     let maxv = bars.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
-    let lab_w = bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let lab_w = bars
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     for (label, v) in bars {
         let n = if maxv > 0.0 {
             ((v / maxv) * width as f64).round() as usize

@@ -249,20 +249,20 @@ mod tests {
         let mut x = 0x243F_6A88_85A3_08D3u64;
         let mut values = Vec::new();
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = x % 10_000_000_000; // up to 10s in ns
             values.push(v);
             h.record(v);
         }
         values.sort_unstable();
         for &q in &[0.5, 0.9, 0.99, 0.999] {
-            let exact = values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
+            let exact =
+                values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
             let approx = h.value_at_quantile(q);
             let err = (approx as f64 - exact as f64).abs() / exact.max(1) as f64;
-            assert!(
-                err < 0.01,
-                "q={q}: exact={exact} approx={approx} err={err}"
-            );
+            assert!(err < 0.01, "q={q}: exact={exact} approx={approx} err={err}");
         }
     }
 
@@ -307,7 +307,16 @@ mod tests {
     #[test]
     fn bucket_floor_round_trips_index() {
         let h = Histogram::new(7);
-        for v in [0u64, 1, 255, 256, 300, 1 << 20, (1 << 40) + 12345, u64::MAX / 2] {
+        for v in [
+            0u64,
+            1,
+            255,
+            256,
+            300,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX / 2,
+        ] {
             let idx = h.index_of(v);
             let floor = h.bucket_floor(idx);
             assert!(floor <= v, "floor {floor} > value {v}");

@@ -103,12 +103,8 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 

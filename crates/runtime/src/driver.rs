@@ -103,7 +103,15 @@ impl LbRuntime {
         let wst = Arc::new(Wst::new(config.workers));
         let clock = Clock::new();
         let kernel = Arc::new(if config.use_ebpf {
-            Kernel::Ebpf(ReuseportGroup::new(config.workers))
+            let group = ReuseportGroup::new(config.workers);
+            // The attached Algorithm 2 program must be statically proven
+            // safe (zero analysis warnings) before the runtime serves on it.
+            assert!(
+                group.is_fast_path(),
+                "dispatch program failed verification:\n{}",
+                group.analysis().render(group.program())
+            );
+            Kernel::Ebpf(group)
         } else {
             Kernel::Native {
                 sel: Arc::new(SelMap::new()),

@@ -70,11 +70,7 @@ pub struct RuntimeReport {
 impl RuntimeReport {
     /// Cross-worker standard deviation of accepted connections.
     pub fn accept_sd(&self) -> f64 {
-        let v: Vec<f64> = self
-            .accepted_per_worker
-            .iter()
-            .map(|&a| a as f64)
-            .collect();
+        let v: Vec<f64> = self.accepted_per_worker.iter().map(|&a| a as f64).collect();
         hermes_metrics::welford::stddev_of(&v)
     }
 

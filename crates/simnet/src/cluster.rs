@@ -93,10 +93,7 @@ mod tests {
         // ECMP balance: every device gets a fair share.
         for (d, s) in shards.iter().enumerate() {
             let share = s.connection_count() as f64 / wl.connection_count() as f64;
-            assert!(
-                (share - 0.125).abs() < 0.03,
-                "device {d} share {share}"
-            );
+            assert!((share - 0.125).abs() < 0.03, "device {d} share {share}");
         }
     }
 
@@ -122,7 +119,11 @@ mod tests {
         ];
         let report = run_cluster(&wl, configs);
         assert_eq!(report.devices.len(), 4);
-        let sds: Vec<f64> = report.devices.iter().map(DeviceReport::accepted_sd).collect();
+        let sds: Vec<f64> = report
+            .devices
+            .iter()
+            .map(DeviceReport::accepted_sd)
+            .collect();
         assert!(
             sds[0] > 2.0 * sds[2].max(1.0),
             "exclusive device SD {} vs hermes {}",

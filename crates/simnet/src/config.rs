@@ -188,7 +188,10 @@ impl SimConfig {
         );
         assert!(self.epoll_timeout_ns > 0, "epoll timeout must be positive");
         assert!(self.max_events >= 1, "max_events must be >= 1");
-        assert!(self.sample_interval_ns > 0, "sampling interval must be positive");
+        assert!(
+            self.sample_interval_ns > 0,
+            "sampling interval must be positive"
+        );
         if self.mode == Mode::UserspaceDispatcher {
             assert!(
                 self.workers >= 2,

@@ -44,9 +44,6 @@ pub use metrics::{DeviceReport, WorkerReport};
 pub use sim::Simulator;
 
 /// Convenience: run `workload` under `config` and return the report.
-pub fn run(
-    workload: &hermes_workload::Workload,
-    config: SimConfig,
-) -> metrics::DeviceReport {
+pub fn run(workload: &hermes_workload::Workload, config: SimConfig) -> metrics::DeviceReport {
     Simulator::new(config, workload).run()
 }

@@ -34,7 +34,13 @@ impl HermesState {
             wst: Arc::new(Wst::new(workers)),
             scheduler: Scheduler::new(config),
             native: (Arc::new(SelMap::new()), ConnDispatcher::new(workers)),
-            ebpf: use_ebpf.then(|| ReuseportGroup::new(workers)),
+            ebpf: use_ebpf.then(|| {
+                let g = ReuseportGroup::new(workers);
+                // The bytecode twin must be admitted by the static analysis
+                // with zero warnings before the simulator trusts it.
+                assert!(g.is_fast_path(), "dispatch program failed verification");
+                g
+            }),
             stats: SchedStats::default(),
         }
     }
@@ -138,7 +144,9 @@ impl Dispatcher {
                 order: WakeOrder::Fifo,
             },
             Mode::Reuseport => Dispatcher::Reuseport { workers },
-            Mode::Hermes => Dispatcher::Hermes(Box::new(HermesState::new(workers, hermes, use_ebpf))),
+            Mode::Hermes => {
+                Dispatcher::Hermes(Box::new(HermesState::new(workers, hermes, use_ebpf)))
+            }
             Mode::UserspaceDispatcher => Dispatcher::Userspace,
         }
     }
@@ -149,9 +157,9 @@ impl Dispatcher {
     pub fn assign_at_syn(&mut self, flow: &FlowKey, conn_counts: &[i64]) -> Option<usize> {
         match self {
             Dispatcher::Shared { .. } => None,
-            Dispatcher::Reuseport { workers } => Some(
-                hermes_core::hash::reciprocal_scale(flow.hash(), *workers as u32) as usize,
-            ),
+            Dispatcher::Reuseport { workers } => {
+                Some(hermes_core::hash::reciprocal_scale(flow.hash(), *workers as u32) as usize)
+            }
             Dispatcher::Hermes(h) => Some(h.dispatch(flow)),
             // All SYNs land on the dispatcher (worker 0); the backend is
             // chosen when the dispatcher accepts — but the choice only

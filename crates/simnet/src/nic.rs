@@ -67,10 +67,7 @@ mod tests {
         assert_eq!(total, 120_000);
         for (q, &c) in n.counts().iter().enumerate() {
             let share = c as f64 / total as f64;
-            assert!(
-                (share - 0.125).abs() < 0.02,
-                "queue {q} share {share}"
-            );
+            assert!((share - 0.125).abs() < 0.02, "queue {q} share {share}");
         }
     }
 

@@ -402,10 +402,13 @@ impl<'w> Simulator<'w> {
                 cost += costs.counter_ns + costs.sched_ns + costs.sync_ns;
             }
             self.workers[w].phase = Phase::Running;
-            self.push(self.now + cost, Ev::BatchDone {
-                worker: w,
-                batch_cost: cost,
-            });
+            self.push(
+                self.now + cost,
+                Ev::BatchDone {
+                    worker: w,
+                    batch_cost: cost,
+                },
+            );
             return;
         }
 
@@ -416,9 +419,7 @@ impl<'w> Simulator<'w> {
             // shm_busy_count(event_num) + per-event decrement + scheduler.
             let h = self.dispatcher.hermes_mut();
             h.wst.worker(w).add_pending(batch.len() as i64);
-            cost += costs.counter_ns * (1 + batch.len() as u64)
-                + costs.sched_ns
-                + costs.sync_ns;
+            cost += costs.counter_ns * (1 + batch.len() as u64) + costs.sched_ns + costs.sync_ns;
         }
 
         // Walk the batch accumulating completion times. The WST pending
@@ -469,10 +470,13 @@ impl<'w> Simulator<'w> {
         let batch_cost = t - self.now;
         self.worker_reports[w].batch_proc_ns.record(batch_cost);
         self.workers[w].phase = Phase::Running;
-        self.push(t, Ev::BatchDone {
-            worker: w,
-            batch_cost,
-        });
+        self.push(
+            t,
+            Ev::BatchDone {
+                worker: w,
+                batch_cost,
+            },
+        );
     }
 
     /// Execute `accept()` bookkeeping for connection `c` on worker `w`.
@@ -573,8 +577,7 @@ impl<'w> Simulator<'w> {
         // epoll_wait: immediate return if events are pending, else block.
         // Possibly-stale ready entries cost at most one empty batch, which
         // cleans them.
-        let has_shared_work =
-            !self.dispatcher.assigns_at_syn() && !self.ready_ports.is_empty();
+        let has_shared_work = !self.dispatcher.assigns_at_syn() && !self.ready_ports.is_empty();
         if !self.workers[w].pending.is_empty() || has_shared_work {
             self.start_batch(w);
         } else {
@@ -683,7 +686,9 @@ impl<'w> Simulator<'w> {
     fn on_probe_tick(&mut self) {
         let now = self.now;
         for w in 0..self.workers.len() {
-            self.workers[w].pending.push_back(IoEvent::Probe { submitted_ns: now });
+            self.workers[w]
+                .pending
+                .push_back(IoEvent::Probe { submitted_ns: now });
             self.probes_sent += 1;
             self.notify(w);
         }
@@ -870,10 +875,7 @@ mod tests {
         );
         let max = r.workers.iter().map(|w| w.accepted).max().unwrap();
         let min = r.workers.iter().map(|w| w.accepted).min().unwrap();
-        assert!(
-            max < 2 * min.max(1),
-            "hermes accept spread {min}..{max}"
-        );
+        assert!(max < 2 * min.max(1), "hermes accept spread {min}..{max}");
         assert!(r.sched.calls > 0);
     }
 
@@ -907,7 +909,10 @@ mod tests {
     #[test]
     fn crashed_reuseport_worker_strands_connections() {
         let mut cfg = SimConfig::new(4, Mode::Reuseport);
-        cfg.faults.push(Fault::Crash { worker: 1, at_ns: 0 });
+        cfg.faults.push(Fault::Crash {
+            worker: 1,
+            at_ns: 0,
+        });
         let wl = uniform_workload(1_000, 500_000, 20_000);
         let r = Simulator::new(cfg, &wl).run();
         // Roughly 1/4 of connections hash to the dead worker and strand.

@@ -124,7 +124,9 @@ mod tests {
 
     #[test]
     fn poisson_rate_converges() {
-        let p = ArrivalProcess::Poisson { rate_per_sec: 1_000.0 };
+        let p = ArrivalProcess::Poisson {
+            rate_per_sec: 1_000.0,
+        };
         let mut rng = crate::rng(11);
         let arrivals = p.generate(0, 20 * NANOS_PER_SEC, &mut rng);
         let rate = arrivals.len() as f64 / 20.0;
@@ -181,8 +183,10 @@ mod tests {
             hermes_metrics::welford::stddev_of(&counts)
         };
         let mut rng = crate::rng(15);
-        let poisson = ArrivalProcess::Poisson { rate_per_sec: 500.0 }
-            .generate(0, 60 * NANOS_PER_SEC, &mut rng);
+        let poisson = ArrivalProcess::Poisson {
+            rate_per_sec: 500.0,
+        }
+        .generate(0, 60 * NANOS_PER_SEC, &mut rng);
         let bursty = ArrivalProcess::OnOffBurst {
             on_rate_per_sec: 2_000.0,
             mean_on_secs: 0.5,
@@ -199,7 +203,9 @@ mod tests {
 
     #[test]
     fn empty_window_yields_no_arrivals() {
-        let p = ArrivalProcess::Poisson { rate_per_sec: 100.0 };
+        let p = ArrivalProcess::Poisson {
+            rate_per_sec: 100.0,
+        };
         let mut rng = crate::rng(16);
         assert!(p.generate(0, 0, &mut rng).is_empty());
     }

@@ -165,13 +165,7 @@ impl Case {
     /// Generate the case's workload for a device with `workers` workers
     /// over `duration_ns`, at the given load. Traffic is spread over
     /// [`Case::TENANTS`] tenant ports with mild Zipf skew.
-    pub fn workload(
-        self,
-        load: CaseLoad,
-        workers: usize,
-        duration_ns: u64,
-        seed: u64,
-    ) -> Workload {
+    pub fn workload(self, load: CaseLoad, workers: usize, duration_ns: u64, seed: u64) -> Workload {
         let mut rng = crate::rng(seed ^ (self as u64) << 8 ^ load.multiplier() as u64);
         let cps = self.base_cps_per_worker() * workers as f64 * load.multiplier();
         let tenants = TenantSet::new(vec![self.profile(); Self::TENANTS], 0.9, 20_000);

@@ -168,7 +168,10 @@ pub struct Pareto {
 impl Pareto {
     /// Pareto with minimum `scale` and tail index `alpha`.
     pub fn new(scale: f64, alpha: f64) -> Self {
-        assert!(scale > 0.0 && alpha > 0.0, "scale and alpha must be positive");
+        assert!(
+            scale > 0.0 && alpha > 0.0,
+            "scale and alpha must be positive"
+        );
         Self { scale, alpha }
     }
 }
@@ -252,7 +255,10 @@ impl Empirical {
     /// Build from a non-empty sample of finite values.
     pub fn new(values: Vec<f64>) -> Self {
         assert!(!values.is_empty(), "empirical distribution needs samples");
-        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "values must be finite"
+        );
         Self { values }
     }
 }
@@ -404,11 +410,7 @@ mod tests {
 
     #[test]
     fn mixture_blends_components() {
-        let m = Mixture::new(
-            Box::new(Constant(1.0)),
-            Box::new(Constant(100.0)),
-            0.1,
-        );
+        let m = Mixture::new(Box::new(Constant(1.0)), Box::new(Constant(100.0)), 0.1);
         let s = draw(&m, 50_000, 9);
         assert!((s.mean() - 10.9).abs() < 0.5);
         assert!((m.mean() - 10.9).abs() < 1e-12);

@@ -42,29 +42,61 @@ impl Region {
         [
             Region {
                 name: "Region1",
-                size_bytes: Percentiles { p50: 243.0, p90: 312.0, p99: 2491.0 },
-                proc_ms: Percentiles { p50: 2.0, p90: 9.0, p99: 42.0 },
+                size_bytes: Percentiles {
+                    p50: 243.0,
+                    p90: 312.0,
+                    p99: 2491.0,
+                },
+                proc_ms: Percentiles {
+                    p50: 2.0,
+                    p90: 9.0,
+                    p99: 42.0,
+                },
                 case_mix: [0.1945, 0.0055, 0.6561, 0.1439],
                 websocket_heavy: false,
             },
             Region {
                 name: "Region2",
-                size_bytes: Percentiles { p50: 831.0, p90: 3730.0, p99: 10132.0 },
-                proc_ms: Percentiles { p50: 10.0, p90: 77.0, p99: 8190.0 },
+                size_bytes: Percentiles {
+                    p50: 831.0,
+                    p90: 3730.0,
+                    p99: 10132.0,
+                },
+                proc_ms: Percentiles {
+                    p50: 10.0,
+                    p90: 77.0,
+                    p99: 8190.0,
+                },
                 case_mix: [0.0077, 0.0783, 0.0927, 0.8213],
                 websocket_heavy: false,
             },
             Region {
                 name: "Region3",
-                size_bytes: Percentiles { p50: 566.0, p90: 1951.0, p99: 50879.0 },
-                proc_ms: Percentiles { p50: 3.0, p90: 278.0, p99: 49005.0 },
+                size_bytes: Percentiles {
+                    p50: 566.0,
+                    p90: 1951.0,
+                    p99: 50879.0,
+                },
+                proc_ms: Percentiles {
+                    p50: 3.0,
+                    p90: 278.0,
+                    p99: 49005.0,
+                },
                 case_mix: [0.066, 0.029, 0.608, 0.297],
                 websocket_heavy: true,
             },
             Region {
                 name: "Region4",
-                size_bytes: Percentiles { p50: 721.0, p90: 1140.0, p99: 4638.0 },
-                proc_ms: Percentiles { p50: 4.0, p90: 14.0, p99: 239.0 },
+                size_bytes: Percentiles {
+                    p50: 721.0,
+                    p90: 1140.0,
+                    p99: 4638.0,
+                },
+                proc_ms: Percentiles {
+                    p50: 4.0,
+                    p90: 14.0,
+                    p99: 239.0,
+                },
                 case_mix: [0.0281, 0.0741, 0.8907, 0.0071],
                 websocket_heavy: false,
             },

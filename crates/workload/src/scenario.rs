@@ -87,7 +87,12 @@ pub fn surge(config: SurgeConfig, seed: u64) -> Workload {
         }
         w.push(ConnectionSpec {
             arrival_ns: arrival,
-            flow: FlowKey::new(0x0b00_0000 + i as u32, 2000 + (i % 30_000) as u16, 0x0aff_0001, 9000),
+            flow: FlowKey::new(
+                0x0b00_0000 + i as u32,
+                2000 + (i % 30_000) as u16,
+                0x0aff_0001,
+                9000,
+            ),
             tenant: 0,
             port: 9000,
             requests,
@@ -107,7 +112,12 @@ pub fn probes(interval_ns: u64, duration_ns: u64, port: u16) -> Workload {
     while t < duration_ns {
         w.push(ConnectionSpec {
             arrival_ns: t,
-            flow: FlowKey::new(0x0c00_0000 + i, 3000 + (i % 20_000) as u16, 0x0aff_0001, port),
+            flow: FlowKey::new(
+                0x0c00_0000 + i,
+                3000 + (i % 20_000) as u16,
+                0x0aff_0001,
+                port,
+            ),
             tenant: u16::MAX, // probe pseudo-tenant
             port,
             requests: vec![RequestSpec {
@@ -192,8 +202,7 @@ pub fn region_mix(
             continue;
         }
         let tenants = TenantSet::new(vec![case.profile()], 0.0, 20_000 + (i as u16) * 100);
-        for t in (ArrivalProcess::Poisson { rate_per_sec: cps })
-            .generate(0, duration_ns, &mut rng)
+        for t in (ArrivalProcess::Poisson { rate_per_sec: cps }).generate(0, duration_ns, &mut rng)
         {
             let mut conn = tenants.generate_connection(t, seq, &mut rng);
             conn.tenant = i as u16;
@@ -307,27 +316,38 @@ pub fn cc_attack(
     attack_factor: f64,
     seed: u64,
 ) -> Workload {
-    assert!(attack_at_ns < duration_ns, "attack must start inside the horizon");
+    assert!(
+        attack_at_ns < duration_ns,
+        "attack must start inside the horizon"
+    );
     assert!(attack_factor > 1.0, "attack must amplify traffic");
     let mut rng = crate::rng(seed);
     let victim_profile = TenantProfile::simple_http(250_000.0);
     let tenants = TenantSet::new(
-        vec![victim_profile.clone(), victim_profile, TenantProfile::simple_http(400_000.0)],
+        vec![
+            victim_profile.clone(),
+            victim_profile,
+            TenantProfile::simple_http(400_000.0),
+        ],
         0.8,
         6_000,
     );
     let base_cps = 80.0 * workers as f64;
     let mut w = tenants.workload(
         "cc-attack",
-        &ArrivalProcess::Poisson { rate_per_sec: base_cps },
+        &ArrivalProcess::Poisson {
+            rate_per_sec: base_cps,
+        },
         duration_ns,
         &mut rng,
     );
     // The attacker: tenant id 2's port floods from attack_at onward.
     let attack_cps = base_cps * attack_factor;
     let mut seq = 1_000_000u32;
-    for t in (ArrivalProcess::Poisson { rate_per_sec: attack_cps })
-        .generate(attack_at_ns, duration_ns - attack_at_ns, &mut rng)
+    for t in (ArrivalProcess::Poisson {
+        rate_per_sec: attack_cps,
+    })
+    .generate(attack_at_ns, duration_ns - attack_at_ns, &mut rng)
     {
         let mut conn = tenants.generate_connection_for(2, t, seq, &mut rng);
         // CC attacks use cheap-to-send, costly-to-serve requests; keep the

@@ -100,7 +100,9 @@ impl Workload {
         self.conns.sort_by_key(|c| c.arrival_ns);
         for c in &self.conns {
             debug_assert!(
-                c.requests.windows(2).all(|w| w[0].start_offset_ns <= w[1].start_offset_ns),
+                c.requests
+                    .windows(2)
+                    .all(|w| w[0].start_offset_ns <= w[1].start_offset_ns),
                 "requests must be sorted by start offset"
             );
         }
@@ -123,7 +125,11 @@ impl Workload {
         if self.duration_ns == 0 {
             return 0.0;
         }
-        let total: u64 = self.conns.iter().map(ConnectionSpec::total_service_ns).sum();
+        let total: u64 = self
+            .conns
+            .iter()
+            .map(ConnectionSpec::total_service_ns)
+            .sum();
         total as f64 / self.duration_ns as f64
     }
 
@@ -165,10 +171,7 @@ mod tests {
             size_bytes: 0,
         };
         assert_eq!(r.service_per_event_ns(), 25);
-        let degenerate = RequestSpec {
-            events: 0,
-            ..r
-        };
+        let degenerate = RequestSpec { events: 0, ..r };
         assert_eq!(degenerate.service_per_event_ns(), 100);
     }
 

@@ -135,7 +135,12 @@ impl TenantSet {
         let port = self.port_of(tenant);
         ConnectionSpec {
             arrival_ns,
-            flow: FlowKey::new(src_ip, src_port ^ (rng.random::<u16>() & 0x3ff), self.vip, port),
+            flow: FlowKey::new(
+                src_ip,
+                src_port ^ (rng.random::<u16>() & 0x3ff),
+                self.vip,
+                port,
+            ),
             tenant: tenant as u16,
             port,
             requests,
@@ -153,7 +158,11 @@ impl TenantSet {
         rng: &mut crate::Rng,
     ) -> Workload {
         let mut w = Workload::new(name, duration_ns);
-        for (seq, t) in process.generate(0, duration_ns, rng).into_iter().enumerate() {
+        for (seq, t) in process
+            .generate(0, duration_ns, rng)
+            .into_iter()
+            .enumerate()
+        {
             w.push(self.generate_connection(t, seq as u32, rng));
         }
         w.seal()
@@ -232,12 +241,17 @@ mod tests {
         let mut rng = crate::rng(23);
         let w = ts.workload(
             "smoke",
-            &ArrivalProcess::Poisson { rate_per_sec: 500.0 },
+            &ArrivalProcess::Poisson {
+                rate_per_sec: 500.0,
+            },
             2 * NANOS_PER_SEC,
             &mut rng,
         );
         assert!(w.connection_count() > 800 && w.connection_count() < 1_200);
-        assert!(w.conns.windows(2).all(|p| p[0].arrival_ns <= p[1].arrival_ns));
+        assert!(w
+            .conns
+            .windows(2)
+            .all(|p| p[0].arrival_ns <= p[1].arrival_ns));
         // Tenant 0 (rank 1) should dominate per Zipf.
         let t0 = w.conns.iter().filter(|c| c.tenant == 0).count();
         assert!(t0 as f64 / w.connection_count() as f64 > 0.55);

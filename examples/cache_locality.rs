@@ -20,7 +20,12 @@ fn main() {
         ("locality/balance trade (4 groups of 4)", 4),
         ("pure reuseport (16 groups of 1)", 1),
     ] {
-        let gs = GroupScheduler::new(total_workers, group_size, GroupBy::DipDport, SchedConfig::default());
+        let gs = GroupScheduler::new(
+            total_workers,
+            group_size,
+            GroupBy::DipDport,
+            SchedConfig::default(),
+        );
         // Bring all workers up.
         for g in 0..gs.group_count() {
             for w in 0..gs.group(g).workers() {
@@ -34,7 +39,12 @@ fn main() {
         let mut worker_conns = vec![0u32; total_workers];
         for tenant_port in [8443u16, 9443] {
             for i in 0..3_000u32 {
-                let flow = FlowKey::new(0x0a10_0000 + i, 1_024 + (i % 50_000) as u16, 0x0aff_0001, tenant_port);
+                let flow = FlowKey::new(
+                    0x0a10_0000 + i,
+                    1_024 + (i % 50_000) as u16,
+                    0x0aff_0001,
+                    tenant_port,
+                );
                 let (g, out) = gs.dispatch(&flow);
                 tenant_groups.entry(tenant_port).or_default().insert(g);
                 worker_conns[gs.global_id(g, out.worker())] += 1;

@@ -43,9 +43,7 @@ fn main() {
         s.shutdown(std::net::Shutdown::Write).unwrap();
         let mut out = String::new();
         let _ = s.read_to_string(&mut out);
-        out.lines().next().unwrap_or("").to_string()
-            + " | "
-            + out.lines().last().unwrap_or("")
+        out.lines().next().unwrap_or("").to_string() + " | " + out.lines().last().unwrap_or("")
     };
     println!("GET /api/users        -> {}", get("/api/users", "x"));
     println!("GET /api/users        -> {}", get("/api/users", "x"));

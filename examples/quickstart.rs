@@ -24,7 +24,10 @@ fn main() {
     // publishes the survivor bitmap to the kernel-visible map.
     let scheduler = Scheduler::new(SchedConfig::default());
     let decision = scheduler.schedule(&wst, 2_000_000);
-    println!("coarse-grained filter selected: {:?}", decision.bitmap.iter().collect::<Vec<_>>());
+    println!(
+        "coarse-grained filter selected: {:?}",
+        decision.bitmap.iter().collect::<Vec<_>>()
+    );
 
     let sel = SelMap::new();
     sel.store(decision.bitmap);
@@ -34,7 +37,12 @@ fn main() {
     let dispatcher = ConnDispatcher::new(workers);
     let mut per_worker = vec![0u32; workers];
     for i in 0..10_000u32 {
-        let flow = FlowKey::new(0x0a00_0000 + i, 40_000 + (i % 20_000) as u16, 0x0aff_0001, 443);
+        let flow = FlowKey::new(
+            0x0a00_0000 + i,
+            40_000 + (i % 20_000) as u16,
+            0x0aff_0001,
+            443,
+        );
         let outcome = dispatcher.dispatch(sel.load(), flow.hash());
         per_worker[outcome.worker()] += 1;
     }

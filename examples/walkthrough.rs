@@ -20,7 +20,12 @@ const PORT: u16 = 443;
 /// Find a flow whose reuseport hash lands on `target`.
 fn flow_hitting(target: usize, mut seed: u32) -> FlowKey {
     loop {
-        let f = FlowKey::new(0x0a00_0200 + seed, (1_000 + seed % 50_000) as u16, VIP, PORT);
+        let f = FlowKey::new(
+            0x0a00_0200 + seed,
+            (1_000 + seed % 50_000) as u16,
+            VIP,
+            PORT,
+        );
         if reciprocal_scale(f.hash(), WORKERS as u32) as usize == target {
             return f;
         }

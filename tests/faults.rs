@@ -164,9 +164,7 @@ fn degradation_policy_sheds_from_hot_worker() {
     let mut actions = 0;
     for (w, rep) in r.workers.iter().enumerate() {
         let conns = rep.final_connections.max(0) as usize + rep.accepted as usize;
-        if let DegradeAction::ResetConnections { .. } =
-            monitor.observe(w, rep.utilization, conns)
-        {
+        if let DegradeAction::ResetConnections { .. } = monitor.observe(w, rep.utilization, conns) {
             actions += 1;
         }
     }

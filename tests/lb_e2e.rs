@@ -3,7 +3,7 @@
 //! stack from paper model to bytes on a socket.
 
 use hermes::lb::prelude::*;
-use hermes::workload::distr::{Distribution, Zipf};
+use hermes::workload::distr::Zipf;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
@@ -12,7 +12,11 @@ use std::time::Duration;
 fn build_proxy(pools: usize, servers_per_pool: usize) -> Proxy {
     let mut router = Router::new();
     for p in 0..pools {
-        router.add_rule(Rule::new().path_prefix(format!("/t{p}")).pool(format!("pool{p}")));
+        router.add_rule(
+            Rule::new()
+                .path_prefix(format!("/t{p}"))
+                .pool(format!("pool{p}")),
+        );
     }
     let mut proxy = Proxy::new(router);
     for p in 0..pools {
@@ -92,6 +96,9 @@ fn keep_alive_survives_routing_misses() {
     let _ = s.read_to_string(&mut out);
     assert_eq!(out.matches("HTTP/1.1 200 OK").count(), 2, "{out}");
     assert_eq!(out.matches("HTTP/1.1 404").count(), 1, "{out}");
-    assert!(out.contains("via p1-s0"), "request after 404 must be served: {out}");
+    assert!(
+        out.contains("via p1-s0"),
+        "request after 404 must be served: {out}"
+    );
     lb.shutdown();
 }

@@ -66,14 +66,13 @@ fn runtime_and_simulator_agree_qualitatively() {
         std::thread::sleep(Duration::from_micros(25));
     }
     let threaded = rt.shutdown();
-    let top_threaded =
-        *threaded.accepted_per_worker.iter().max().unwrap() as f64 / 400.0;
+    let top_threaded = *threaded.accepted_per_worker.iter().max().unwrap() as f64 / 400.0;
 
     let wl = Case::Case1.workload(CaseLoad::Light, 4, 1_000_000_000, 17);
     let sim = hermes::simnet::run(&wl, SimConfig::new(4, Mode::Hermes));
     let total: u64 = sim.workers.iter().map(|w| w.accepted).sum();
-    let top_sim = sim.workers.iter().map(|w| w.accepted).max().unwrap() as f64
-        / total.max(1) as f64;
+    let top_sim =
+        sim.workers.iter().map(|w| w.accepted).max().unwrap() as f64 / total.max(1) as f64;
 
     assert!(top_threaded < 0.60, "threaded top share {top_threaded}");
     assert!(top_sim < 0.45, "simulated top share {top_sim}");
