@@ -1,0 +1,247 @@
+//! Event-engine throughput harness: the perf trajectory of the simulator
+//! core, tracked as `results/BENCH_simnet.json` from PR 2 on.
+//!
+//! Runs the Case-3 medium-load scenario (low CPS, long-lived connections —
+//! the workload whose pending-event population stresses the event queue
+//! hardest) under both event engines — the binary-heap reference and the
+//! hierarchical timer wheel — and reports events/sec and ns/event for
+//! each, plus the wheel-over-heap speedup. Both engines execute the exact
+//! same event sequence (see `crates/simnet/tests/engine_equivalence.rs`),
+//! so the wall-clock ratio isolates the engine cost.
+//!
+//! Flags:
+//!   --smoke            short horizon, single measured run (CI gate)
+//!   --out PATH         write JSON here (default results/BENCH_simnet.json)
+//!   --baseline PATH    compare against a checked-in baseline; exit 1 if
+//!                      wheel events/sec regresses more than 20%
+//!   --no-write         measure and check only, leave the baseline file
+//!   --workers N        worker processes (default 32)
+//!   --horizon-s N      simulated seconds (default 10; smoke uses 2)
+//!
+//! The regression gate compares *simulator throughput on this machine*
+//! against a baseline measured on a possibly different machine, so the
+//! 20% margin is deliberately generous; regenerate the baseline with
+//! `cargo run --release -p hermes-bench --bin simnet_throughput` when the
+//! engine legitimately changes speed.
+
+use hermes_simnet::{Engine, Mode, SimConfig, Simulator};
+use hermes_workload::{Case, CaseLoad};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const DEFAULT_WORKERS: usize = 32;
+const DEFAULT_HORIZON_S: u64 = 10;
+const SMOKE_HORIZON_S: u64 = 2;
+const REGRESSION_FRAC: f64 = 0.20;
+
+#[derive(Clone, Copy, Debug)]
+struct EngineResult {
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+}
+
+fn run_once(engine: Engine, workers: usize, horizon_ns: u64) -> (u64, f64) {
+    let wl = Case::Case3.workload(CaseLoad::Medium, workers, horizon_ns, SEED);
+    let mut cfg = SimConfig::new(workers, Mode::Hermes);
+    cfg.engine = engine;
+    let sim = Simulator::new(cfg, &wl);
+    let start = Instant::now();
+    let report = sim.run();
+    let secs = start.elapsed().as_secs_f64();
+    (report.events_processed, secs)
+}
+
+/// Best-of-`runs` wall time (the least-interfered-with run) after one
+/// untimed warmup.
+fn measure(engine: Engine, workers: usize, horizon_ns: u64, runs: usize) -> EngineResult {
+    run_once(engine, workers, horizon_ns); // warmup: faults, page cache, etc.
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..runs {
+        let (events, secs) = run_once(engine, workers, horizon_ns);
+        if best.is_none_or(|(_, b)| secs < b) {
+            best = Some((events, secs));
+        }
+    }
+    let (events, wall_seconds) = best.expect("runs >= 1");
+    EngineResult {
+        events,
+        wall_seconds,
+        events_per_sec: events as f64 / wall_seconds,
+        ns_per_event: wall_seconds * 1e9 / events as f64,
+    }
+}
+
+fn json_block(r: &EngineResult) -> String {
+    format!(
+        "{{\n      \"events\": {},\n      \"wall_seconds\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"ns_per_event\": {:.2}\n    }}",
+        r.events, r.wall_seconds, r.events_per_sec, r.ns_per_event
+    )
+}
+
+fn render_json(
+    workers: usize,
+    horizon_ns: u64,
+    smoke: bool,
+    heap: &EngineResult,
+    wheel: &EngineResult,
+) -> String {
+    format!(
+        "{{\n  \"benchmark\": \"simnet_throughput\",\n  \"scenario\": \"Case3-Medium / Hermes / {workers} workers\",\n  \"seed\": {SEED},\n  \"horizon_ns\": {horizon_ns},\n  \"smoke\": {smoke},\n  \"engines\": {{\n    \"heap\": {},\n    \"wheel\": {}\n  }},\n  \"speedup_wheel_over_heap\": {:.2}\n}}\n",
+        json_block(heap),
+        json_block(wheel),
+        wheel.events_per_sec / heap.events_per_sec
+    )
+}
+
+/// Pull `"events_per_sec": <number>` out of the `"wheel"` block of a
+/// baseline file without a JSON dependency (the bench crate has none).
+fn baseline_wheel_eps(contents: &str) -> Option<f64> {
+    let wheel = contents.find("\"wheel\"")?;
+    let tail = &contents[wheel..];
+    let key = "\"events_per_sec\":";
+    let at = tail.find(key)? + key.len();
+    let rest = tail[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut no_write = false;
+    let mut out = String::from("results/BENCH_simnet.json");
+    let mut baseline: Option<String> = None;
+    let mut workers = DEFAULT_WORKERS;
+    let mut horizon_s: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--no-write" => no_write = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a count")
+            }
+            "--horizon-s" => {
+                horizon_s = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--horizon-s needs seconds"),
+                )
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let horizon_ns = horizon_s.unwrap_or(if smoke {
+        SMOKE_HORIZON_S
+    } else {
+        DEFAULT_HORIZON_S
+    }) * 1_000_000_000;
+    let runs = if smoke { 1 } else { 3 };
+
+    println!(
+        "simnet_throughput: Case3-Medium / Hermes / {workers} workers, {}s horizon, {runs} run(s) per engine{}",
+        horizon_ns / 1_000_000_000,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let heap = measure(Engine::Heap, workers, horizon_ns, runs);
+    println!(
+        "  heap : {:>12} events  {:>8.3}s  {:>12.0} events/sec  {:>7.1} ns/event",
+        heap.events, heap.wall_seconds, heap.events_per_sec, heap.ns_per_event
+    );
+    let wheel = measure(Engine::Wheel, workers, horizon_ns, runs);
+    println!(
+        "  wheel: {:>12} events  {:>8.3}s  {:>12.0} events/sec  {:>7.1} ns/event",
+        wheel.events, wheel.wall_seconds, wheel.events_per_sec, wheel.ns_per_event
+    );
+    assert_eq!(
+        heap.events, wheel.events,
+        "engines must execute the same event sequence"
+    );
+    println!(
+        "  speedup (wheel over heap): {:.2}x",
+        wheel.events_per_sec / heap.events_per_sec
+    );
+
+    let mut failed = false;
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(contents) => match baseline_wheel_eps(&contents) {
+                Some(base) => {
+                    let floor = base * (1.0 - REGRESSION_FRAC);
+                    if wheel.events_per_sec < floor {
+                        eprintln!(
+                            "REGRESSION: wheel {:.0} events/sec is more than {:.0}% below baseline {:.0} (floor {:.0})",
+                            wheel.events_per_sec,
+                            REGRESSION_FRAC * 100.0,
+                            base,
+                            floor
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "  baseline check: {:.0} events/sec vs baseline {:.0} (floor {:.0}) — ok",
+                            wheel.events_per_sec, base, floor
+                        );
+                    }
+                }
+                None => {
+                    eprintln!("baseline {path} has no wheel events_per_sec field");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if !no_write {
+        let json = render_json(workers, horizon_ns, smoke, &heap, &wheel);
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&out, json).expect("write BENCH_simnet.json");
+        println!("  wrote {out}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_parse_finds_the_wheel_block() {
+        let heap = EngineResult {
+            events: 100,
+            wall_seconds: 2.0,
+            events_per_sec: 50.0,
+            ns_per_event: 2e7,
+        };
+        let wheel = EngineResult {
+            events: 100,
+            wall_seconds: 1.0,
+            events_per_sec: 100.0,
+            ns_per_event: 1e7,
+        };
+        let json = render_json(8, 1_000_000_000, false, &heap, &wheel);
+        // Must pick the wheel block's figure, not the heap's.
+        assert_eq!(baseline_wheel_eps(&json), Some(100.0));
+        assert_eq!(baseline_wheel_eps("not json"), None);
+    }
+}

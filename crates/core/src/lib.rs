@@ -85,7 +85,7 @@ pub use sched::{FilterStage, SchedConfig, SchedDecision, Scheduler};
 pub use sdk::{SyncTarget, WorkerSession};
 pub use selmap::{SelMap, SockArray};
 pub use status::{WorkerSnapshot, WorkerStatus};
-pub use wst::Wst;
+pub use wst::{SnapshotCache, Wst};
 
 /// Identifies a worker within one LB device (dense, 0-based).
 pub type WorkerId = usize;

@@ -18,7 +18,7 @@
 
 use crate::bitmap::WorkerBitmap;
 use crate::status::WorkerSnapshot;
-use crate::wst::Wst;
+use crate::wst::{SnapshotCache, Wst};
 
 /// One stage of the cascade; reorderable for the filter-order ablation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -113,11 +113,27 @@ impl Scheduler {
     ///
     /// This is `schedule_and_sync` minus the sync: the caller stores
     /// `decision.bitmap` into a [`crate::SelMap`] (and, in the eBPF-backed
-    /// deployments, into the `BPF_MAP_TYPE_ARRAY` slot).
+    /// deployments, into the `BPF_MAP_TYPE_ARRAY` slot). Allocates a
+    /// snapshot buffer per call — loop-resident callers should hold a
+    /// [`SnapshotCache`] and use [`Scheduler::schedule_into`] instead.
     pub fn schedule(&self, wst: &Wst, now_ns: u64) -> SchedDecision {
         let mut buf = Vec::with_capacity(wst.workers());
         wst.snapshot_into(&mut buf);
         self.schedule_from_snapshot(&buf, now_ns)
+    }
+
+    /// Allocation-free `schedule`: snapshots through the caller-held
+    /// epoch-tagged cache, so an unchanged WST costs one epoch read and
+    /// zero metric loads. This is the per-loop-iteration entry point
+    /// (§5.3.2 runs the scheduler at the end of *every* event loop pass).
+    pub fn schedule_into(
+        &self,
+        wst: &Wst,
+        now_ns: u64,
+        cache: &mut SnapshotCache,
+    ) -> SchedDecision {
+        let snapshot = wst.snapshot_cached(cache);
+        self.schedule_from_snapshot(snapshot, now_ns)
     }
 
     /// Run the cascade over an already-taken snapshot (for tests, the
@@ -360,6 +376,29 @@ mod tests {
         let d = sched().schedule(&wst, 1_020);
         assert!(!d.bitmap.contains(1));
         assert!(d.bitmap.contains(0) && d.bitmap.contains(2));
+    }
+
+    #[test]
+    fn schedule_into_matches_schedule_and_caches() {
+        let wst = Wst::new(4);
+        for w in 0..4 {
+            wst.worker(w).enter_loop(1_000);
+        }
+        wst.worker(3).conn_delta(200);
+        let s = sched();
+        let mut cache = SnapshotCache::new();
+        let a = s.schedule(&wst, 1_050);
+        let b = s.schedule_into(&wst, 1_050, &mut cache);
+        assert_eq!(a, b);
+        // Unchanged table: the second pass is a cache hit with the same
+        // decision.
+        let c = s.schedule_into(&wst, 1_050, &mut cache);
+        assert_eq!(b, c);
+        assert_eq!(cache.hits, 1);
+        // New writes flow through.
+        wst.worker(0).conn_delta(500);
+        let d = s.schedule_into(&wst, 1_060, &mut cache);
+        assert!(!d.bitmap.contains(0));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use crate::bitmap::WorkerBitmap;
 use crate::sched::{SchedConfig, SchedDecision, Scheduler};
 use crate::selmap::SelMap;
-use crate::wst::Wst;
+use crate::wst::{SnapshotCache, Wst};
 use crate::WorkerId;
 use std::sync::Arc;
 
@@ -61,6 +61,9 @@ pub struct WorkerSession<T: SyncTarget> {
     scheduler: Scheduler,
     target: Arc<T>,
     sched_calls: u64,
+    /// Epoch-tagged snapshot buffer: scheduling allocates nothing, and an
+    /// unchanged table skips the snapshot copy entirely.
+    snap_cache: SnapshotCache,
 }
 
 impl<T: SyncTarget> WorkerSession<T> {
@@ -74,6 +77,7 @@ impl<T: SyncTarget> WorkerSession<T> {
             scheduler: Scheduler::new(config),
             target,
             sched_calls: 0,
+            snap_cache: SnapshotCache::new(),
         }
     }
 
@@ -120,7 +124,9 @@ impl<T: SyncTarget> WorkerSession<T> {
     /// Fig. 9 line 20: run Algorithm 1 over the whole table and publish
     /// the bitmap. Returns the decision for the caller's own telemetry.
     pub fn schedule_and_sync(&mut self, now_ns: u64) -> SchedDecision {
-        let decision = self.scheduler.schedule(&self.wst, now_ns);
+        let decision = self
+            .scheduler
+            .schedule_into(&self.wst, now_ns, &mut self.snap_cache);
         self.target.sync(decision.bitmap);
         self.sched_calls += 1;
         decision
@@ -133,9 +139,11 @@ impl<T: SyncTarget> WorkerSession<T> {
 
     /// The scheduling half of [`schedule_and_sync`](Self::schedule_and_sync)
     /// alone — for callers that instrument the scheduler and the map sync
-    /// separately (Table 5's "Scheduler" vs "System call" columns).
-    pub fn schedule_only(&self, now_ns: u64) -> SchedDecision {
-        self.scheduler.schedule(&self.wst, now_ns)
+    /// separately (Table 5's "Scheduler" vs "System call" columns). Takes
+    /// `&mut self` for the session's snapshot cache.
+    pub fn schedule_only(&mut self, now_ns: u64) -> SchedDecision {
+        self.scheduler
+            .schedule_into(&self.wst, now_ns, &mut self.snap_cache)
     }
 
     /// The publish half: push a previously computed bitmap.

@@ -1,5 +1,6 @@
 //! Simulator configuration: dispatch mode, cost model, faults.
 
+use crate::event_queue::Engine;
 use hermes_core::sched::SchedConfig;
 use hermes_metrics::NANOS_PER_MILLI;
 
@@ -136,6 +137,11 @@ pub struct SimConfig {
     /// Run `schedule_and_sync` at the *start* of the loop instead of the
     /// end (§5.3.2 scheduling-timing ablation).
     pub sched_at_loop_start: bool,
+    /// Event-queue engine: the timer wheel (default) or the binary-heap
+    /// reference implementation (equivalence testing, before/after
+    /// benchmarking). Behaviourally identical by construction and by the
+    /// `engine_equivalence` suite.
+    pub engine: Engine,
     /// Metrics sampling interval (CPU util, connection counts).
     pub sample_interval_ns: u64,
     /// Injected faults.
@@ -170,6 +176,7 @@ impl SimConfig {
             hermes: SchedConfig::default(),
             use_ebpf: false,
             sched_at_loop_start: false,
+            engine: Engine::default(),
             sample_interval_ns: 100 * NANOS_PER_MILLI,
             faults: Vec::new(),
             nic_queues: 0,

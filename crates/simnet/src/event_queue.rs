@@ -1,0 +1,553 @@
+//! Event engines for the discrete-event core.
+//!
+//! The simulator needs one operation pair — `push(t, ev)` / `pop() ->
+//! (t, ev)` in nondecreasing `t` order, FIFO within a timestamp — executed
+//! hundreds of millions of times per evaluation sweep. Two engines
+//! implement it:
+//!
+//! * [`TimerWheel`] — a hierarchical timing wheel (Varghese–Lauck style,
+//!   as in kernel timers and tokio): 11 levels of 64 slots each cover the
+//!   full `u64` nanosecond range at 1 ns near-wheel granularity. Schedule
+//!   and pop are amortized O(1); `Item` nodes live in a single arena and
+//!   are recycled through a free list, so a steady-state run allocates
+//!   nothing per event. This is the default engine.
+//! * [`HeapQueue`] — the original `BinaryHeap<Reverse<Item>>`, kept as the
+//!   reference implementation: O(log n) per operation, one heap entry per
+//!   pending event. The equivalence suite replays identical workloads
+//!   through both engines and asserts identical observable behaviour.
+//!
+//! Both engines break timestamp ties by insertion sequence (FIFO), which
+//! is what makes replays deterministic and lets golden results carry over
+//! across the engine swap. The wheel gets FIFO order for free: level 0 has
+//! 1 ns granularity, so every slot list holds exactly one timestamp and
+//! append order *is* sequence order; cascades from overflow levels drain
+//! their slot lists in FIFO order into lower levels, preserving it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which event engine a [`crate::SimConfig`] selects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Hierarchical timer wheel: amortized O(1), arena-recycled nodes.
+    #[default]
+    Wheel,
+    /// Binary-heap reference implementation: O(log n) per operation.
+    Heap,
+}
+
+impl Engine {
+    /// Display name for harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Wheel => "wheel",
+            Engine::Heap => "heap",
+        }
+    }
+}
+
+/// Bits of the timestamp consumed per wheel level (64 slots).
+const SLOT_BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Slot-index mask.
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+/// Levels needed to cover all 64 timestamp bits (11 × 6 = 66 ≥ 64).
+const LEVELS: usize = 64usize.div_ceil(SLOT_BITS);
+/// Null arena index.
+const NIL: u32 = u32::MAX;
+
+/// One pending event in the wheel arena, linked into a slot list.
+#[derive(Clone, Copy, Debug)]
+struct Node<E> {
+    t: u64,
+    ev: E,
+    next: u32,
+}
+
+/// Hierarchical timing wheel over `u64` nanosecond timestamps.
+///
+/// Level `l` spans `64^(l+1)` ns in 64 slots of `64^l` ns each. An event
+/// lives at the lowest level whose slot width still separates it from the
+/// current time (`elapsed`); popping past a level-`l` slot boundary
+/// cascades that slot's events down to finer levels. Nodes are recycled
+/// through a free list, so arena size tracks the *peak* number of pending
+/// events, not the total pushed.
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    nodes: Vec<Node<E>>,
+    free_head: u32,
+    /// Slot list heads/tails, flattened `[level][slot]`.
+    heads: Box<[u32]>,
+    tails: Box<[u32]>,
+    /// Per-level occupancy bitmap (bit = slot has a non-empty list).
+    occ: [u64; LEVELS],
+    /// Timestamp of the most recent pop (the wheel's notion of "now").
+    elapsed: u64,
+    len: usize,
+}
+
+impl<E: Copy> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Copy> TimerWheel<E> {
+    /// An empty wheel at time 0.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty wheel with `n` arena nodes pre-allocated.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(n),
+            free_head: NIL,
+            heads: vec![NIL; LEVELS * SLOTS].into_boxed_slice(),
+            tails: vec![NIL; LEVELS * SLOTS].into_boxed_slice(),
+            occ: [0; LEVELS],
+            elapsed: 0,
+            len: 0,
+        }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arena nodes ever allocated (peak concurrent events, thanks to the
+    /// free list).
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Schedule `ev` at time `t`. Times earlier than the last pop are
+    /// clamped to it (the simulator never schedules into the past; the
+    /// clamp keeps the wheel's window invariants unconditionally sound).
+    pub fn push(&mut self, t: u64, ev: E) {
+        let t = t.max(self.elapsed);
+        let idx = match self.free_head {
+            NIL => {
+                self.nodes.push(Node { t, ev, next: NIL });
+                (self.nodes.len() - 1) as u32
+            }
+            idx => {
+                self.free_head = self.nodes[idx as usize].next;
+                self.nodes[idx as usize] = Node { t, ev, next: NIL };
+                idx
+            }
+        };
+        self.link(idx, t);
+        self.len += 1;
+    }
+
+    /// Lowest level whose slot width separates `t` from `elapsed`: the
+    /// position of the highest differing bit, in units of [`SLOT_BITS`].
+    /// The `| SLOT_MASK` forces level 0 when the times share a slot.
+    #[inline]
+    fn level_for(elapsed: u64, t: u64) -> usize {
+        let distinct = (elapsed ^ t) | SLOT_MASK;
+        ((63 - distinct.leading_zeros()) / SLOT_BITS as u32) as usize
+    }
+
+    /// Append node `idx` (timestamp `t`) to its slot list.
+    #[inline]
+    fn link(&mut self, idx: u32, t: u64) {
+        let level = Self::level_for(self.elapsed, t);
+        let slot = ((t >> (SLOT_BITS * level)) & SLOT_MASK) as usize;
+        let s = level * SLOTS + slot;
+        if self.heads[s] == NIL {
+            self.heads[s] = idx;
+        } else {
+            self.nodes[self.tails[s] as usize].next = idx;
+        }
+        self.tails[s] = idx;
+        self.occ[level] |= 1 << slot;
+    }
+
+    /// Remove and return the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Level 0 slots each hold exactly one timestamp within the
+            // current 64 ns window; the lowest occupied slot at or after
+            // the cursor is the global minimum.
+            let cursor0 = self.elapsed & SLOT_MASK;
+            let pending0 = self.occ[0] & (!0u64 << cursor0);
+            if pending0 != 0 {
+                let slot = pending0.trailing_zeros() as usize;
+                let idx = self.heads[slot] as usize;
+                let node = self.nodes[idx];
+                self.heads[slot] = node.next;
+                if node.next == NIL {
+                    self.tails[slot] = NIL;
+                    self.occ[0] &= !(1 << slot);
+                }
+                self.nodes[idx].next = self.free_head;
+                self.free_head = idx as u32;
+                self.len -= 1;
+                debug_assert!(node.t >= self.elapsed);
+                self.elapsed = node.t;
+                return Some((node.t, node.ev));
+            }
+            // Near wheel exhausted: advance to the next occupied slot of
+            // the lowest pending overflow level and cascade it downward.
+            // Draining in FIFO order re-links same-timestamp runs in their
+            // original sequence, preserving the tie-break.
+            let mut cascaded = false;
+            for level in 1..LEVELS {
+                let shift = SLOT_BITS * level;
+                let cursor = (self.elapsed >> shift) & SLOT_MASK;
+                let pending = self.occ[level] & (!0u64 << cursor);
+                if pending == 0 {
+                    continue;
+                }
+                let slot = pending.trailing_zeros() as u64;
+                let upper_shift = shift + SLOT_BITS;
+                let upper = if upper_shift >= 64 {
+                    0
+                } else {
+                    (self.elapsed >> upper_shift) << upper_shift
+                };
+                let slot_start = upper | (slot << shift);
+                debug_assert!(slot_start >= self.elapsed);
+                self.elapsed = slot_start;
+                let s = level * SLOTS + slot as usize;
+                let mut idx = self.heads[s];
+                self.heads[s] = NIL;
+                self.tails[s] = NIL;
+                self.occ[level] &= !(1 << slot);
+                while idx != NIL {
+                    let next = self.nodes[idx as usize].next;
+                    self.nodes[idx as usize].next = NIL;
+                    let t = self.nodes[idx as usize].t;
+                    self.link(idx, t);
+                    idx = next;
+                }
+                cascaded = true;
+                break;
+            }
+            debug_assert!(cascaded, "non-empty wheel failed to make progress");
+            if !cascaded {
+                return None;
+            }
+        }
+    }
+}
+
+/// Heap entry ordered by (time, sequence) only — the payload does not
+/// participate, so `E` needs no `Ord`.
+#[derive(Clone, Copy, Debug)]
+struct HeapItem<E> {
+    t: u64,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.t, self.seq) == (other.t, other.seq)
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The original binary-heap engine, kept as the reference implementation
+/// for equivalence testing and before/after benchmarking.
+#[derive(Debug)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<HeapItem<E>>>,
+    seq: u64,
+    /// Timestamp of the last pop; pushes clamp to it, mirroring the
+    /// wheel's behaviour exactly.
+    elapsed: u64,
+}
+
+impl<E: Copy> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Copy> HeapQueue<E> {
+    /// An empty heap at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            elapsed: 0,
+        }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `ev` at time `t` (clamped to the last popped time).
+    pub fn push(&mut self, t: u64, ev: E) {
+        let t = t.max(self.elapsed);
+        self.seq += 1;
+        self.heap.push(Reverse(HeapItem {
+            t,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Remove and return the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse(item) = self.heap.pop()?;
+        self.elapsed = item.t;
+        Some((item.t, item.ev))
+    }
+}
+
+/// Engine-dispatched event queue: the simulator holds one of these and
+/// stays agnostic to which engine backs it.
+#[derive(Debug)]
+pub enum EventQueue<E> {
+    /// Timer-wheel engine (default).
+    Wheel(TimerWheel<E>),
+    /// Heap reference engine.
+    Heap(HeapQueue<E>),
+}
+
+impl<E: Copy> EventQueue<E> {
+    /// Build the queue for the selected engine.
+    pub fn new(engine: Engine) -> Self {
+        match engine {
+            Engine::Wheel => EventQueue::Wheel(TimerWheel::new()),
+            Engine::Heap => EventQueue::Heap(HeapQueue::new()),
+        }
+    }
+
+    /// Schedule `ev` at time `t`.
+    #[inline]
+    pub fn push(&mut self, t: u64, ev: E) {
+        match self {
+            EventQueue::Wheel(q) => q.push(t, ev),
+            EventQueue::Heap(q) => q.push(t, ev),
+        }
+    }
+
+    /// Remove and return the earliest event (FIFO among equal times).
+    #[inline]
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        match self {
+            EventQueue::Wheel(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(q) => q.len(),
+            EventQueue::Heap(q) => q.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64: cheap deterministic pseudo-randomness for stress tests.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = TimerWheel::new();
+        for &t in &[5u64, 1, 9, 3, 7, 2, 8, 0, 6, 4] {
+            w.push(t, t as u32);
+        }
+        let mut out = Vec::new();
+        while let Some((t, ev)) = w.pop() {
+            assert_eq!(t, ev as u64);
+            out.push(t);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        // Ties at a far-future timestamp survive one or more cascades.
+        for &t in &[0u64, 63, 64, 4096, 1 << 30, u64::MAX / 2] {
+            let mut w = TimerWheel::new();
+            for i in 0..100u32 {
+                w.push(t, i);
+            }
+            for i in 0..100u32 {
+                assert_eq!(w.pop(), Some((t, i)), "tie order at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_ties_keep_global_insertion_order() {
+        let mut w = TimerWheel::new();
+        let mut h = HeapQueue::new();
+        // Interleave pushes at two future times, then pop everything.
+        for i in 0..50u32 {
+            let t = if i % 2 == 0 { 10_000 } else { 20_000 };
+            w.push(t, i);
+            h.push(t, i);
+        }
+        for _ in 0..50 {
+            assert_eq!(w.pop(), h.pop());
+        }
+    }
+
+    #[test]
+    fn random_interleaving_matches_heap() {
+        let mut w = TimerWheel::new();
+        let mut h = HeapQueue::new();
+        let mut rng = 0x1234_5678u64;
+        let mut now = 0u64;
+        for round in 0..20_000 {
+            let r = splitmix(&mut rng);
+            if r % 3 < 2 || w.is_empty() {
+                // Push at now + a delta spanning many magnitudes.
+                let exp = (r >> 8) % 40;
+                let delta = (r >> 16) % (1 << exp).max(1);
+                w.push(now + delta, round as u32);
+                h.push(now + delta, round as u32);
+            } else {
+                let (a, b) = (w.pop(), h.pop());
+                assert_eq!(a, b);
+                now = a.unwrap().0;
+            }
+        }
+        while !w.is_empty() {
+            assert_eq!(w.pop(), h.pop());
+        }
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn extreme_timestamps() {
+        let mut w = TimerWheel::new();
+        w.push(u64::MAX, 1u32);
+        w.push(0, 2);
+        w.push(u64::MAX - 1, 3);
+        w.push(1 << 63, 4);
+        assert_eq!(w.pop(), Some((0, 2)));
+        assert_eq!(w.pop(), Some((1 << 63, 4)));
+        assert_eq!(w.pop(), Some((u64::MAX - 1, 3)));
+        assert_eq!(w.pop(), Some((u64::MAX, 1)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn past_pushes_clamp_to_elapsed() {
+        let mut w = TimerWheel::new();
+        let mut h = HeapQueue::new();
+        w.push(1_000, 1u32);
+        h.push(1_000, 1u32);
+        assert_eq!(w.pop(), Some((1_000, 1)));
+        assert_eq!(h.pop(), Some((1_000, 1)));
+        // t=5 is in the past; both engines deliver it at elapsed (1000).
+        w.push(5, 2);
+        h.push(5, 2);
+        w.push(1_000, 3);
+        h.push(1_000, 3);
+        assert_eq!(w.pop(), Some((1_000, 2)));
+        assert_eq!(h.pop(), Some((1_000, 2)));
+        assert_eq!(w.pop(), Some((1_000, 3)));
+        assert_eq!(h.pop(), Some((1_000, 3)));
+    }
+
+    #[test]
+    fn arena_recycles_nodes() {
+        let mut w = TimerWheel::new();
+        // Steady state: never more than 8 pending, over many churns.
+        let mut t = 0u64;
+        for i in 0..10_000u64 {
+            w.push(t + 100 + i % 7, 0u32);
+            if w.len() >= 8 {
+                t = w.pop().unwrap().0;
+            }
+        }
+        assert!(
+            w.arena_size() <= 16,
+            "arena grew to {} nodes for 8 concurrent events",
+            w.arena_size()
+        );
+    }
+
+    #[test]
+    fn empty_pop_is_none_and_queue_reusable() {
+        let mut q = EventQueue::new(Engine::Wheel);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(7, 'x');
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((7, 'x')));
+        assert_eq!(q.pop(), None);
+        q.push(9, 'y');
+        assert_eq!(q.pop(), Some((9, 'y')));
+    }
+
+    #[test]
+    fn engine_selector_round_trip() {
+        assert_eq!(Engine::default(), Engine::Wheel);
+        assert_eq!(Engine::Wheel.name(), "wheel");
+        assert_eq!(Engine::Heap.name(), "heap");
+        assert!(matches!(
+            EventQueue::<u8>::new(Engine::Heap),
+            EventQueue::Heap(_)
+        ));
+    }
+
+    #[test]
+    fn dense_same_window_burst() {
+        // Everything lands inside one 64 ns level-0 window.
+        let mut w = TimerWheel::new();
+        let mut h = HeapQueue::new();
+        let mut rng = 42u64;
+        for i in 0..1_000u32 {
+            let t = splitmix(&mut rng) % 64;
+            w.push(t, i);
+            h.push(t, i);
+        }
+        for _ in 0..1_000 {
+            assert_eq!(w.pop(), h.pop());
+        }
+    }
+}

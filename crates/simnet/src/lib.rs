@@ -32,15 +32,19 @@
 
 pub mod cluster;
 pub mod config;
+pub mod event_queue;
 pub mod metrics;
 pub mod modes;
 pub mod nic;
+pub mod ports;
 pub mod sim;
 pub mod state;
 
 pub use cluster::{run_cluster, ClusterReport};
 pub use config::{CostParams, Fault, Mode, SimConfig};
+pub use event_queue::{Engine, EventQueue, HeapQueue, TimerWheel};
 pub use metrics::{DeviceReport, WorkerReport};
+pub use ports::PortTable;
 pub use sim::Simulator;
 
 /// Convenience: run `workload` under `config` and return the report.

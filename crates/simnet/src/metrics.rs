@@ -99,6 +99,9 @@ pub struct DeviceReport {
     pub label: String,
     /// Horizon simulated (ns).
     pub horizon_ns: u64,
+    /// Simulation events executed by the engine over the run (the
+    /// denominator of the `simnet_throughput` events/sec figure).
+    pub events_processed: u64,
     /// End-to-end request latency (readable → fully processed).
     pub request_latency: Histogram,
     /// Latency of health probes (per-worker injected probes and probe
@@ -222,6 +225,7 @@ mod tests {
         DeviceReport {
             label: "t".into(),
             horizon_ns: 1_000_000_000,
+            events_processed: 0,
             request_latency: Histogram::latency(),
             probe_latency: Histogram::latency(),
             probes_sent: 0,

@@ -11,7 +11,7 @@ use crate::metrics::SchedStats;
 use hermes_core::dispatch::{ConnDispatcher, DispatchOutcome};
 use hermes_core::sched::{SchedConfig, Scheduler};
 use hermes_core::selmap::SelMap;
-use hermes_core::wst::Wst;
+use hermes_core::wst::{SnapshotCache, Wst};
 use hermes_core::FlowKey;
 use hermes_ebpf::ReuseportGroup;
 use std::sync::Arc;
@@ -22,6 +22,9 @@ pub struct HermesState {
     /// The shared worker status table.
     pub wst: Arc<Wst>,
     scheduler: Scheduler,
+    /// Epoch-tagged snapshot buffer for the scheduler (no per-call
+    /// allocation; unchanged WSTs skip the snapshot copy).
+    snap_cache: SnapshotCache,
     native: (Arc<SelMap>, ConnDispatcher),
     ebpf: Option<ReuseportGroup>,
     /// Scheduler/dispatch statistics (Fig. 14).
@@ -33,6 +36,7 @@ impl HermesState {
         Self {
             wst: Arc::new(Wst::new(workers)),
             scheduler: Scheduler::new(config),
+            snap_cache: SnapshotCache::new(),
             native: (Arc::new(SelMap::new()), ConnDispatcher::new(workers)),
             ebpf: use_ebpf.then(|| {
                 let g = ReuseportGroup::new(workers);
@@ -48,7 +52,9 @@ impl HermesState {
     /// `schedule_and_sync` (Algorithm 1): run the cascade and publish the
     /// bitmap to the kernel-visible map.
     pub fn schedule_and_sync(&mut self, now_ns: u64) {
-        let decision = self.scheduler.schedule(&self.wst, now_ns);
+        let decision = self
+            .scheduler
+            .schedule_into(&self.wst, now_ns, &mut self.snap_cache);
         self.native.0.store(decision.bitmap);
         if let Some(g) = &self.ebpf {
             g.sync_bitmap(decision.bitmap);
@@ -178,41 +184,38 @@ impl Dispatcher {
     }
 
     /// For shared-queue modes: which idle workers to wake when a
-    /// connection lands in a shared accept queue. `idle` flags index by
-    /// worker id; registration order is 0..n, so LIFO prefers high ids.
-    pub fn pick_wake(&mut self, idle: &[bool]) -> Vec<usize> {
+    /// connection lands in a shared accept queue, written into the
+    /// caller's reusable buffer (cleared first — per-SYN allocation-free).
+    /// `idle` flags index by worker id; registration order is 0..n, so
+    /// LIFO prefers high ids.
+    pub fn pick_wake(&mut self, idle: &[bool], out: &mut Vec<usize>) {
+        out.clear();
         match self {
             Dispatcher::Shared { order } => match order {
-                WakeOrder::Lifo => idle
-                    .iter()
-                    .enumerate()
-                    .rev()
-                    .find(|(_, &i)| i)
-                    .map(|(w, _)| vec![w])
-                    .unwrap_or_default(),
-                WakeOrder::Fifo => idle
-                    .iter()
-                    .enumerate()
-                    .find(|(_, &i)| i)
-                    .map(|(w, _)| vec![w])
-                    .unwrap_or_default(),
+                WakeOrder::Lifo => {
+                    if let Some((w, _)) = idle.iter().enumerate().rev().find(|(_, &i)| i) {
+                        out.push(w);
+                    }
+                }
+                WakeOrder::Fifo => {
+                    if let Some((w, _)) = idle.iter().enumerate().find(|(_, &i)| i) {
+                        out.push(w);
+                    }
+                }
                 WakeOrder::RoundRobin { cursor } => {
                     let n = idle.len();
                     for k in 0..n {
                         let w = (*cursor + k) % n;
                         if idle[w] {
                             *cursor = (w + 1) % n;
-                            return vec![w];
+                            out.push(w);
+                            break;
                         }
                     }
-                    Vec::new()
                 }
-                WakeOrder::All => idle
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &i)| i)
-                    .map(|(w, _)| w)
-                    .collect(),
+                WakeOrder::All => {
+                    out.extend(idle.iter().enumerate().filter(|(_, &i)| i).map(|(w, _)| w));
+                }
             },
             _ => unreachable!("pick_wake only applies to shared-queue modes"),
         }
@@ -248,38 +251,55 @@ mod tests {
         SchedConfig::default()
     }
 
+    /// Test shim over the buffer-filling `pick_wake`.
+    fn wake(d: &mut Dispatcher, idle: &[bool]) -> Vec<usize> {
+        let mut out = Vec::new();
+        d.pick_wake(idle, &mut out);
+        out
+    }
+
     #[test]
     fn lifo_prefers_most_recently_registered() {
         let mut d = Dispatcher::new(Mode::ExclusiveLifo, 4, cfg(), false);
-        assert_eq!(d.pick_wake(&[true, true, true, true]), vec![3]);
-        assert_eq!(d.pick_wake(&[true, true, false, false]), vec![1]);
-        assert!(d.pick_wake(&[false, false, false, false]).is_empty());
+        assert_eq!(wake(&mut d, &[true, true, true, true]), vec![3]);
+        assert_eq!(wake(&mut d, &[true, true, false, false]), vec![1]);
+        assert!(wake(&mut d, &[false, false, false, false]).is_empty());
     }
 
     #[test]
     fn fifo_prefers_first_registered() {
         let mut d = Dispatcher::new(Mode::IoUringFifo, 4, cfg(), false);
-        assert_eq!(d.pick_wake(&[true, true, true, true]), vec![0]);
-        assert_eq!(d.pick_wake(&[false, false, true, true]), vec![2]);
-        assert!(d.pick_wake(&[false; 4]).is_empty());
+        assert_eq!(wake(&mut d, &[true, true, true, true]), vec![0]);
+        assert_eq!(wake(&mut d, &[false, false, true, true]), vec![2]);
+        assert!(wake(&mut d, &[false; 4]).is_empty());
     }
 
     #[test]
     fn round_robin_rotates() {
         let mut d = Dispatcher::new(Mode::RoundRobin, 3, cfg(), false);
-        assert_eq!(d.pick_wake(&[true, true, true]), vec![0]);
-        assert_eq!(d.pick_wake(&[true, true, true]), vec![1]);
-        assert_eq!(d.pick_wake(&[true, true, true]), vec![2]);
-        assert_eq!(d.pick_wake(&[true, true, true]), vec![0]);
+        assert_eq!(wake(&mut d, &[true, true, true]), vec![0]);
+        assert_eq!(wake(&mut d, &[true, true, true]), vec![1]);
+        assert_eq!(wake(&mut d, &[true, true, true]), vec![2]);
+        assert_eq!(wake(&mut d, &[true, true, true]), vec![0]);
         // Skips busy workers.
-        assert_eq!(d.pick_wake(&[false, false, true]), vec![2]);
-        assert_eq!(d.pick_wake(&[true, false, true]), vec![0]);
+        assert_eq!(wake(&mut d, &[false, false, true]), vec![2]);
+        assert_eq!(wake(&mut d, &[true, false, true]), vec![0]);
     }
 
     #[test]
     fn wake_all_wakes_every_idle_waiter() {
         let mut d = Dispatcher::new(Mode::WakeAll, 4, cfg(), false);
-        assert_eq!(d.pick_wake(&[true, false, true, true]), vec![0, 2, 3]);
+        assert_eq!(wake(&mut d, &[true, false, true, true]), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn pick_wake_clears_the_reused_buffer() {
+        let mut d = Dispatcher::new(Mode::WakeAll, 4, cfg(), false);
+        let mut out = vec![99, 98];
+        d.pick_wake(&[false, true, false, false], &mut out);
+        assert_eq!(out, vec![1]);
+        d.pick_wake(&[false; 4], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -10,18 +10,25 @@
 //!      ──(Hermes hooks: WST + schedule_and_sync)──► next loop iteration
 //! ```
 //!
-//! Determinism: the event heap breaks timestamp ties by insertion sequence,
-//! so identical inputs replay identically under every mode.
+//! Determinism: the event queue breaks timestamp ties by insertion
+//! sequence (FIFO, under both the timer-wheel and heap engines of
+//! [`crate::event_queue`]), so identical inputs replay identically under
+//! every mode.
+//!
+//! The hot path is allocation-free in steady state: events recycle
+//! through the wheel's arena, the per-`epoll_wait` batch and the sampling
+//! /wake/waiting lists live in scratch buffers owned by the simulator,
+//! and port lookup is a dense-array index ([`crate::ports::PortTable`]).
 
 use crate::config::{Fault, SimConfig};
+use crate::event_queue::EventQueue;
 use crate::metrics::{BalanceStats, DeviceReport, PortTrace, WorkerReport};
 use crate::modes::Dispatcher;
 use crate::nic::NicRss;
+use crate::ports::PortTable;
 use crate::state::{ConnId, ConnState, IoEvent, Phase, WorkerState};
 use hermes_metrics::Histogram;
 use hermes_workload::Workload;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Scheduled simulation event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,46 +51,32 @@ enum Ev {
     ProbeTick,
 }
 
-/// Heap item ordered by (time, sequence).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Item {
-    t: u64,
-    seq: u64,
-    ev: Ev,
-}
-
-impl Ord for Item {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.t, self.seq).cmp(&(other.t, other.seq))
-    }
-}
-impl PartialOrd for Item {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// The simulator for one device run.
 pub struct Simulator<'w> {
     cfg: SimConfig,
     wl: &'w Workload,
-    heap: BinaryHeap<Reverse<Item>>,
-    seq: u64,
+    queue: EventQueue<Ev>,
     now: u64,
     workers: Vec<WorkerState>,
     conns: Vec<ConnState>,
     dispatcher: Dispatcher,
-    /// Dense port table and shared accept queues.
-    ports: Vec<u16>,
-    port_index: HashMap<u16, usize>,
-    port_queues: Vec<VecDeque<ConnId>>,
-    /// Ports with non-empty accept queues (the kernel's ready list):
-    /// draining is O(1) per accepted connection, not O(#ports).
-    ready_ports: VecDeque<usize>,
-    /// Membership flags for `ready_ports`.
-    port_ready: Vec<bool>,
-    port_live_conns: Vec<i64>,
+    /// Dense port table, shared accept queues, and the kernel-style ready
+    /// list (draining is O(1) per accepted connection, not O(#ports)).
+    ports: PortTable,
+    /// Connection → dense port index, precomputed so the per-accept path
+    /// never re-derives it from the port number.
+    conn_port: Vec<u32>,
+    // Scratch buffers: reused across events so the steady-state hot path
+    // allocates nothing.
+    batch_buf: Vec<IoEvent>,
+    counts_buf: Vec<i64>,
+    idle_buf: Vec<bool>,
+    wake_buf: Vec<usize>,
+    utils_buf: Vec<f64>,
+    conns_buf: Vec<f64>,
+    waiting_buf: Vec<(usize, u64)>,
     // Measurement state.
+    events_processed: u64,
     worker_reports: Vec<WorkerReport>,
     request_latency: Histogram,
     probe_latency: Histogram,
@@ -105,12 +98,14 @@ impl<'w> Simulator<'w> {
         cfg.validate();
         let n = cfg.workers;
         let dispatcher = Dispatcher::new(cfg.mode, n, cfg.hermes.clone(), cfg.use_ebpf);
-        // Dense port table from the workload.
-        let mut ports: Vec<u16> = wl.conns.iter().map(|c| c.port).collect();
-        ports.sort_unstable();
-        ports.dedup();
-        let port_index: HashMap<u16, usize> =
-            ports.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        // Dense port table from the workload, plus per-connection port
+        // indices resolved once up front.
+        let ports = PortTable::new(wl.conns.iter().map(|c| c.port));
+        let conn_port: Vec<u32> = wl
+            .conns
+            .iter()
+            .map(|c| ports.index_of(c.port).expect("registered port") as u32)
+            .collect();
         let conns: Vec<ConnState> = wl
             .conns
             .iter()
@@ -126,14 +121,17 @@ impl<'w> Simulator<'w> {
             busy_at_last_sample: vec![0; n],
             conns,
             dispatcher,
-            port_queues: vec![VecDeque::new(); ports.len()],
-            ready_ports: VecDeque::new(),
-            port_ready: vec![false; ports.len()],
-            port_live_conns: vec![0; ports.len()],
             ports,
-            port_index,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            conn_port,
+            queue: EventQueue::new(cfg.engine),
+            batch_buf: Vec::with_capacity(cfg.max_events),
+            counts_buf: Vec::with_capacity(n),
+            idle_buf: Vec::with_capacity(n),
+            wake_buf: Vec::with_capacity(n),
+            utils_buf: Vec::with_capacity(n),
+            conns_buf: Vec::with_capacity(n),
+            waiting_buf: Vec::new(),
+            events_processed: 0,
             now: 0,
             request_latency: Histogram::latency(),
             probe_latency: Histogram::latency(),
@@ -154,16 +152,12 @@ impl<'w> Simulator<'w> {
         sim
     }
 
+    #[inline]
     fn push(&mut self, t: u64, ev: Ev) {
-        self.seq += 1;
-        self.heap.push(Reverse(Item {
-            t,
-            seq: self.seq,
-            ev,
-        }));
+        self.queue.push(t, ev);
     }
 
-    /// Seed the heap: arrivals, request readiness, worker boot, sampling,
+    /// Seed the queue: arrivals, request readiness, worker boot, sampling,
     /// faults.
     fn prime(&mut self) {
         for (id, spec) in self.wl.conns.iter().enumerate() {
@@ -192,8 +186,8 @@ impl<'w> Simulator<'w> {
             self.push(t, Ev::Sample);
             t += self.cfg.sample_interval_ns;
         }
-        for (i, f) in self.cfg.faults.clone().into_iter().enumerate() {
-            let at = match f {
+        for i in 0..self.cfg.faults.len() {
+            let at = match self.cfg.faults[i] {
                 Fault::Crash { at_ns, .. } | Fault::Hang { at_ns, .. } => at_ns,
             };
             self.push(at, Ev::FaultAt(i));
@@ -205,12 +199,13 @@ impl<'w> Simulator<'w> {
 
     /// Run to the horizon and produce the report.
     pub fn run(mut self) -> DeviceReport {
-        while let Some(Reverse(item)) = self.heap.pop() {
-            if item.t > self.wl.duration_ns {
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.wl.duration_ns {
                 break;
             }
-            self.now = item.t;
-            match item.ev {
+            self.now = t;
+            self.events_processed += 1;
+            match ev {
                 Ev::Syn(c) => self.on_syn(c),
                 Ev::RequestReady { conn, req } => self.on_request_ready(conn, req),
                 Ev::Wake { worker, generation } => self.on_wake(worker, generation),
@@ -236,10 +231,12 @@ impl<'w> Simulator<'w> {
         }
         self.conns[c].enqueue_ns = self.now;
         if self.dispatcher.assigns_at_syn() {
-            let counts: Vec<i64> = self.workers.iter().map(|w| w.connections).collect();
+            self.counts_buf.clear();
+            self.counts_buf
+                .extend(self.workers.iter().map(|w| w.connections));
             let w = self
                 .dispatcher
-                .assign_at_syn(&spec.flow, &counts)
+                .assign_at_syn(&spec.flow, &self.counts_buf)
                 .expect("per-socket modes always assign");
             self.conns[c].worker = Some(w);
             // The accept notification lands on the epoll instance that owns
@@ -252,20 +249,17 @@ impl<'w> Simulator<'w> {
             self.workers[target].pending.push_back(IoEvent::Accept(c));
             self.notify(target);
         } else {
-            let pidx = self.port_index[&spec.port];
-            self.port_queues[pidx].push_back(c);
-            if !self.port_ready[pidx] {
-                self.port_ready[pidx] = true;
-                self.ready_ports.push_back(pidx);
-            }
-            let idle: Vec<bool> = self
-                .workers
-                .iter()
-                .map(|w| w.is_idle() && !w.crashed)
-                .collect();
-            for w in self.dispatcher.pick_wake(&idle) {
+            let pidx = self.conn_port[c] as usize;
+            self.ports.enqueue(pidx, c);
+            self.idle_buf.clear();
+            self.idle_buf
+                .extend(self.workers.iter().map(|w| w.is_idle() && !w.crashed));
+            let mut wake = std::mem::take(&mut self.wake_buf);
+            self.dispatcher.pick_wake(&self.idle_buf, &mut wake);
+            for &w in &wake {
                 self.notify(w);
             }
+            self.wake_buf = wake;
         }
     }
 
@@ -352,9 +346,11 @@ impl<'w> Simulator<'w> {
     }
 
     /// Collect a batch (epoll_wait return) and schedule its completion.
+    /// The batch lives in a scratch buffer reused across every wake.
     fn start_batch(&mut self, w: usize) {
         let max_events = self.cfg.max_events;
-        let mut batch: Vec<IoEvent> = Vec::new();
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        batch.clear();
         while batch.len() < max_events {
             match self.workers[w].pending.pop_front() {
                 Some(e) => batch.push(e),
@@ -362,18 +358,13 @@ impl<'w> Simulator<'w> {
             }
         }
         // Shared-queue modes: drain ready ports' accept queues into the
-        // batch (O(1) per connection via the ready list).
+        // batch (O(1) per connection via the ready list; stale fronts
+        // retire inside `pop_ready`).
         if !self.dispatcher.assigns_at_syn() {
             while batch.len() < max_events {
-                let Some(&q) = self.ready_ports.front() else {
-                    break;
-                };
-                match self.port_queues[q].pop_front() {
+                match self.ports.pop_ready() {
                     Some(c) => batch.push(IoEvent::Accept(c)),
-                    None => {
-                        self.ready_ports.pop_front();
-                        self.port_ready[q] = false;
-                    }
+                    None => break,
                 }
             }
         }
@@ -396,6 +387,7 @@ impl<'w> Simulator<'w> {
 
         if batch.is_empty() {
             // Timeout / lost race: empty loop iteration.
+            self.batch_buf = batch;
             self.workers[w].empty_wakes += 1;
             self.worker_reports[w].events_per_wait.record(0);
             if is_hermes {
@@ -428,7 +420,7 @@ impl<'w> Simulator<'w> {
         // schedulers see this worker as busy for the whole batch.
         self.workers[w].in_flight_events = batch.len() as i64;
         let mut t = self.now + cost;
-        for ev in batch {
+        for ev in batch.drain(..) {
             match ev {
                 IoEvent::Accept(c) => {
                     t += accept_cost;
@@ -467,6 +459,7 @@ impl<'w> Simulator<'w> {
                 }
             }
         }
+        self.batch_buf = batch;
         let batch_cost = t - self.now;
         self.worker_reports[w].batch_proc_ns.record(batch_cost);
         self.workers[w].phase = Phase::Running;
@@ -496,20 +489,25 @@ impl<'w> Simulator<'w> {
         if let Some(h) = self.dispatcher.hermes() {
             h.wst.worker(owner).conn_delta(1);
         }
-        let pidx = self.port_index[&self.wl.conns[c].port];
-        self.port_live_conns[pidx] += 1;
+        let pidx = self.conn_port[c] as usize;
+        let live = self.ports.live_delta(pidx, 1);
         if let Some(tr) = &mut self.port_trace {
             if tr.port == self.wl.conns[c].port {
-                tr.connections
-                    .record(self.now, self.port_live_conns[pidx] as f64);
+                tr.connections.record(self.now, live as f64);
             }
         }
         // Requests that arrived while the connection waited in the accept
-        // queue become deliverable now.
-        let waiting: Vec<(usize, u64)> = std::mem::take(&mut self.conns[c].waiting);
-        for (req, _ready) in waiting {
+        // queue become deliverable now. The list is walked through a
+        // scratch buffer (swapped in and out) so nothing is allocated or
+        // freed here; `waiting` never refills after accept.
+        debug_assert!(self.waiting_buf.is_empty());
+        std::mem::swap(&mut self.waiting_buf, &mut self.conns[c].waiting);
+        for i in 0..self.waiting_buf.len() {
+            let (req, _ready) = self.waiting_buf[i];
             self.deliver_request(c, req);
         }
+        self.waiting_buf.clear();
+        std::mem::swap(&mut self.waiting_buf, &mut self.conns[c].waiting);
         // A connection with no scripted requests closes after linger.
         if self.conns[c].remaining_requests == 0 {
             let linger = self.wl.conns[c].linger_ns.unwrap_or(0);
@@ -577,7 +575,7 @@ impl<'w> Simulator<'w> {
         // epoll_wait: immediate return if events are pending, else block.
         // Possibly-stale ready entries cost at most one empty batch, which
         // cleans them.
-        let has_shared_work = !self.dispatcher.assigns_at_syn() && !self.ready_ports.is_empty();
+        let has_shared_work = !self.dispatcher.assigns_at_syn() && self.ports.has_ready();
         if !self.workers[w].pending.is_empty() || has_shared_work {
             self.start_batch(w);
         } else {
@@ -597,12 +595,11 @@ impl<'w> Simulator<'w> {
             if let Some(h) = self.dispatcher.hermes() {
                 h.wst.worker(owner).conn_delta(-1);
             }
-            let pidx = self.port_index[&self.wl.conns[c].port];
-            self.port_live_conns[pidx] -= 1;
+            let pidx = self.conn_port[c] as usize;
+            let live = self.ports.live_delta(pidx, -1);
             if let Some(tr) = &mut self.port_trace {
                 if tr.port == self.wl.conns[c].port {
-                    tr.connections
-                        .record(self.now, self.port_live_conns[pidx] as f64);
+                    tr.connections.record(self.now, live as f64);
                 }
             }
         }
@@ -610,8 +607,10 @@ impl<'w> Simulator<'w> {
 
     fn on_sample(&mut self) {
         let interval = self.cfg.sample_interval_ns as f64;
-        let mut utils = Vec::with_capacity(self.workers.len());
-        let mut conns = Vec::with_capacity(self.workers.len());
+        let mut utils = std::mem::take(&mut self.utils_buf);
+        let mut conns = std::mem::take(&mut self.conns_buf);
+        utils.clear();
+        conns.clear();
         for (w, ws) in self.workers.iter().enumerate() {
             let delta = ws.busy_ns.saturating_sub(self.busy_at_last_sample[w]);
             self.busy_at_last_sample[w] = ws.busy_ns;
@@ -624,6 +623,8 @@ impl<'w> Simulator<'w> {
         self.balance.conn_sd.record(conn_sd);
         self.balance.series.push((self.now, cpu_sd, conn_sd));
         self.run_degradation(&utils);
+        self.utils_buf = utils;
+        self.conns_buf = conns;
     }
 
     /// Appendix C exception case 1: feed per-worker utilization into the
@@ -743,6 +744,7 @@ impl<'w> Simulator<'w> {
         DeviceReport {
             label: format!("{} [{}]", self.wl.name, self.cfg.mode.name()),
             horizon_ns: horizon,
+            events_processed: self.events_processed,
             request_latency: self.request_latency,
             probe_latency: self.probe_latency,
             probes_sent: self.probes_sent,

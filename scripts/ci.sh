@@ -16,4 +16,11 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> simnet_throughput --smoke (event-engine regression gate)"
+# Fails if wheel events/sec drops >20% below the checked-in baseline.
+# Regenerate results/BENCH_simnet.json with a full (non-smoke) run when
+# the engine legitimately changes speed.
+cargo run --release -p hermes-bench --bin simnet_throughput -- \
+  --smoke --baseline results/BENCH_simnet.json --no-write
+
 echo "CI gate passed."
