@@ -1,0 +1,110 @@
+//! The three execution tiers vs the native oracle.
+//!
+//! The verifier/compiler ladder's payoff on the per-connection critical
+//! path: the same Algorithm 2 bytecode executed by (a) the checked
+//! interpreter with pc/stack/div/shift guards on every step, (b) the
+//! unchecked fast path the analysis proofs admit, and (c) the load-time
+//! compiled basic-block program with fused SWAR popcounts and direct
+//! helper calls — against the native `ConnDispatcher` oracle as the
+//! floor. Batched variants amortize the map-registry resolution and
+//! bitmap load over a 64-connection burst. Also measures the two-level
+//! (grouped, dynamic-fd) program and the analysis itself (a load-time,
+//! not per-connection, cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_core::{ConnDispatcher, WorkerBitmap};
+use hermes_ebpf::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use hermes_ebpf::{AnalysisCtx, DispatchProgram, ExecTier, GroupedReuseportGroup, Vm};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WORKERS: usize = 64;
+const BITMAP: u64 = 0x0000_F0F0_A5A5_3C3C;
+const BURST: usize = 64;
+
+/// Live maps mirroring [`hermes_ebpf::ReuseportGroup::new`].
+fn registry() -> MapRegistry {
+    let registry = MapRegistry::new();
+    let sel = Arc::new(ArrayMap::new(1));
+    sel.update(0, BITMAP);
+    registry.register(MapRef::Array(sel));
+    let socks = Arc::new(SockArrayMap::new(WORKERS));
+    for w in 0..WORKERS {
+        socks.register(w, w);
+    }
+    registry.register(MapRef::SockArray(socks));
+    registry
+}
+
+fn burst_hashes() -> Vec<u32> {
+    (0..BURST as u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(9) ^ 0x5A5A_A5A5)
+        .collect()
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ebpf_tiers");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(300));
+
+    let prog = DispatchProgram::build(0, 1, WORKERS);
+    let maps = registry();
+    let ctx = AnalysisCtx::from_registry(&maps);
+    let hashes = burst_hashes();
+
+    let oracle = ConnDispatcher::new(WORKERS);
+    g.bench_function("native_oracle", |b| {
+        b.iter(|| black_box(oracle.dispatch(WorkerBitmap(BITMAP), black_box(0x1234_5678))))
+    });
+
+    let vm = Vm::load_analyzed(prog.insns().to_vec(), &ctx).expect("program analyzes");
+    assert_eq!(vm.tier(), ExecTier::Compiled);
+    for tier in [ExecTier::Checked, ExecTier::Fast, ExecTier::Compiled] {
+        g.bench_function(format!("{tier}_tier"), |b| {
+            b.iter(|| black_box(vm.run_tier(tier, black_box(0x1234_5678), &maps, 0).unwrap()))
+        });
+    }
+
+    // Whole-burst dispatch: one registry resolution for 64 connections.
+    let mut out = Vec::with_capacity(BURST);
+    g.bench_function("compiled_batch64", |b| {
+        b.iter(|| {
+            out.clear();
+            vm.run_batch(black_box(&hashes), &maps, 0, &mut out)
+                .unwrap();
+            black_box(out.len())
+        })
+    });
+
+    // Load-time cost of the proof + compilation (amortized over every
+    // connection the program then serves).
+    g.bench_function("analyze_and_compile_dispatch_program", |b| {
+        b.iter(|| {
+            black_box(Vm::load_analyzed(black_box(prog.insns().to_vec()), &ctx).expect("analyzes"))
+        })
+    });
+
+    // Two-level program (dynamic-fd compiled path), single and batched.
+    let grouped = GroupedReuseportGroup::new(4, 16);
+    for grp in 0..4 {
+        grouped.sync_group_bitmap(grp, WorkerBitmap(0xA5A5));
+    }
+    assert_eq!(grouped.tier(), ExecTier::Compiled);
+    g.bench_function("grouped_compiled", |b| {
+        b.iter(|| black_box(grouped.dispatch(black_box(0x1234_5678))))
+    });
+    let mut grouped_out = Vec::with_capacity(BURST);
+    g.bench_function("grouped_compiled_batch64", |b| {
+        b.iter(|| {
+            grouped_out.clear();
+            grouped.dispatch_batch(black_box(&hashes), &mut grouped_out);
+            black_box(grouped_out.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -1,0 +1,392 @@
+//! Dispatch-tier throughput harness: the perf trajectory of the
+//! per-connection dispatch path, tracked as `results/BENCH_dispatch.json`
+//! from PR 3 on.
+//!
+//! Runs both Algorithm 2 programs — the flat single-group program and the
+//! two-level grouped (dynamic-fd) program — through every execution tier
+//! over the same hash stream and reports ns/dispatch and dispatches/sec
+//! for each, plus the speedups the compilation tier and batching buy. The
+//! tiers are decision-identical by construction (differentially fuzzed in
+//! `crates/ebpf/tests/soundness.rs`), so the wall-clock ratios isolate
+//! execution cost.
+//!
+//! Flags:
+//!   --smoke            fewer dispatches (CI gate)
+//!   --out PATH         write JSON here (default results/BENCH_dispatch.json)
+//!   --baseline PATH    compare against a checked-in baseline; exit 1 if
+//!                      flat compiled dispatches/sec regresses more than
+//!                      20%, if compiled fails to beat checked by >= 2x on
+//!                      either program, or if the 64-burst batch fails to
+//!                      beat single-shot compiled dispatch
+//!   --no-write         measure and check only, leave the baseline file
+//!   --workers N        reuseport group size (default 64)
+//!
+//! The throughput gate compares *dispatch speed on this machine* against a
+//! baseline measured on a possibly different machine, so the 20% margin is
+//! deliberately generous; the tier-ratio gates are machine-independent.
+//! Regenerate the baseline with
+//! `cargo run --release -p hermes-bench --bin dispatch_throughput` when the
+//! dispatch path legitimately changes speed.
+
+use hermes_core::{ConnDispatcher, WorkerBitmap};
+use hermes_ebpf::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use hermes_ebpf::{AnalysisCtx, DispatchProgram, ExecTier, GroupedReuseportGroup, Vm};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DEFAULT_WORKERS: usize = 64;
+const BITMAP: u64 = 0x0000_F0F0_A5A5_3C3C;
+const BURST: usize = 64;
+const DEFAULT_DISPATCHES: usize = 1 << 20;
+const SMOKE_DISPATCHES: usize = 1 << 17;
+const REGRESSION_FRAC: f64 = 0.20;
+/// Acceptance floor: the compiled tier must beat the checked interpreter
+/// by at least this factor on both programs.
+const COMPILED_OVER_CHECKED_FLOOR: f64 = 2.0;
+/// The 64-burst batch must strictly beat single-shot compiled dispatch
+/// (the win is amortized map resolution, not algorithmic, so the floor is
+/// just "faster").
+const BATCH_OVER_SINGLE_FLOOR: f64 = 1.0;
+
+#[derive(Clone, Copy, Debug)]
+struct VariantResult {
+    dispatches: usize,
+    wall_seconds: f64,
+    ns_per_dispatch: f64,
+    dispatches_per_sec: f64,
+}
+
+/// Pseudorandom but deterministic hash stream (same constants as the
+/// runtime driver's scripted flows).
+fn hash_stream(n: usize) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(11) ^ 0xA5A5_5A5A)
+        .collect()
+}
+
+/// Best-of-`runs` wall time for one full pass over the hash stream, after
+/// one untimed warmup pass. `pass` returns an accumulator so the work
+/// cannot be optimized away.
+fn measure(hashes: &[u32], runs: usize, mut pass: impl FnMut(&[u32]) -> u64) -> VariantResult {
+    black_box(pass(hashes)); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let acc = pass(hashes);
+        let secs = t.elapsed().as_secs_f64();
+        black_box(acc);
+        best = best.min(secs);
+    }
+    VariantResult {
+        dispatches: hashes.len(),
+        wall_seconds: best,
+        ns_per_dispatch: best * 1e9 / hashes.len() as f64,
+        dispatches_per_sec: hashes.len() as f64 / best,
+    }
+}
+
+/// Live maps mirroring [`hermes_ebpf::ReuseportGroup::new`].
+fn flat_registry(workers: usize) -> MapRegistry {
+    let registry = MapRegistry::new();
+    let sel = Arc::new(ArrayMap::new(1));
+    sel.update(0, BITMAP);
+    registry.register(MapRef::Array(sel));
+    let socks = Arc::new(SockArrayMap::new(workers));
+    for w in 0..workers {
+        socks.register(w, w);
+    }
+    registry.register(MapRef::SockArray(socks));
+    registry
+}
+
+/// Tier + batch sweep over one loaded program.
+struct ProgramResults {
+    checked: VariantResult,
+    fast: VariantResult,
+    compiled: VariantResult,
+    compiled_batch: VariantResult,
+}
+
+fn measure_program(vm: &Vm, maps: &MapRegistry, hashes: &[u32], runs: usize) -> ProgramResults {
+    assert_eq!(
+        vm.tier(),
+        ExecTier::Compiled,
+        "program must reach the top tier"
+    );
+    let tier_pass = |tier: ExecTier| {
+        move |hs: &[u32]| {
+            let mut acc = 0u64;
+            for &h in hs {
+                acc = acc.wrapping_add(vm.run_tier(tier, h, maps, 0).unwrap().return_value);
+            }
+            acc
+        }
+    };
+    let mut out = Vec::with_capacity(BURST);
+    let batch_pass = |hs: &[u32]| {
+        let mut acc = 0u64;
+        for chunk in hs.chunks(BURST) {
+            out.clear();
+            vm.run_batch(chunk, maps, 0, &mut out).unwrap();
+            acc = acc.wrapping_add(out.iter().map(|r| r.return_value).sum::<u64>());
+        }
+        acc
+    };
+    ProgramResults {
+        checked: measure(hashes, runs, tier_pass(ExecTier::Checked)),
+        fast: measure(hashes, runs, tier_pass(ExecTier::Fast)),
+        compiled: measure(hashes, runs, tier_pass(ExecTier::Compiled)),
+        compiled_batch: measure(hashes, runs, batch_pass),
+    }
+}
+
+fn json_block(r: &VariantResult) -> String {
+    format!(
+        "{{ \"dispatches\": {}, \"wall_seconds\": {:.6}, \"ns_per_dispatch\": {:.2}, \"dispatches_per_sec\": {:.1} }}",
+        r.dispatches, r.wall_seconds, r.ns_per_dispatch, r.dispatches_per_sec
+    )
+}
+
+fn program_json(p: &ProgramResults) -> String {
+    format!
+    (
+        "{{\n      \"checked\": {},\n      \"fast\": {},\n      \"compiled\": {},\n      \"compiled_batch64\": {}\n    }}",
+        json_block(&p.checked),
+        json_block(&p.fast),
+        json_block(&p.compiled),
+        json_block(&p.compiled_batch)
+    )
+}
+
+fn render_json(
+    workers: usize,
+    smoke: bool,
+    native: &VariantResult,
+    flat: &ProgramResults,
+    grouped: &ProgramResults,
+) -> String {
+    format!(
+        "{{\n  \"benchmark\": \"dispatch_throughput\",\n  \"scenario\": \"Algorithm 2 / {workers} workers / bitmap {BITMAP:#018x}\",\n  \"smoke\": {smoke},\n  \"native_oracle\": {},\n  \"programs\": {{\n    \"flat\": {},\n    \"grouped\": {}\n  }},\n  \"speedup_compiled_over_checked_flat\": {:.2},\n  \"speedup_compiled_over_checked_grouped\": {:.2},\n  \"speedup_batch64_over_single_flat\": {:.2},\n  \"speedup_batch64_over_single_grouped\": {:.2}\n}}\n",
+        json_block(native),
+        program_json(flat),
+        program_json(grouped),
+        flat.compiled.dispatches_per_sec / flat.checked.dispatches_per_sec,
+        grouped.compiled.dispatches_per_sec / grouped.checked.dispatches_per_sec,
+        flat.compiled_batch.dispatches_per_sec / flat.compiled.dispatches_per_sec,
+        grouped.compiled_batch.dispatches_per_sec / grouped.compiled.dispatches_per_sec,
+    )
+}
+
+/// Pull `"dispatches_per_sec": <number>` out of the `"compiled"` block of
+/// the `"flat"` program in a baseline file without a JSON dependency (the
+/// bench crate has none).
+fn baseline_flat_compiled_dps(contents: &str) -> Option<f64> {
+    let flat = contents.find("\"flat\"")?;
+    let tail = &contents[flat..];
+    let compiled = tail.find("\"compiled\":")?;
+    let tail = &tail[compiled..];
+    let key = "\"dispatches_per_sec\":";
+    let at = tail.find(key)? + key.len();
+    let rest = tail[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn print_variant(name: &str, r: &VariantResult) {
+    println!(
+        "  {name:<24} {:>9} dispatches  {:>8.4}s  {:>12.0} dispatches/sec  {:>8.1} ns/dispatch",
+        r.dispatches, r.wall_seconds, r.dispatches_per_sec, r.ns_per_dispatch
+    );
+}
+
+fn print_program(label: &str, p: &ProgramResults) {
+    println!("{label}:");
+    print_variant("checked", &p.checked);
+    print_variant("fast", &p.fast);
+    print_variant("compiled", &p.compiled);
+    print_variant("compiled_batch64", &p.compiled_batch);
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut no_write = false;
+    let mut out = String::from("results/BENCH_dispatch.json");
+    let mut baseline: Option<String> = None;
+    let mut workers = DEFAULT_WORKERS;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--no-write" => no_write = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a count")
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let dispatches = if smoke {
+        SMOKE_DISPATCHES
+    } else {
+        DEFAULT_DISPATCHES
+    };
+    // Best-of-3 even in smoke: the batch-vs-single ratio gate needs the
+    // least-interfered-with run of each variant, and smoke passes are
+    // cheap enough to afford it.
+    let runs = 3;
+    let hashes = hash_stream(dispatches);
+
+    println!(
+        "dispatch_throughput: Algorithm 2 / {workers} workers, {dispatches} dispatches, {runs} run(s) per variant{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let oracle = ConnDispatcher::new(workers);
+    let native = measure(&hashes, runs, |hs| {
+        let mut acc = 0u64;
+        for &h in hs {
+            acc = acc.wrapping_add(oracle.dispatch(WorkerBitmap(BITMAP), h).worker() as u64);
+        }
+        acc
+    });
+    print_variant("native_oracle", &native);
+
+    let prog = DispatchProgram::build(0, 1, workers);
+    let maps = flat_registry(workers);
+    let ctx = AnalysisCtx::from_registry(&maps);
+    let flat_vm = Vm::load_analyzed(prog.insns().to_vec(), &ctx).expect("flat program analyzes");
+    let flat = measure_program(&flat_vm, &maps, &hashes, runs);
+    print_program("flat", &flat);
+
+    let grouped_deploy = GroupedReuseportGroup::new(4, 16);
+    for grp in 0..grouped_deploy.groups() {
+        grouped_deploy.sync_group_bitmap(grp, WorkerBitmap(0xA5A5));
+    }
+    let grouped = measure_program(
+        grouped_deploy.vm(),
+        grouped_deploy.registry(),
+        &hashes,
+        runs,
+    );
+    print_program("grouped", &grouped);
+
+    let flat_speedup = flat.compiled.dispatches_per_sec / flat.checked.dispatches_per_sec;
+    let grouped_speedup = grouped.compiled.dispatches_per_sec / grouped.checked.dispatches_per_sec;
+    let flat_batch = flat.compiled_batch.dispatches_per_sec / flat.compiled.dispatches_per_sec;
+    let grouped_batch =
+        grouped.compiled_batch.dispatches_per_sec / grouped.compiled.dispatches_per_sec;
+    println!("  compiled over checked: flat {flat_speedup:.2}x, grouped {grouped_speedup:.2}x");
+    println!("  batch64 over single:   flat {flat_batch:.2}x, grouped {grouped_batch:.2}x");
+
+    let mut failed = false;
+    if baseline.is_some() {
+        for (what, ratio, floor) in [
+            (
+                "flat compiled/checked",
+                flat_speedup,
+                COMPILED_OVER_CHECKED_FLOOR,
+            ),
+            (
+                "grouped compiled/checked",
+                grouped_speedup,
+                COMPILED_OVER_CHECKED_FLOOR,
+            ),
+            ("flat batch64/single", flat_batch, BATCH_OVER_SINGLE_FLOOR),
+        ] {
+            if ratio < floor {
+                eprintln!("REGRESSION: {what} speedup {ratio:.2}x is below the {floor:.2}x floor");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(contents) => match baseline_flat_compiled_dps(&contents) {
+                Some(base) => {
+                    let floor = base * (1.0 - REGRESSION_FRAC);
+                    if flat.compiled.dispatches_per_sec < floor {
+                        eprintln!(
+                            "REGRESSION: flat compiled {:.0} dispatches/sec is more than {:.0}% below baseline {:.0} (floor {:.0})",
+                            flat.compiled.dispatches_per_sec,
+                            REGRESSION_FRAC * 100.0,
+                            base,
+                            floor
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "  baseline check: {:.0} dispatches/sec vs baseline {:.0} (floor {:.0}) — ok",
+                            flat.compiled.dispatches_per_sec, base, floor
+                        );
+                    }
+                }
+                None => {
+                    eprintln!("baseline {path} has no flat compiled dispatches_per_sec field");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if !no_write {
+        let json = render_json(workers, smoke, &native, &flat, &grouped);
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&out, json).expect("write BENCH_dispatch.json");
+        println!("  wrote {out}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn variant(dps: f64) -> VariantResult {
+        VariantResult {
+            dispatches: 1000,
+            wall_seconds: 1000.0 / dps,
+            ns_per_dispatch: 1e9 / dps,
+            dispatches_per_sec: dps,
+        }
+    }
+
+    #[test]
+    fn baseline_parse_finds_the_flat_compiled_block() {
+        let native = variant(900.0);
+        let flat = ProgramResults {
+            checked: variant(100.0),
+            fast: variant(300.0),
+            compiled: variant(700.0),
+            compiled_batch: variant(800.0),
+        };
+        let grouped = ProgramResults {
+            checked: variant(90.0),
+            fast: variant(250.0),
+            compiled: variant(600.0),
+            compiled_batch: variant(650.0),
+        };
+        let json = render_json(64, false, &native, &flat, &grouped);
+        // Must pick the flat program's single-shot compiled figure — not
+        // the batch figure, the grouped program's, or the oracle's.
+        assert_eq!(baseline_flat_compiled_dps(&json), Some(700.0));
+        assert_eq!(baseline_flat_compiled_dps("not json"), None);
+    }
+}

@@ -6,7 +6,7 @@
 
 use hermes_bench::banner;
 use hermes_metrics::table::Table;
-use hermes_runtime::{ConnectionScript, LbRuntime, RuntimeConfig};
+use hermes_runtime::{ConnectionScript, LbRuntime, Pacer, RuntimeConfig};
 use std::time::Duration;
 
 /// Run one load level: `cps` connections/second for `secs` seconds with
@@ -15,7 +15,9 @@ fn run_load(label: &str, cps: u64, secs: u64) -> (String, [f64; 4], f64) {
     let workers = 4;
     let mut rt = LbRuntime::start(RuntimeConfig::new(workers));
     std::thread::sleep(Duration::from_millis(10));
-    let gap = Duration::from_nanos(1_000_000_000 / cps);
+    // Deadline-paced open-loop arrivals: per-sleep overshoot at sub-ms
+    // gaps would otherwise depress the realised CPS well below `cps`.
+    let mut pacer = Pacer::new(Duration::from_nanos(1_000_000_000 / cps));
     let total = cps * secs;
     for i in 0..total {
         rt.submit(ConnectionScript {
@@ -23,7 +25,7 @@ fn run_load(label: &str, cps: u64, secs: u64) -> (String, [f64; 4], f64) {
             requests: vec![Duration::from_micros(60)],
             probe: false,
         });
-        std::thread::sleep(gap);
+        pacer.pace();
     }
     let report = rt.shutdown();
     let pct = report

@@ -725,6 +725,12 @@ impl AnalysisCtx {
             .ok()
             .and_then(|fd| self.maps.get(&fd).copied())
     }
+
+    /// Kind and size bound at `fd`, if any — used by [`crate::compile`] to
+    /// classify compile-time-constant fd operands.
+    pub(crate) fn fd_layout(&self, fd: u64) -> Option<(MapKind, usize)> {
+        self.get(fd)
+    }
 }
 
 /// Per-instruction facts the analysis proved (bitset).

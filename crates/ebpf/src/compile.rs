@@ -1,0 +1,739 @@
+//! The top execution tier: load-time compilation of clean-analysis
+//! programs into a direct-threaded basic-block stream.
+//!
+//! The proven-safe interpreter ([`crate::vm`]'s `FastInsn` path) already
+//! dropped every runtime check the analysis discharged, but it still pays
+//! fetch/decode per instruction and a map-registry lock per helper call.
+//! This module removes those last constant factors, the way a JIT would,
+//! while staying in safe Rust:
+//!
+//! * **Basic blocks.** The program is split at jump targets (it is
+//!   loop-free, so blocks form a DAG). Straight-line code inside a block
+//!   executes as a tight slice walk with no per-instruction pc arithmetic;
+//!   control flow happens only at block terminators, which carry
+//!   pre-resolved block indices.
+//! * **Superinstruction fusion.** The 15-instruction SWAR popcount
+//!   sequence emitted by [`crate::program::emit_popcount`] — Algorithm 2
+//!   runs it seven times per dispatch (one count + six rank-select rungs)
+//!   — is recognized structurally and fused into a single [`Step`] that
+//!   reproduces the exact register effects (including the scratch
+//!   register's final value) of the unfused sequence, for *all* inputs.
+//! * **Direct helper calls.** `reciprocal_scale` and `bpf_ktime_get_ns`
+//!   become inline ops. Map helpers whose fd operand is a compile-time
+//!   constant (per-block constant propagation) are bound to a *slot*: the
+//!   executor resolves each slot's fd against the registry **once per run
+//!   — or once per batch** — instead of taking a registry lock inside
+//!   every helper call. The bounds checks stay discharged by the
+//!   [`crate::analysis`] proofs, exactly as on the `FastInsn` path; socket
+//!   selection keeps its runtime `-ENOENT` check because that is part of
+//!   Algorithm 2's semantics, not a safety check.
+//!
+//! Compilation is only ever invoked for programs whose analysis report is
+//! clean ([`crate::analysis::AnalysisReport::is_clean`]); the unchecked
+//! arithmetic below ([`Alu::eval_unchecked`]) is sound under exactly those
+//! proofs. Equivalence with the checked interpreter — return value,
+//! selected socket, and retired-instruction count — is enforced by the
+//! differential fuzz suite in `tests/soundness.rs`.
+
+use crate::analysis::AnalysisCtx;
+use crate::helpers::{
+    ENOENT_RET, HELPER_KTIME_GET_NS, HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE,
+    HELPER_SK_SELECT_REUSEPORT,
+};
+use crate::insn::{Alu, Cond, Insn, Op, Reg, Src, NUM_REGS, STACK_SIZE};
+use crate::maps::{ArrayMap, MapKind, MapRegistry, SockArrayMap};
+use crate::vm::ExecResult;
+use std::sync::Arc;
+
+/// SWAR popcount masks (Bit Twiddling Hacks / Hamming weight).
+const M1: u64 = 0x5555_5555_5555_5555;
+const M2: u64 = 0x3333_3333_3333_3333;
+const M3: u64 = 0x0f0f_0f0f_0f0f_0f0f;
+const M4: u64 = 0x0101_0101_0101_0101;
+
+/// Length of the fused popcount window, in source instructions.
+const POPCOUNT_LEN: usize = 15;
+
+/// Maximum constant-fd map slots pre-resolved per program. Algorithm 2
+/// uses two (selection map + sockarray); the cap only bounds the resolved
+/// array on the stack — further constant fds fall back to the dynamic path.
+const MAX_CONST_SLOTS: usize = 8;
+
+/// One compiled operation. Monomorphic where it pays: `Mov` is the most
+/// common op in the dispatch programs, and helper calls are resolved to
+/// direct code at compile time.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    MovImm {
+        dst: u8,
+        imm: u64,
+    },
+    MovReg {
+        dst: u8,
+        src: u8,
+    },
+    AluImm {
+        op: Alu,
+        dst: u8,
+        imm: u64,
+    },
+    AluReg {
+        op: Alu,
+        dst: u8,
+        src: u8,
+    },
+    /// Store to a precomputed stack base (offset proven in frame).
+    StxStack {
+        base: u16,
+        src: u8,
+    },
+    /// Load from a precomputed stack base.
+    LdxStack {
+        dst: u8,
+        base: u16,
+    },
+    /// Fused SWAR popcount: `x = popcount(x)`, `scratch` set to the same
+    /// value the unfused sequence leaves in it. Retires 15 instructions.
+    Popcount {
+        x: u8,
+        scratch: u8,
+    },
+    /// `reciprocal_scale(r1, r2)` inlined; clobbers R1–R5 like any call.
+    ReciprocalScale,
+    /// `bpf_ktime_get_ns()` inlined.
+    KtimeGetNs,
+    /// `bpf_map_lookup_elem` with a compile-time-constant array fd: reads
+    /// through pre-resolved slot `slot`, key from R2 (proven in bounds).
+    LookupConst {
+        slot: u8,
+    },
+    /// `bpf_map_lookup_elem` with a runtime-computed fd (grouped program).
+    LookupDyn,
+    /// `bpf_sk_select_reuseport` with a constant sockarray fd.
+    SkSelectConst {
+        slot: u8,
+    },
+    /// `bpf_sk_select_reuseport` with a runtime-computed fd.
+    SkSelectDyn,
+}
+
+/// How a basic block ends. Targets are *block* indices, resolved at
+/// compile time; the program is loop-free so targets always point forward.
+#[derive(Clone, Copy, Debug)]
+enum Terminator {
+    /// Unconditional transfer (a `ja`, or a fall-through into the next
+    /// block when a jump target splits straight-line code).
+    Jump { target: u32 },
+    /// Conditional transfer (`jmp`): both edges pre-resolved.
+    Branch {
+        cond: Cond,
+        dst: u8,
+        src: BrSrc,
+        taken: u32,
+        fall: u32,
+    },
+    /// `exit`.
+    Exit,
+}
+
+/// Branch source operand, immediates pre-converted.
+#[derive(Clone, Copy, Debug)]
+enum BrSrc {
+    Reg(u8),
+    Imm(u64),
+}
+
+/// One basic block: a straight-line step slice plus its terminator.
+#[derive(Clone, Debug)]
+struct Block {
+    steps: Box<[Step]>,
+    term: Terminator,
+    /// Source instructions retired by executing this block (fused steps
+    /// count their whole window; the terminator counts iff it is a real
+    /// instruction rather than a fall-through edge). Identical on both
+    /// branch edges, so it is a per-block constant.
+    retired: u32,
+}
+
+/// A clean-analysis program lowered to basic blocks (see module docs).
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    blocks: Box<[Block]>,
+    /// Constant map fds discovered at compile time, resolved once per
+    /// run/batch into [`ResolvedMaps`].
+    const_fds: Box<[(u32, MapKind)]>,
+    fused_popcounts: usize,
+}
+
+/// Per-run (or per-batch) resolution of the constant-fd slots: the Arc
+/// clones replace one registry lock per helper call with one per slot per
+/// run.
+pub(crate) struct ResolvedMaps([ResolvedSlot; MAX_CONST_SLOTS]);
+
+enum ResolvedSlot {
+    Missing,
+    Array(Arc<ArrayMap>),
+    Sock(Arc<SockArrayMap>),
+}
+
+/// Match the exact instruction window `emit_popcount` produces, returning
+/// `(x, scratch)` on success. Structural — any two distinct registers —
+/// so all seven popcounts of Algorithm 2 fuse, as do fuzz-generated ones.
+fn match_popcount(win: &[Insn]) -> Option<(u8, u8)> {
+    if win.len() < POPCOUNT_LEN {
+        return None;
+    }
+    let (s, x) = match win[0].0 {
+        Op::Alu {
+            op: Alu::Mov,
+            dst,
+            src: Src::Reg(r),
+        } if dst != r => (dst, r),
+        _ => return None,
+    };
+    let template: [(Alu, Reg, Src); POPCOUNT_LEN - 1] = [
+        (Alu::Rsh, s, Src::Imm(1)),
+        (Alu::And, s, Src::Imm(M1 as i64)),
+        (Alu::Sub, x, Src::Reg(s)),
+        (Alu::Mov, s, Src::Reg(x)),
+        (Alu::Rsh, s, Src::Imm(2)),
+        (Alu::And, s, Src::Imm(M2 as i64)),
+        (Alu::And, x, Src::Imm(M2 as i64)),
+        (Alu::Add, x, Src::Reg(s)),
+        (Alu::Mov, s, Src::Reg(x)),
+        (Alu::Rsh, s, Src::Imm(4)),
+        (Alu::Add, x, Src::Reg(s)),
+        (Alu::And, x, Src::Imm(M3 as i64)),
+        (Alu::Mul, x, Src::Imm(M4 as i64)),
+        (Alu::Rsh, x, Src::Imm(56)),
+    ];
+    for (i, &(op, dst, src)) in template.iter().enumerate() {
+        match win[i + 1].0 {
+            Op::Alu {
+                op: o,
+                dst: d,
+                src: sr,
+            } if o == op && d == dst && sr == src => {}
+            _ => return None,
+        }
+    }
+    Some((x.0, s.0))
+}
+
+/// Per-block constant propagation state: which registers hold a
+/// compile-time-known value. Only consulted to classify helper fd
+/// operands; reset at block entry (no cross-edge dataflow needed — the
+/// dispatch programs materialize fds immediately before each call).
+struct Consts([Option<u64>; NUM_REGS]);
+
+impl Consts {
+    fn new() -> Self {
+        // R10 is the architectural frame pointer, constant by definition.
+        let mut k = [None; NUM_REGS];
+        k[Reg::R10.idx()] = Some(STACK_SIZE as u64);
+        Self(k)
+    }
+
+    fn apply_alu(&mut self, op: Alu, dst: Reg, src: Src) {
+        let s = match src {
+            Src::Imm(i) => Some(i as u64),
+            Src::Reg(r) => self.0[r.idx()],
+        };
+        self.0[dst.idx()] = match (op, self.0[dst.idx()], s) {
+            (Alu::Mov, _, v) => v,
+            // `eval` (the totalized semantics) is the right folder here:
+            // constness tracking must never panic, and for clean programs
+            // the guards it adds are unreachable anyway.
+            (op, Some(d), Some(v)) => Some(op.eval(d, v)),
+            _ => None,
+        };
+    }
+
+    fn clobber_call(&mut self) {
+        // R0 takes the (unknown) return value; the ABI then zeroes R1–R5,
+        // which *is* a known constant.
+        self.0[0] = None;
+        for r in 1..=5 {
+            self.0[r] = Some(0);
+        }
+    }
+}
+
+impl CompiledProgram {
+    /// Lower a verified, clean-analysis program. `ctx` is the map layout
+    /// the analysis ran against; it classifies constant fds by kind so the
+    /// right pre-resolved access path is emitted.
+    ///
+    /// Panics on malformed input (out-of-range jump targets, code past
+    /// `exit` that is not a jump target) — impossible for programs that
+    /// passed the verifier, which is the only way this is reached.
+    pub(crate) fn compile(prog: &[Insn], ctx: &AnalysisCtx) -> Self {
+        assert!(!prog.is_empty(), "verified programs are non-empty");
+        // Pass 1: find block leaders — entry, every jump target, and every
+        // instruction following a control transfer.
+        let mut leader = vec![false; prog.len()];
+        leader[0] = true;
+        for (at, insn) in prog.iter().enumerate() {
+            match insn.0 {
+                Op::Ja { off } => {
+                    leader[(at as i64 + 1 + off as i64) as usize] = true;
+                    if at + 1 < prog.len() {
+                        leader[at + 1] = true;
+                    }
+                }
+                Op::Jmp { off, .. } => {
+                    leader[(at as i64 + 1 + off as i64) as usize] = true;
+                    if at + 1 < prog.len() {
+                        leader[at + 1] = true;
+                    }
+                }
+                Op::Exit if at + 1 < prog.len() => {
+                    leader[at + 1] = true;
+                }
+                _ => {}
+            }
+        }
+        // Insn index → block index, for terminator resolution.
+        let mut block_of = vec![u32::MAX; prog.len()];
+        let mut starts = Vec::new();
+        for (at, &l) in leader.iter().enumerate() {
+            if l {
+                starts.push(at);
+            }
+            block_of[at] = (starts.len() - 1) as u32;
+        }
+
+        // Pass 2: compile each block.
+        let mut const_fds: Vec<(u32, MapKind)> = Vec::new();
+        let mut fused_popcounts = 0usize;
+        let mut blocks = Vec::with_capacity(starts.len());
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(prog.len());
+            let mut konst = Consts::new();
+            let mut steps = Vec::new();
+            let mut retired = 0u32;
+            let mut at = start;
+            let mut term = None;
+            while at < end {
+                let insn = prog[at];
+                // Try superinstruction fusion first: the window cannot
+                // cross `end`, so no jump target can land inside it.
+                if let Some((x, s)) = match_popcount(&prog[at..end.min(at + POPCOUNT_LEN)]) {
+                    steps.push(Step::Popcount { x, scratch: s });
+                    retired += POPCOUNT_LEN as u32;
+                    konst.0[x as usize] = None;
+                    konst.0[s as usize] = None;
+                    fused_popcounts += 1;
+                    at += POPCOUNT_LEN;
+                    continue;
+                }
+                match insn.0 {
+                    Op::Alu { op, dst, src } => {
+                        steps.push(match (op, src) {
+                            (Alu::Mov, Src::Imm(i)) => Step::MovImm {
+                                dst: dst.0,
+                                imm: i as u64,
+                            },
+                            (Alu::Mov, Src::Reg(r)) => Step::MovReg {
+                                dst: dst.0,
+                                src: r.0,
+                            },
+                            (op, Src::Imm(i)) => Step::AluImm {
+                                op,
+                                dst: dst.0,
+                                imm: i as u64,
+                            },
+                            (op, Src::Reg(r)) => Step::AluReg {
+                                op,
+                                dst: dst.0,
+                                src: r.0,
+                            },
+                        });
+                        konst.apply_alu(op, dst, src);
+                        retired += 1;
+                    }
+                    Op::StxStack { off, src } => {
+                        steps.push(Step::StxStack {
+                            base: (STACK_SIZE as i64 + off as i64) as u16,
+                            src: src.0,
+                        });
+                        retired += 1;
+                    }
+                    Op::LdxStack { dst, off } => {
+                        steps.push(Step::LdxStack {
+                            dst: dst.0,
+                            base: (STACK_SIZE as i64 + off as i64) as u16,
+                        });
+                        konst.0[dst.idx()] = None;
+                        retired += 1;
+                    }
+                    Op::Call { helper } => {
+                        steps.push(Self::compile_call(helper, &konst, ctx, &mut const_fds));
+                        konst.clobber_call();
+                        retired += 1;
+                    }
+                    Op::Ja { off } => {
+                        term = Some(Terminator::Jump {
+                            target: block_of[(at as i64 + 1 + off as i64) as usize],
+                        });
+                        retired += 1;
+                    }
+                    Op::Jmp {
+                        cond,
+                        dst,
+                        src,
+                        off,
+                    } => {
+                        term = Some(Terminator::Branch {
+                            cond,
+                            dst: dst.0,
+                            src: match src {
+                                Src::Reg(r) => BrSrc::Reg(r.0),
+                                Src::Imm(i) => BrSrc::Imm(i as u64),
+                            },
+                            taken: block_of[(at as i64 + 1 + off as i64) as usize],
+                            fall: block_of[at + 1],
+                        });
+                        retired += 1;
+                    }
+                    Op::Exit => {
+                        term = Some(Terminator::Exit);
+                        retired += 1;
+                    }
+                }
+                at += 1;
+            }
+            // No explicit terminator: the block was cut by a jump target
+            // splitting straight-line code — fall through (retires 0).
+            let term = term.unwrap_or_else(|| Terminator::Jump {
+                target: block_of[end],
+            });
+            blocks.push(Block {
+                steps: steps.into_boxed_slice(),
+                term,
+                retired,
+            });
+        }
+        Self {
+            blocks: blocks.into_boxed_slice(),
+            const_fds: const_fds.into_boxed_slice(),
+            fused_popcounts,
+        }
+    }
+
+    /// Resolve one helper call site into a direct step, interning a
+    /// constant-fd slot when constant propagation and the analysis map
+    /// layout allow it.
+    fn compile_call(
+        helper: u32,
+        konst: &Consts,
+        ctx: &AnalysisCtx,
+        const_fds: &mut Vec<(u32, MapKind)>,
+    ) -> Step {
+        let slot_for = |const_fds: &mut Vec<(u32, MapKind)>, fd: u64, want: MapKind| {
+            let bound = ctx.fd_layout(fd)?;
+            if bound.0 != want {
+                return None;
+            }
+            let fd = fd as u32;
+            if let Some(i) = const_fds.iter().position(|&e| e == (fd, want)) {
+                return Some(i as u8);
+            }
+            if const_fds.len() >= MAX_CONST_SLOTS {
+                return None;
+            }
+            const_fds.push((fd, want));
+            Some((const_fds.len() - 1) as u8)
+        };
+        match helper {
+            HELPER_RECIPROCAL_SCALE => Step::ReciprocalScale,
+            HELPER_KTIME_GET_NS => Step::KtimeGetNs,
+            HELPER_MAP_LOOKUP => konst.0[1]
+                .and_then(|fd| slot_for(const_fds, fd, MapKind::Array))
+                .map(|slot| Step::LookupConst { slot })
+                .unwrap_or(Step::LookupDyn),
+            HELPER_SK_SELECT_REUSEPORT => konst.0[1]
+                .and_then(|fd| slot_for(const_fds, fd, MapKind::SockArray))
+                .map(|slot| Step::SkSelectConst { slot })
+                .unwrap_or(Step::SkSelectDyn),
+            other => unreachable!("verifier admits only known helpers, got {other}"),
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of SWAR popcount windows fused into superinstructions
+    /// (Algorithm 2 dispatch has seven).
+    pub fn fused_popcounts(&self) -> usize {
+        self.fused_popcounts
+    }
+
+    /// Constant map fds bound to pre-resolved slots.
+    pub fn const_map_fds(&self) -> impl Iterator<Item = u32> + '_ {
+        self.const_fds.iter().map(|&(fd, _)| fd)
+    }
+
+    /// Resolve the constant-fd slots against `maps`. Called once per run
+    /// by [`crate::vm::Vm::run`], and once per *batch* by
+    /// [`crate::vm::Vm::run_batch`] — the point of the exercise.
+    pub(crate) fn resolve(&self, maps: &MapRegistry) -> ResolvedMaps {
+        let mut slots: [ResolvedSlot; MAX_CONST_SLOTS] =
+            std::array::from_fn(|_| ResolvedSlot::Missing);
+        for (i, &(fd, kind)) in self.const_fds.iter().enumerate() {
+            slots[i] = match kind {
+                MapKind::Array => maps
+                    .array(fd)
+                    .map(ResolvedSlot::Array)
+                    .unwrap_or(ResolvedSlot::Missing),
+                MapKind::SockArray => maps
+                    .sockarray(fd)
+                    .map(ResolvedSlot::Sock)
+                    .unwrap_or(ResolvedSlot::Missing),
+            };
+        }
+        ResolvedMaps(slots)
+    }
+
+    /// Execute against pre-resolved map slots. Observationally identical
+    /// to the checked interpreter for clean programs: same return value,
+    /// same selected socket, same retired-instruction count.
+    pub(crate) fn exec(
+        &self,
+        ctx_hash: u32,
+        maps: &MapRegistry,
+        now_ns: u64,
+        resolved: &ResolvedMaps,
+    ) -> ExecResult {
+        let mut regs = [0u64; NUM_REGS];
+        let mut stack = [0u8; STACK_SIZE];
+        regs[Reg::R1.idx()] = ctx_hash as u64;
+        regs[Reg::R10.idx()] = STACK_SIZE as u64;
+        let mut selected: Option<usize> = None;
+        let mut executed = 0usize;
+        let mut bi = 0usize;
+        loop {
+            let block = &self.blocks[bi];
+            executed += block.retired as usize;
+            for step in block.steps.iter() {
+                match *step {
+                    Step::MovImm { dst, imm } => regs[dst as usize] = imm,
+                    Step::MovReg { dst, src } => regs[dst as usize] = regs[src as usize],
+                    Step::AluImm { op, dst, imm } => {
+                        regs[dst as usize] = op.eval_unchecked(regs[dst as usize], imm)
+                    }
+                    Step::AluReg { op, dst, src } => {
+                        regs[dst as usize] =
+                            op.eval_unchecked(regs[dst as usize], regs[src as usize])
+                    }
+                    Step::StxStack { base, src } => {
+                        let base = base as usize;
+                        stack[base..base + 8].copy_from_slice(&regs[src as usize].to_le_bytes());
+                    }
+                    Step::LdxStack { dst, base } => {
+                        let base = base as usize;
+                        let mut buf = [0u8; 8];
+                        buf.copy_from_slice(&stack[base..base + 8]);
+                        regs[dst as usize] = u64::from_le_bytes(buf);
+                    }
+                    Step::Popcount { x, scratch } => {
+                        // Exact register-effect replay of the 15-op SWAR
+                        // window, wrapping ops included, so fusion is sound
+                        // for all inputs — not just genuine popcounts.
+                        let v = regs[x as usize];
+                        let t = v.wrapping_sub((v >> 1) & M1);
+                        let t2 = (t & M2).wrapping_add((t >> 2) & M2);
+                        let s = t2 >> 4;
+                        regs[x as usize] = (t2.wrapping_add(s) & M3).wrapping_mul(M4) >> 56;
+                        regs[scratch as usize] = s;
+                    }
+                    Step::ReciprocalScale => {
+                        let val = regs[1] as u32;
+                        let range = regs[2] as u32;
+                        regs[0] = if range == 0 {
+                            0
+                        } else {
+                            (val as u64 * range as u64) >> 32
+                        };
+                        regs[1..=5].fill(0);
+                    }
+                    Step::KtimeGetNs => {
+                        regs[0] = now_ns;
+                        regs[1..=5].fill(0);
+                    }
+                    Step::LookupConst { slot } => {
+                        let ResolvedSlot::Array(m) = &resolved.0[slot as usize] else {
+                            unreachable!("analysis proved the array fd bound")
+                        };
+                        regs[0] = m.lookup_fast(regs[2] as usize);
+                        regs[1..=5].fill(0);
+                    }
+                    Step::LookupDyn => {
+                        regs[0] = maps
+                            .array(regs[1] as u32)
+                            .expect("analysis proved the array fd bound")
+                            .lookup_fast(regs[2] as usize);
+                        regs[1..=5].fill(0);
+                    }
+                    Step::SkSelectConst { slot } => {
+                        let ResolvedSlot::Sock(m) = &resolved.0[slot as usize] else {
+                            unreachable!("analysis proved the sockarray fd bound")
+                        };
+                        regs[0] = match m.lookup(regs[2] as usize) {
+                            Some(sock) => {
+                                selected = Some(sock);
+                                0
+                            }
+                            None => ENOENT_RET,
+                        };
+                        regs[1..=5].fill(0);
+                    }
+                    Step::SkSelectDyn => {
+                        regs[0] = match maps
+                            .sockarray(regs[1] as u32)
+                            .and_then(|m| m.lookup(regs[2] as usize))
+                        {
+                            Some(sock) => {
+                                selected = Some(sock);
+                                0
+                            }
+                            None => ENOENT_RET,
+                        };
+                        regs[1..=5].fill(0);
+                    }
+                }
+            }
+            match block.term {
+                Terminator::Jump { target } => bi = target as usize,
+                Terminator::Branch {
+                    cond,
+                    dst,
+                    src,
+                    taken,
+                    fall,
+                } => {
+                    let s = match src {
+                        BrSrc::Reg(r) => regs[r as usize],
+                        BrSrc::Imm(v) => v,
+                    };
+                    bi = if cond.eval(regs[dst as usize], s) {
+                        taken as usize
+                    } else {
+                        fall as usize
+                    };
+                }
+                Terminator::Exit => {
+                    return ExecResult {
+                        return_value: regs[Reg::R0.idx()],
+                        selected_sock: selected,
+                        insns_executed: executed,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Single execution: resolve the constant-fd slots, then run.
+    pub(crate) fn run(&self, ctx_hash: u32, maps: &MapRegistry, now_ns: u64) -> ExecResult {
+        let resolved = self.resolve(maps);
+        self.exec(ctx_hash, maps, now_ns, &resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::maps::MapRef;
+    use crate::program::{emit_popcount, DispatchProgram};
+    use crate::vm::Vm;
+    use hermes_core::bitmap::WorkerBitmap;
+
+    fn compiled(prog: Vec<Insn>, ctx: &AnalysisCtx) -> (Vm, CompiledProgram) {
+        let vm = Vm::load_analyzed(prog.clone(), ctx).expect("clean");
+        let cp = CompiledProgram::compile(&prog, ctx);
+        (vm, cp)
+    }
+
+    #[test]
+    fn popcount_window_fuses_and_matches_interpreter() {
+        let mut a = Assembler::new();
+        a.mov(Reg::R6, Reg::R1);
+        emit_popcount(&mut a, Reg::R6, Reg::R3);
+        // Return popcount ^ scratch so the fused scratch value is observed.
+        a.mov(Reg::R0, Reg::R6);
+        a.alu(Alu::Xor, Reg::R0, Reg::R3);
+        a.exit();
+        let prog = a.finish();
+        let ctx = AnalysisCtx::new();
+        let (vm, cp) = compiled(prog, &ctx);
+        assert_eq!(cp.fused_popcounts(), 1);
+        let maps = MapRegistry::new();
+        for hash in [0u32, 1, 0b1011, 0xdead_beef, u32::MAX] {
+            assert_eq!(cp.run(hash, &maps, 0), vm.run(hash, &maps, 0).unwrap());
+        }
+    }
+
+    #[test]
+    fn dispatch_program_fuses_all_seven_popcounts() {
+        let prog = DispatchProgram::build(0, 1, 64);
+        let ctx = AnalysisCtx::new()
+            .bind(0, MapKind::Array, 1)
+            .bind(1, MapKind::SockArray, 64);
+        let cp = CompiledProgram::compile(prog.insns(), &ctx);
+        assert_eq!(cp.fused_popcounts(), 7);
+        // Both map fds become pre-resolved constant slots.
+        let fds: Vec<u32> = cp.const_map_fds().collect();
+        assert_eq!(fds, vec![0, 1]);
+    }
+
+    #[test]
+    fn compiled_dispatch_matches_checked_interpreter() {
+        let maps = MapRegistry::new();
+        let sel = Arc::new(ArrayMap::new(1));
+        let socks = Arc::new(SockArrayMap::new(16));
+        let sel_fd = maps.register(MapRef::Array(Arc::clone(&sel)));
+        let sock_fd = maps.register(MapRef::SockArray(Arc::clone(&socks)));
+        for w in 0..16 {
+            socks.register(w, w);
+        }
+        sel.update(0, WorkerBitmap::from_workers([1, 4, 9, 13]).0);
+        let prog = DispatchProgram::build(sel_fd, sock_fd, 16);
+        let ctx = AnalysisCtx::from_registry(&maps);
+        let checked = Vm::load(prog.insns().to_vec()).expect("verifies");
+        let cp = CompiledProgram::compile(prog.insns(), &ctx);
+        let resolved = cp.resolve(&maps);
+        for i in 0..1_000u32 {
+            let h = i.wrapping_mul(0x9E37_79B9);
+            assert_eq!(
+                cp.exec(h, &maps, 0, &resolved),
+                checked.run(h, &maps, 0).unwrap(),
+                "divergence at hash {h:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn fallthrough_blocks_retire_correct_counts() {
+        // A jump target splitting straight-line code produces a
+        // fall-through terminator that must retire nothing extra.
+        let mut a = Assembler::new();
+        let join = a.label();
+        a.mov_imm(Reg::R0, 1);
+        a.jmp_imm(Cond::Eq, Reg::R1, 7, join);
+        a.alu_imm(Alu::Add, Reg::R0, 10);
+        a.bind(join);
+        a.alu_imm(Alu::Add, Reg::R0, 100);
+        a.exit();
+        let prog = a.finish();
+        let ctx = AnalysisCtx::new();
+        let (vm, cp) = compiled(prog, &ctx);
+        let maps = MapRegistry::new();
+        for hash in [7u32, 8] {
+            let want = vm.run(hash, &maps, 0).unwrap();
+            assert_eq!(cp.run(hash, &maps, 0), want);
+        }
+    }
+}

@@ -17,7 +17,7 @@ use crate::helpers::{HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE, HELPER_SK_SELEC
 use crate::insn::{Alu, Cond, Insn, Reg};
 use crate::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
 use crate::program::emit_popcount;
-use crate::vm::Vm;
+use crate::vm::{ExecResult, ExecTier, Vm};
 use hermes_core::bitmap::WorkerBitmap;
 use hermes_core::hash::reciprocal_scale;
 use std::sync::Arc;
@@ -86,9 +86,10 @@ impl GroupedReuseportGroup {
         let prog = Self::build_program(groups, group_size);
         let ctx = AnalysisCtx::from_registry(&registry);
         let vm = Vm::load_analyzed(prog, &ctx).expect("grouped dispatch program must analyze");
-        assert!(
-            vm.is_fast_path(),
-            "grouped dispatch program must be proven clean for the fast path"
+        assert_eq!(
+            vm.tier(),
+            ExecTier::Compiled,
+            "grouped dispatch program must be proven clean for the compiled tier"
         );
         Self {
             registry,
@@ -195,6 +196,25 @@ impl GroupedReuseportGroup {
         self.vm.is_fast_path()
     }
 
+    /// Execution tier the attached program runs on — [`ExecTier::Compiled`]
+    /// always, by construction. The grouped program computes its map fds at
+    /// run time, so helper calls take the dynamic-fd path, but block
+    /// compilation and popcount fusion still apply.
+    pub fn tier(&self) -> ExecTier {
+        self.vm.tier()
+    }
+
+    /// The VM the program is loaded in (tier benchmarks and tests).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The map registry the program dispatches against (tier benchmarks
+    /// and tests).
+    pub fn registry(&self) -> &MapRegistry {
+        &self.registry
+    }
+
     /// Workers per group.
     pub fn group_size(&self) -> usize {
         self.group_size
@@ -212,6 +232,27 @@ impl GroupedReuseportGroup {
             .vm
             .run(hash, &self.registry, 0)
             .expect("verified program cannot fault");
+        self.outcome(hash, result)
+    }
+
+    /// Dispatch a whole arrival burst through the compiled tier, appending
+    /// decisions (identical to per-hash [`dispatch`](Self::dispatch)) to
+    /// `out` in order.
+    pub fn dispatch_batch(&self, hashes: &[u32], out: &mut Vec<GroupedOutcome>) {
+        let compiled = self
+            .vm
+            .compiled()
+            .expect("constructed on the compiled tier");
+        let resolved = compiled.resolve(&self.registry);
+        out.reserve(hashes.len());
+        for &hash in hashes {
+            let result = compiled.exec(hash, &self.registry, 0, &resolved);
+            out.push(self.outcome(hash, result));
+        }
+    }
+
+    /// Map a program execution result onto the grouped decision.
+    fn outcome(&self, hash: u32, result: ExecResult) -> GroupedOutcome {
         let group = reciprocal_scale(hash, self.groups as u32) as usize;
         if result.return_value != 0 {
             let sock = result.selected_sock.expect("committed socket");
@@ -242,6 +283,28 @@ mod tests {
             let g = GroupedReuseportGroup::new(groups, size);
             assert_eq!(g.groups(), groups);
             assert_eq!(g.group_size(), size);
+        }
+    }
+
+    #[test]
+    fn grouped_program_runs_on_the_compiled_tier() {
+        let g = GroupedReuseportGroup::new(4, 16);
+        assert_eq!(g.tier(), ExecTier::Compiled);
+        assert!(g.analysis().is_clean());
+    }
+
+    #[test]
+    fn grouped_batch_matches_per_connection_dispatch() {
+        let g = GroupedReuseportGroup::new(4, 16);
+        for grp in 0..4 {
+            g.sync_group_bitmap(grp, WorkerBitmap::from_workers([0, 3, 7, 12]));
+        }
+        let hashes: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(0x517C_C1B7)).collect();
+        let mut batch = Vec::new();
+        g.dispatch_batch(&hashes, &mut batch);
+        assert_eq!(batch.len(), hashes.len());
+        for (h, got) in hashes.iter().zip(&batch) {
+            assert_eq!(*got, g.dispatch(*h), "hash {h:#x}");
         }
     }
 

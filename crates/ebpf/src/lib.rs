@@ -46,6 +46,7 @@
 
 pub mod analysis;
 pub mod asm;
+pub mod compile;
 pub mod disasm;
 pub mod group_program;
 pub mod helpers;
@@ -57,9 +58,10 @@ pub mod vm;
 
 pub use analysis::{analyze, AnalysisCtx, AnalysisError, AnalysisReport};
 pub use asm::{parse_listing, Assembler, ParseError};
+pub use compile::CompiledProgram;
 pub use group_program::GroupedReuseportGroup;
 pub use insn::{Insn, Op, Reg};
 pub use maps::{ArrayMap, MapKind, MapRegistry, SockArrayMap};
 pub use program::{DispatchProgram, ReuseportGroup};
 pub use verifier::{verify, VerifyError};
-pub use vm::{ExecError, ExecResult, Vm};
+pub use vm::{ExecError, ExecResult, ExecTier, Vm};

@@ -24,7 +24,7 @@ use crate::asm::Assembler;
 use crate::helpers::{HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE, HELPER_SK_SELECT_REUSEPORT};
 use crate::insn::{Alu, Cond, Insn, Reg};
 use crate::maps::{ArrayMap, MapKind, MapRef, MapRegistry, SockArrayMap};
-use crate::vm::Vm;
+use crate::vm::{ExecResult, ExecTier, Vm};
 use hermes_core::bitmap::WorkerBitmap;
 use hermes_core::dispatch::DispatchOutcome;
 use hermes_core::hash::reciprocal_scale;
@@ -241,9 +241,10 @@ impl ReuseportGroup {
         // path for every connection.
         let ctx = AnalysisCtx::from_registry(&registry);
         let vm = Vm::load_analyzed(prog.insns, &ctx).expect("dispatch program must analyze");
-        assert!(
-            vm.is_fast_path(),
-            "dispatch program must be proven clean for the fast path"
+        assert_eq!(
+            vm.tier(),
+            ExecTier::Compiled,
+            "dispatch program must be proven clean for the compiled tier"
         );
         Self {
             registry,
@@ -268,6 +269,23 @@ impl ReuseportGroup {
     /// construction).
     pub fn is_fast_path(&self) -> bool {
         self.vm.is_fast_path()
+    }
+
+    /// Execution tier the attached program runs on — [`ExecTier::Compiled`]
+    /// always, by construction.
+    pub fn tier(&self) -> ExecTier {
+        self.vm.tier()
+    }
+
+    /// The VM the program is loaded in (tier benchmarks and tests).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The map registry the program dispatches against (tier benchmarks
+    /// and tests).
+    pub fn registry(&self) -> &MapRegistry {
+        &self.registry
     }
 
     /// Workers (sockets) in the group.
@@ -306,6 +324,31 @@ impl ReuseportGroup {
             .vm
             .run(hash, &self.registry, 0)
             .expect("verified program cannot fault");
+        self.outcome(hash, result)
+    }
+
+    /// Kernel-side dispatch of a whole arrival burst: one program execution
+    /// per hash, with the compiled tier's constant-fd map slots resolved
+    /// **once for the batch** (see [`Vm::run_batch`]). Decisions are
+    /// appended to `out` in order and are identical to per-hash
+    /// [`dispatch`](Self::dispatch) calls — the bitmap is read per
+    /// execution from the same atomic element, and userspace sync is
+    /// already asynchronous with respect to arrivals.
+    pub fn dispatch_batch(&self, hashes: &[u32], out: &mut Vec<DispatchOutcome>) {
+        let compiled = self
+            .vm
+            .compiled()
+            .expect("constructed on the compiled tier");
+        let resolved = compiled.resolve(&self.registry);
+        out.reserve(hashes.len());
+        for &hash in hashes {
+            let result = compiled.exec(hash, &self.registry, 0, &resolved);
+            out.push(self.outcome(hash, result));
+        }
+    }
+
+    /// Map a program execution result onto the dispatch decision.
+    fn outcome(&self, hash: u32, result: ExecResult) -> DispatchOutcome {
         if result.return_value != 0 {
             let sock = result
                 .selected_sock
@@ -387,6 +430,32 @@ mod tests {
         g.register_socket(0);
         g.register_socket(1);
         assert!(g.dispatch(1).is_directed());
+    }
+
+    #[test]
+    fn group_runs_on_the_compiled_tier() {
+        use crate::vm::ExecTier;
+        for workers in [1usize, 2, 64] {
+            let g = ReuseportGroup::new(workers);
+            assert_eq!(g.tier(), ExecTier::Compiled, "workers={workers}");
+            assert!(g.analysis().is_clean());
+        }
+    }
+
+    #[test]
+    fn batch_dispatch_matches_per_connection_dispatch() {
+        let g = ReuseportGroup::new(64);
+        g.sync_bitmap(WorkerBitmap(0x0000_F0F0_A5A5_3C3C));
+        let hashes: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut batch = Vec::new();
+        g.dispatch_batch(&hashes, &mut batch);
+        assert_eq!(batch.len(), hashes.len());
+        for (h, got) in hashes.iter().zip(&batch) {
+            assert_eq!(*got, g.dispatch(*h), "hash {h:#x}");
+        }
+        // Appends, does not clear: callers own the buffer lifecycle.
+        g.dispatch_batch(&hashes[..4], &mut batch);
+        assert_eq!(batch.len(), hashes.len() + 4);
     }
 
     #[test]

@@ -20,10 +20,38 @@
 //! per-packet path doesn't.
 
 use crate::analysis::{analyze, AnalysisCtx, AnalysisError, AnalysisReport};
+use crate::compile::CompiledProgram;
+use crate::disasm::disasm_insn;
 use crate::helpers::{call_helper, call_helper_fast, HelperCtx};
 use crate::insn::{Alu, Cond, Insn, Op, Reg, Src, NUM_REGS, STACK_SIZE};
 use crate::maps::MapRegistry;
 use crate::verifier::{verify, VerifyError};
+
+/// Execution tier a program qualifies for — the ladder the analysis pays
+/// for at load time. [`Vm::run`] always uses the highest available tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExecTier {
+    /// Checked reference interpreter: every pc move, stack access, and
+    /// helper argument validated at run time.
+    Checked,
+    /// Proven-safe interpreter over the lowered [`FastInsn`] stream:
+    /// runtime checks discharged by the analysis proofs.
+    Fast,
+    /// Basic-block compiled stream ([`crate::compile`]): no per-insn
+    /// fetch/decode, fused popcounts, helper calls resolved to direct code
+    /// with constant-fd maps bound once per run (or batch).
+    Compiled,
+}
+
+impl std::fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecTier::Checked => write!(f, "checked"),
+            ExecTier::Fast => write!(f, "fast"),
+            ExecTier::Compiled => write!(f, "compiled"),
+        }
+    }
+}
 
 /// Result of one program execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,22 +67,54 @@ pub struct ExecResult {
 
 /// Runtime failure (a verified program should never hit these; they exist
 /// to fail loudly instead of corrupting state if the verifier were wrong).
+/// Each variant pins the faulting instruction so the `Display` rendering
+/// names the exact site — index plus disassembled mnemonic — instead of a
+/// bare offset.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecError {
     /// Program counter left the program without `exit`.
-    PcOutOfBounds(i64),
+    PcOutOfBounds {
+        /// The out-of-range program counter.
+        pc: i64,
+        /// Program length the pc escaped.
+        len: usize,
+    },
     /// A helper id unknown at run time.
-    UnknownHelper(u32),
+    UnknownHelper {
+        /// The unknown helper id.
+        helper: u32,
+        /// Index of the faulting `call` instruction.
+        at: usize,
+        /// The faulting instruction, for disassembly.
+        insn: Insn,
+    },
     /// Stack access outside the frame.
-    StackOutOfBounds(i32),
+    StackOutOfBounds {
+        /// The offending frame-pointer-relative byte offset.
+        off: i32,
+        /// Index of the faulting load/store.
+        at: usize,
+        /// The faulting instruction, for disassembly.
+        insn: Insn,
+    },
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExecError::PcOutOfBounds(pc) => write!(f, "pc {pc} out of bounds"),
-            ExecError::UnknownHelper(h) => write!(f, "unknown helper {h}"),
-            ExecError::StackOutOfBounds(off) => write!(f, "stack offset {off} out of bounds"),
+            ExecError::PcOutOfBounds { pc, len } => {
+                write!(f, "pc {pc} out of bounds (program length {len})")
+            }
+            ExecError::UnknownHelper { helper, at, insn } => {
+                write!(f, "unknown helper {helper} at `{}`", disasm_insn(*at, insn))
+            }
+            ExecError::StackOutOfBounds { off, at, insn } => {
+                write!(
+                    f,
+                    "stack offset {off} out of bounds at `{}`",
+                    disasm_insn(*at, insn)
+                )
+            }
         }
     }
 }
@@ -154,6 +214,9 @@ pub struct Vm {
     /// Lowered stream, present only when the analysis proved the program
     /// clean (see module docs).
     fast: Option<Vec<FastInsn>>,
+    /// Basic-block compiled stream (the top tier), built alongside `fast`
+    /// for clean programs.
+    compiled: Option<CompiledProgram>,
     /// Analysis report, present when loaded via [`Vm::load_analyzed`].
     report: Option<AnalysisReport>,
 }
@@ -161,26 +224,31 @@ pub struct Vm {
 impl Vm {
     /// Load a program, verifying it first — mirroring `bpf(BPF_PROG_LOAD)`,
     /// which refuses unverifiable programs. Runs on the checked path; use
-    /// [`Vm::load_analyzed`] to qualify for the proven-safe fast path.
+    /// [`Vm::load_analyzed`] to qualify for the proven tiers.
     pub fn load(prog: Vec<Insn>) -> Result<Self, VerifyError> {
         verify(&prog)?;
         Ok(Self {
             prog,
             fast: None,
+            compiled: None,
             report: None,
         })
     }
 
     /// Load a program through the full abstract interpreter, binding map
     /// fds against `ctx`. Rejects programs the analysis cannot prove safe.
-    /// A clean report (no warnings) enables the unchecked fast path;
-    /// otherwise execution falls back to the checked interpreter.
+    /// A clean report (no warnings) enables the proven tiers — the lowered
+    /// fast stream and the block-compiled top tier; otherwise execution
+    /// falls back to the checked interpreter.
     pub fn load_analyzed(prog: Vec<Insn>, ctx: &AnalysisCtx) -> Result<Self, AnalysisError> {
         let report = analyze(&prog, ctx)?;
-        let fast = report.is_clean().then(|| lower(&prog));
+        let clean = report.is_clean();
+        let fast = clean.then(|| lower(&prog));
+        let compiled = clean.then(|| CompiledProgram::compile(&prog, ctx));
         Ok(Self {
             prog,
             fast,
+            compiled,
             report: Some(report),
         })
     }
@@ -200,6 +268,24 @@ impl Vm {
         self.fast.is_some()
     }
 
+    /// Highest execution tier this program qualified for. [`Vm::load`]
+    /// yields [`ExecTier::Checked`]; [`Vm::load_analyzed`] with a clean
+    /// report yields [`ExecTier::Compiled`].
+    pub fn tier(&self) -> ExecTier {
+        if self.compiled.is_some() {
+            ExecTier::Compiled
+        } else if self.fast.is_some() {
+            ExecTier::Fast
+        } else {
+            ExecTier::Checked
+        }
+    }
+
+    /// The compiled top-tier program, when the analysis earned it.
+    pub fn compiled(&self) -> Option<&CompiledProgram> {
+        self.compiled.as_ref()
+    }
+
     /// Number of instructions in the loaded program.
     pub fn len(&self) -> usize {
         self.prog.len()
@@ -212,17 +298,75 @@ impl Vm {
 
     /// Run the program with `ctx_hash` in R1 (the kernel-precomputed
     /// 4-tuple hash — our simplified `sk_reuseport_md`). Dispatches to the
-    /// proven-safe fast path when the analysis earned it.
+    /// highest tier the analysis earned.
     pub fn run(
         &self,
         ctx_hash: u32,
         maps: &MapRegistry,
         now_ns: u64,
     ) -> Result<ExecResult, ExecError> {
+        if let Some(compiled) = &self.compiled {
+            return Ok(compiled.run(ctx_hash, maps, now_ns));
+        }
         match &self.fast {
             Some(fast) => Ok(Self::run_fast(fast, ctx_hash, maps, now_ns)),
             None => self.run_checked(ctx_hash, maps, now_ns),
         }
+    }
+
+    /// Run on a *specific* tier — the differential-testing and benchmark
+    /// entry point. Panics when `tier` exceeds what this program qualified
+    /// for (check [`Vm::tier`] first).
+    pub fn run_tier(
+        &self,
+        tier: ExecTier,
+        ctx_hash: u32,
+        maps: &MapRegistry,
+        now_ns: u64,
+    ) -> Result<ExecResult, ExecError> {
+        match tier {
+            ExecTier::Checked => self.run_checked(ctx_hash, maps, now_ns),
+            ExecTier::Fast => {
+                let fast = self
+                    .fast
+                    .as_ref()
+                    .expect("program did not earn the fast tier");
+                Ok(Self::run_fast(fast, ctx_hash, maps, now_ns))
+            }
+            ExecTier::Compiled => {
+                let compiled = self
+                    .compiled
+                    .as_ref()
+                    .expect("program did not earn the compiled tier");
+                Ok(compiled.run(ctx_hash, maps, now_ns))
+            }
+        }
+    }
+
+    /// Run the program once per hash in `hashes`, appending results to
+    /// `out`. On the compiled tier the constant-fd map slots are resolved
+    /// **once for the whole batch** — the per-connection registry cost the
+    /// batched dispatch path exists to amortize. Lower tiers degrade to a
+    /// per-hash loop with identical results.
+    pub fn run_batch(
+        &self,
+        hashes: &[u32],
+        maps: &MapRegistry,
+        now_ns: u64,
+        out: &mut Vec<ExecResult>,
+    ) -> Result<(), ExecError> {
+        out.reserve(hashes.len());
+        if let Some(compiled) = &self.compiled {
+            let resolved = compiled.resolve(maps);
+            for &hash in hashes {
+                out.push(compiled.exec(hash, maps, now_ns, &resolved));
+            }
+            return Ok(());
+        }
+        for &hash in hashes {
+            out.push(self.run(hash, maps, now_ns)?);
+        }
+        Ok(())
     }
 
     /// The checked reference interpreter: every pc move, stack access, and
@@ -248,10 +392,14 @@ impl Vm {
 
         loop {
             if pc < 0 || pc as usize >= self.prog.len() {
-                return Err(ExecError::PcOutOfBounds(pc));
+                return Err(ExecError::PcOutOfBounds {
+                    pc,
+                    len: self.prog.len(),
+                });
             }
             executed += 1;
-            let insn = self.prog[pc as usize];
+            let at = pc as usize;
+            let insn = self.prog[at];
             pc += 1;
             match insn.0 {
                 Op::Alu { op, dst, src } => {
@@ -279,11 +427,19 @@ impl Vm {
                     }
                 }
                 Op::StxStack { off, src } => {
-                    let base = Self::stack_base(off)?;
+                    let base = Self::stack_base(off).ok_or(ExecError::StackOutOfBounds {
+                        off,
+                        at,
+                        insn,
+                    })?;
                     stack[base..base + 8].copy_from_slice(&regs[src.idx()].to_le_bytes());
                 }
                 Op::LdxStack { dst, off } => {
-                    let base = Self::stack_base(off)?;
+                    let base = Self::stack_base(off).ok_or(ExecError::StackOutOfBounds {
+                        off,
+                        at,
+                        insn,
+                    })?;
                     let mut buf = [0u8; 8];
                     buf.copy_from_slice(&stack[base..base + 8]);
                     regs[dst.idx()] = u64::from_le_bytes(buf);
@@ -296,8 +452,13 @@ impl Vm {
                         regs[Reg::R4.idx()],
                         regs[Reg::R5.idx()],
                     ];
-                    let ret = call_helper(helper, args, maps, &mut helper_ctx)
-                        .map_err(|e| ExecError::UnknownHelper(e.0))?;
+                    let ret = call_helper(helper, args, maps, &mut helper_ctx).map_err(|e| {
+                        ExecError::UnknownHelper {
+                            helper: e.0,
+                            at,
+                            insn,
+                        }
+                    })?;
                     regs[Reg::R0.idx()] = ret;
                     // Clobber caller-saved registers as the ABI declares, so
                     // a program that slipped past a verifier bug cannot rely
@@ -317,12 +478,13 @@ impl Vm {
 
     /// Translate a frame-pointer-relative byte offset into a stack index;
     /// `off` must be negative and the 8-byte access must stay in frame.
-    fn stack_base(off: i32) -> Result<usize, ExecError> {
+    /// `None` means out of frame — the caller attaches the faulting site.
+    fn stack_base(off: i32) -> Option<usize> {
         let addr = STACK_SIZE as i64 + off as i64;
         if off >= 0 || addr < 0 || (addr as usize) + 8 > STACK_SIZE {
-            return Err(ExecError::StackOutOfBounds(off));
+            return None;
         }
-        Ok(addr as usize)
+        Some(addr as usize)
     }
 
     /// The proven-safe interpreter. Every check the reference path performs
@@ -599,6 +761,147 @@ mod tests {
             Vm::load_analyzed(a.finish(), &AnalysisCtx::new()),
             Err(AnalysisError::DivByPossiblyZero { .. })
         ));
+    }
+
+    #[test]
+    fn tier_ladder_matches_load_path() {
+        use crate::analysis::AnalysisCtx;
+
+        let mut a = Assembler::new();
+        a.mov_imm(Reg::R0, 7);
+        a.exit();
+        let prog = a.finish();
+        let checked = Vm::load(prog.clone()).unwrap();
+        assert_eq!(checked.tier(), ExecTier::Checked);
+        assert!(checked.compiled().is_none());
+        let compiled = Vm::load_analyzed(prog, &AnalysisCtx::new()).unwrap();
+        assert_eq!(compiled.tier(), ExecTier::Compiled);
+        assert!(compiled.is_fast_path());
+        assert!(ExecTier::Checked < ExecTier::Fast && ExecTier::Fast < ExecTier::Compiled);
+    }
+
+    #[test]
+    fn run_tier_agrees_across_all_tiers() {
+        use crate::analysis::AnalysisCtx;
+        use crate::helpers::HELPER_RECIPROCAL_SCALE;
+
+        // Branchy program with a helper call: covers blocks + direct call.
+        let mut a = Assembler::new();
+        let fallback = a.label();
+        a.mov(Reg::R6, Reg::R1);
+        a.mov_imm(Reg::R2, 13);
+        a.call(HELPER_RECIPROCAL_SCALE);
+        a.jmp_imm(Cond::Eq, Reg::R0, 0, fallback);
+        a.alu(Alu::Add, Reg::R0, Reg::R6);
+        a.exit();
+        a.bind(fallback);
+        a.mov_imm(Reg::R0, 99);
+        a.exit();
+        let vm = Vm::load_analyzed(a.finish(), &AnalysisCtx::new()).expect("clean");
+        assert_eq!(vm.tier(), ExecTier::Compiled);
+        let maps = MapRegistry::new();
+        for hash in [0u32, 1, 1000, 0xdead_beef, u32::MAX] {
+            let checked = vm.run_tier(ExecTier::Checked, hash, &maps, 0).unwrap();
+            let fast = vm.run_tier(ExecTier::Fast, hash, &maps, 0).unwrap();
+            let compiled = vm.run_tier(ExecTier::Compiled, hash, &maps, 0).unwrap();
+            assert_eq!(checked, fast, "checked/fast at {hash:#x}");
+            assert_eq!(checked, compiled, "checked/compiled at {hash:#x}");
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_single_runs_and_resolves_once() {
+        use crate::analysis::AnalysisCtx;
+        use crate::helpers::HELPER_MAP_LOOKUP;
+        use crate::maps::{ArrayMap, MapKind, MapRef};
+        use std::sync::Arc;
+
+        let maps = MapRegistry::new();
+        let array = Arc::new(ArrayMap::new(8));
+        for k in 0..8 {
+            array.update(k, (k as u64) * 11);
+        }
+        let fd = maps.register(MapRef::Array(array));
+        let mut a = Assembler::new();
+        a.mov(Reg::R2, Reg::R1);
+        a.alu_imm(Alu::And, Reg::R2, 7);
+        a.mov_imm(Reg::R1, fd as i64);
+        a.call(HELPER_MAP_LOOKUP);
+        a.exit();
+        let ctx = AnalysisCtx::new().bind(fd, MapKind::Array, 8);
+        let vm = Vm::load_analyzed(a.finish(), &ctx).expect("clean");
+        let hashes: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut batch = Vec::new();
+        vm.run_batch(&hashes, &maps, 0, &mut batch).unwrap();
+        assert_eq!(batch.len(), hashes.len());
+        for (h, got) in hashes.iter().zip(&batch) {
+            assert_eq!(*got, vm.run(*h, &maps, 0).unwrap());
+        }
+    }
+
+    #[test]
+    fn exec_error_display_names_the_faulting_insn() {
+        // Construct error values directly: a verified program cannot reach
+        // them, which is exactly why the Display path needs its own test.
+        let stx = Insn(Op::StxStack {
+            off: -1024,
+            src: Reg::R6,
+        });
+        let e = ExecError::StackOutOfBounds {
+            off: -1024,
+            at: 3,
+            insn: stx,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("-1024"), "offset in {msg:?}");
+        assert!(msg.contains("3: stx"), "index + mnemonic in {msg:?}");
+
+        let call = Insn(Op::Call { helper: 42 });
+        let e = ExecError::UnknownHelper {
+            helper: 42,
+            at: 7,
+            insn: call,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("helper 42"), "helper id in {msg:?}");
+        assert!(msg.contains("7: call #42"), "index + mnemonic in {msg:?}");
+
+        let e = ExecError::PcOutOfBounds { pc: 12, len: 5 };
+        let msg = e.to_string();
+        assert!(msg.contains("12") && msg.contains("5"), "{msg:?}");
+    }
+
+    #[test]
+    fn checked_interpreter_reports_faulting_site() {
+        // Bypass the verifier (which would reject this) to prove the
+        // checked interpreter pins the faulting instruction index.
+        let prog = vec![
+            Insn(Op::Alu {
+                op: Alu::Mov,
+                dst: Reg::R6,
+                src: Src::Imm(1),
+            }),
+            Insn(Op::Call { helper: 999 }),
+            Insn(Op::Exit),
+        ];
+        let vm = Vm {
+            prog,
+            fast: None,
+            compiled: None,
+            report: None,
+        };
+        let err = vm
+            .run(0, &MapRegistry::new(), 0)
+            .expect_err("unknown helper must fault");
+        assert_eq!(
+            err,
+            ExecError::UnknownHelper {
+                helper: 999,
+                at: 1,
+                insn: Insn(Op::Call { helper: 999 }),
+            }
+        );
+        assert!(err.to_string().contains("1: call #999"), "{err}");
     }
 
     #[test]

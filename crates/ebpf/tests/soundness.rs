@@ -14,7 +14,7 @@ use hermes_ebpf::helpers::{
 };
 use hermes_ebpf::insn::{Alu, Cond, Insn, Op, Reg, Src};
 use hermes_ebpf::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
-use hermes_ebpf::{AnalysisCtx, MapKind, Vm};
+use hermes_ebpf::{AnalysisCtx, ExecTier, MapKind, Vm};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -234,9 +234,11 @@ fn gen_program(seed: &[u8]) -> Vec<Insn> {
 
 /// The soundness oracle. Returns whether the program was accepted.
 ///
-/// For accepted programs: no trap on either path, checked and analyzed
-/// execution agree exactly, and instruction counts respect the no-loop
-/// bound.
+/// For accepted programs: no trap on any earned execution tier, every
+/// tier's `ExecResult` is byte-identical to the checked interpreter's
+/// (return value, selected socket, instruction count), batched execution
+/// equals the single-shot runs element-for-element, and instruction counts
+/// respect the no-loop bound.
 fn check_soundness(seed: &[u8], hashes: &[u32], vals: &[u64; ARRAY_SIZE], registered: u8) -> bool {
     let prog = gen_program(seed);
     let analyzed = match Vm::load_analyzed(prog.clone(), &test_ctx()) {
@@ -245,21 +247,31 @@ fn check_soundness(seed: &[u8], hashes: &[u32], vals: &[u64; ARRAY_SIZE], regist
     };
     let checked = Vm::load(prog.clone()).expect("analysis acceptance implies verification");
     let registry = test_registry(vals, registered);
+    let earned = analyzed.tier();
+    let mut singles = Vec::with_capacity(hashes.len());
     for &hash in hashes {
         let c = checked
             .run(hash, &registry, 0)
             .unwrap_or_else(|e| panic!("accepted program trapped (checked): {e}"));
-        let a = analyzed
-            .run(hash, &registry, 0)
-            .unwrap_or_else(|e| panic!("accepted program trapped (analyzed): {e}"));
-        assert_eq!(
-            a,
-            c,
-            "fast={} diverged from checked path on hash {hash:#x}",
-            analyzed.is_fast_path()
-        );
+        for tier in [ExecTier::Checked, ExecTier::Fast, ExecTier::Compiled] {
+            if tier > earned {
+                continue;
+            }
+            let r = analyzed
+                .run_tier(tier, hash, &registry, 0)
+                .unwrap_or_else(|e| panic!("accepted program trapped ({tier}): {e}"));
+            assert_eq!(r, c, "{tier} tier diverged from checked on hash {hash:#x}");
+        }
         assert!(c.insns_executed <= prog.len(), "executed past the program");
+        singles.push(c);
     }
+    // Batched execution amortizes map resolution but must not change a
+    // single decision.
+    let mut batch = Vec::new();
+    analyzed
+        .run_batch(hashes, &registry, 0, &mut batch)
+        .unwrap_or_else(|e| panic!("accepted program trapped (batch): {e}"));
+    assert_eq!(batch, singles, "batched run diverged from single-shot runs");
     true
 }
 
@@ -350,29 +362,89 @@ proptest! {
         check_soundness(&seed, &hashes, &vals, registered);
     }
 
-    /// The shipped dispatch program under the fuzz harness: fast path and
-    /// checked path agree for every bitmap, hash, and registration set.
+    /// The shipped dispatch program under the fuzz harness: all three
+    /// execution tiers agree for every bitmap, hash, and registration set.
     #[test]
-    fn dispatch_program_fast_path_matches_checked(bits: u64, hash: u32, workers in 1usize..=64) {
-        use hermes_ebpf::DispatchProgram;
-        let prog = DispatchProgram::build(ARRAY_FD, SOCK_FD, workers);
-        let ctx = AnalysisCtx::new()
-            .bind(ARRAY_FD, MapKind::Array, 1)
-            .bind(SOCK_FD, MapKind::SockArray, workers);
-        let analyzed = Vm::load_analyzed(prog.insns().to_vec(), &ctx).unwrap();
-        prop_assert!(analyzed.is_fast_path());
-        let checked = Vm::load(prog.insns().to_vec()).unwrap();
-        let registry = MapRegistry::new();
-        let arr = Arc::new(ArrayMap::new(1));
-        arr.update(0, bits);
-        registry.register(MapRef::Array(arr));
-        let socks = Arc::new(SockArrayMap::new(workers));
-        for w in 0..workers {
-            socks.register(w, w);
-        }
-        registry.register(MapRef::SockArray(socks));
-        let a = analyzed.run(hash, &registry, 0).unwrap();
-        let c = checked.run(hash, &registry, 0).unwrap();
-        prop_assert_eq!(a, c);
+    fn dispatch_program_tiers_match_checked(bits: u64, hash: u32, workers in 1usize..=64) {
+        check_dispatch_tiers(bits, hash, workers);
     }
+}
+
+/// Oracle shared by the proptest above and the deterministic sweep below:
+/// build the Algorithm 2 program for `workers`, load the bitmap, and
+/// assert every earned tier returns the checked interpreter's exact
+/// `ExecResult`.
+fn check_dispatch_tiers(bits: u64, hash: u32, workers: usize) {
+    use hermes_ebpf::DispatchProgram;
+    let prog = DispatchProgram::build(ARRAY_FD, SOCK_FD, workers);
+    let ctx = AnalysisCtx::new().bind(ARRAY_FD, MapKind::Array, 1).bind(
+        SOCK_FD,
+        MapKind::SockArray,
+        workers,
+    );
+    let analyzed = Vm::load_analyzed(prog.insns().to_vec(), &ctx).unwrap();
+    assert_eq!(
+        analyzed.tier(),
+        ExecTier::Compiled,
+        "Algorithm 2 must reach the top tier"
+    );
+    let checked = Vm::load(prog.insns().to_vec()).unwrap();
+    let registry = MapRegistry::new();
+    let arr = Arc::new(ArrayMap::new(1));
+    arr.update(0, bits);
+    registry.register(MapRef::Array(arr));
+    let socks = Arc::new(SockArrayMap::new(workers));
+    for w in 0..workers {
+        socks.register(w, w);
+    }
+    registry.register(MapRef::SockArray(socks));
+    let c = checked.run(hash, &registry, 0).unwrap();
+    for tier in [ExecTier::Checked, ExecTier::Fast, ExecTier::Compiled] {
+        let r = analyzed.run_tier(tier, hash, &registry, 0).unwrap();
+        assert_eq!(r, c, "{tier} diverged on bits {bits:#x} hash {hash:#x}");
+    }
+}
+
+/// Deterministic three-tier differential over both Algorithm 2 programs,
+/// independent of proptest: the flat program across group sizes and
+/// bitmaps, and the grouped (dynamic-fd) program batch-vs-single.
+#[test]
+fn dispatch_programs_are_tier_identical() {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut lcg = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for workers in [1usize, 2, 3, 17, 64] {
+        for _ in 0..40 {
+            check_dispatch_tiers(lcg(), lcg() as u32, workers);
+        }
+        check_dispatch_tiers(0, 0, workers);
+        check_dispatch_tiers(u64::MAX, u32::MAX, workers);
+    }
+    // The grouped program exercises the dynamic-fd compiled path; its
+    // batched runs must equal single-shot runs on every tier's oracle.
+    let grouped = hermes_ebpf::GroupedReuseportGroup::new(4, 16);
+    let vm = grouped.vm();
+    assert_eq!(vm.tier(), ExecTier::Compiled);
+    let hashes: Vec<u32> = (0..128u64).map(|_| lcg() as u32).collect();
+    let singles: Vec<_> = hashes
+        .iter()
+        .map(|&h| {
+            let c = vm
+                .run_tier(ExecTier::Checked, h, grouped.registry(), 0)
+                .unwrap();
+            for tier in [ExecTier::Fast, ExecTier::Compiled] {
+                let r = vm.run_tier(tier, h, grouped.registry(), 0).unwrap();
+                assert_eq!(r, c, "grouped {tier} diverged on hash {h:#x}");
+            }
+            c
+        })
+        .collect();
+    let mut batch = Vec::new();
+    vm.run_batch(&hashes, grouped.registry(), 0, &mut batch)
+        .unwrap();
+    assert_eq!(batch, singles);
 }

@@ -10,7 +10,7 @@ use hermes_core::sched::SchedConfig;
 use hermes_core::sdk::WorkerSession;
 use hermes_core::selmap::SelMap;
 use hermes_core::wst::Wst;
-use hermes_ebpf::ReuseportGroup;
+use hermes_ebpf::{ExecTier, ReuseportGroup};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -105,9 +105,11 @@ impl LbRuntime {
         let kernel = Arc::new(if config.use_ebpf {
             let group = ReuseportGroup::new(config.workers);
             // The attached Algorithm 2 program must be statically proven
-            // safe (zero analysis warnings) before the runtime serves on it.
-            assert!(
-                group.is_fast_path(),
+            // safe (zero analysis warnings) and reach the top execution
+            // tier before the runtime serves on it.
+            assert_eq!(
+                group.tier(),
+                ExecTier::Compiled,
                 "dispatch program failed verification:\n{}",
                 group.analysis().render(group.program())
             );
@@ -163,6 +165,12 @@ impl LbRuntime {
         };
         self.dispatcher_ns
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.tally(out)
+    }
+
+    /// Record a dispatch decision in the directed/fallback tallies and
+    /// return the chosen worker.
+    fn tally(&mut self, out: DispatchOutcome) -> usize {
         match out {
             DispatchOutcome::Directed(w) => {
                 self.directed += 1;
@@ -175,10 +183,9 @@ impl LbRuntime {
         }
     }
 
-    /// Submit one connection: dispatch, deliver accept + requests + close.
-    /// Returns the worker the kernel selected.
-    pub fn submit(&mut self, script: ConnectionScript) -> usize {
-        let w = self.dispatch(script.flow_hash);
+    /// Deliver a dispatched connection's accept + requests + close to its
+    /// worker.
+    fn deliver(&self, w: usize, script: &ConnectionScript) {
         let tx = &self.senders[w];
         tx.send(Task::Accept).expect("worker alive");
         for service in &script.requests {
@@ -190,7 +197,42 @@ impl LbRuntime {
             .expect("worker alive");
         }
         tx.send(Task::Close).expect("worker alive");
+    }
+
+    /// Submit one connection: dispatch, deliver accept + requests + close.
+    /// Returns the worker the kernel selected.
+    pub fn submit(&mut self, script: ConnectionScript) -> usize {
+        let w = self.dispatch(script.flow_hash);
+        self.deliver(w, &script);
         w
+    }
+
+    /// Submit an arrival burst through one batched kernel dispatch: the
+    /// availability bitmap is loaded (and, on the eBPF path, the map
+    /// registry resolved) once for the whole batch instead of once per
+    /// connection. Decisions are identical to per-connection
+    /// [`submit`](Self::submit) calls against the same bitmap — userspace
+    /// publishes asynchronously either way — and each script's tasks are
+    /// delivered in submission order. Returns the chosen worker per script.
+    pub fn submit_batch(&mut self, scripts: &[ConnectionScript]) -> Vec<usize> {
+        let hashes: Vec<u32> = scripts.iter().map(|s| s.flow_hash).collect();
+        let mut outcomes = Vec::with_capacity(scripts.len());
+        let t = Instant::now();
+        match &*self.kernel {
+            Kernel::Ebpf(g) => g.dispatch_batch(&hashes, &mut outcomes),
+            Kernel::Native { sel, dispatcher } => {
+                dispatcher.dispatch_batch(sel.load(), &hashes, &mut outcomes)
+            }
+        }
+        self.dispatcher_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let mut workers = Vec::with_capacity(scripts.len());
+        for (script, out) in scripts.iter().zip(outcomes) {
+            let w = self.tally(out);
+            self.deliver(w, script);
+            workers.push(w);
+        }
+        workers
     }
 
     /// The shared clock (for pacing submissions).
@@ -237,6 +279,7 @@ impl LbRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pacer::Pacer;
 
     fn scripts(n: u32, service: Duration) -> impl Iterator<Item = ConnectionScript> {
         (0..n).map(move |i| ConnectionScript {
@@ -267,9 +310,10 @@ mod tests {
         // Pace submissions: an unpaced burst outruns the feedback loop,
         // shrinks the bitmap, and (by design, §5.3.2) falls back to
         // hashing — realistic CPS keeps the loop closed.
+        let mut pacer = Pacer::new(Duration::from_micros(30));
         for s in scripts(800, Duration::from_micros(5)) {
             rt.submit(s);
-            std::thread::sleep(Duration::from_micros(30));
+            pacer.pace();
         }
         let report = rt.shutdown();
         assert_eq!(report.completed_requests, 800);
@@ -299,9 +343,10 @@ mod tests {
         });
         // Let the hang threshold trip while the victim spins.
         std::thread::sleep(Duration::from_millis(20));
+        let mut pacer = Pacer::new(Duration::from_micros(30));
         for s in scripts(300, Duration::from_micros(5)) {
             rt.submit(s);
-            std::thread::sleep(Duration::from_micros(30));
+            pacer.pace();
         }
         let report = rt.shutdown();
         assert_eq!(report.completed_requests, 301);
@@ -352,6 +397,54 @@ mod tests {
         let pct = o.as_cpu_percent(report.workers, report.wall_ns);
         let total: f64 = pct.iter().sum();
         assert!(total < 95.0, "overhead {total}%");
+    }
+
+    #[test]
+    fn batched_submission_completes_on_both_kernels() {
+        for use_ebpf in [false, true] {
+            let mut cfg = RuntimeConfig::new(4);
+            cfg.use_ebpf = use_ebpf;
+            let mut rt = LbRuntime::start(cfg);
+            std::thread::sleep(Duration::from_millis(15));
+            let burst: Vec<ConnectionScript> = scripts(64, Duration::from_micros(10)).collect();
+            let workers = rt.submit_batch(&burst);
+            assert_eq!(workers.len(), 64, "use_ebpf={use_ebpf}");
+            assert!(workers.iter().all(|&w| w < 4), "use_ebpf={use_ebpf}");
+            let report = rt.shutdown();
+            assert_eq!(report.completed_requests, 64, "use_ebpf={use_ebpf}");
+            assert_eq!(
+                report.directed_dispatches + report.fallback_dispatches,
+                64,
+                "use_ebpf={use_ebpf}"
+            );
+            assert!(report.overhead.dispatcher_ns > 0, "use_ebpf={use_ebpf}");
+        }
+    }
+
+    #[test]
+    fn batched_submission_matches_per_connection_decisions() {
+        // With a stable bitmap a batch must pick exactly the workers
+        // per-connection dispatch picks: decisions depend only on
+        // (bitmap, flow_hash). Zero-work scripts (accept + close, no
+        // requests) keep every worker healthy so the bitmap stays full in
+        // both runtimes for the whole comparison.
+        let burst: Vec<ConnectionScript> = (0..64u32)
+            .map(|i| ConnectionScript {
+                flow_hash: i.wrapping_mul(0x9E37_79B9).rotate_left(11) ^ 0xA5A5_5A5A,
+                requests: Vec::new(),
+                probe: false,
+            })
+            .collect();
+        let mut batched = LbRuntime::start(RuntimeConfig::new(4));
+        let mut single = LbRuntime::start(RuntimeConfig::new(4));
+        // Let every worker publish healthy status so the bitmap is full
+        // and stable in both runtimes.
+        std::thread::sleep(Duration::from_millis(30));
+        let batch_workers = batched.submit_batch(&burst);
+        let single_workers: Vec<usize> = burst.iter().map(|s| single.submit(s.clone())).collect();
+        assert_eq!(batch_workers, single_workers);
+        batched.shutdown();
+        single.shutdown();
     }
 
     #[test]

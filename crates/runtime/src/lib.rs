@@ -41,8 +41,10 @@
 
 pub mod clock;
 pub mod driver;
+pub mod pacer;
 pub mod report;
 pub mod worker;
 
 pub use driver::{ConnectionScript, LbRuntime, RuntimeConfig};
+pub use pacer::Pacer;
 pub use report::{ComponentOverhead, RuntimeReport};

@@ -1,0 +1,164 @@
+//! Deadline-based submission pacing.
+//!
+//! The driver's open-loop traffic generators need a fixed inter-arrival
+//! gap. `thread::sleep(gap)` per iteration is the obvious way to get one,
+//! but it compounds two errors: the OS routinely overshoots short sleeps
+//! by tens of microseconds, and the overshoot *accumulates* because each
+//! sleep is relative to whenever the previous iteration happened to
+//! finish. At a 30 µs target gap the realised rate can be off by 2–3×.
+//!
+//! [`Pacer`] fixes both. Deadlines are absolute — the `n`-th tick is due
+//! at `start + n * interval`, independent of jitter in earlier ticks — and
+//! each wait parks the thread only to within a small window of the
+//! deadline, busy-spinning the rest. Parking keeps the CPU free for the
+//! worker threads the generator is driving; the spin tail gives the
+//! precision `sleep` cannot. A caller that falls behind schedule is not
+//! punished: overdue ticks return immediately until the schedule is
+//! caught up, preserving the long-run rate.
+
+use std::time::{Duration, Instant};
+
+/// Default spin window: park until this close to the deadline, then spin.
+/// 50 µs comfortably covers typical `sleep`/`park_timeout` overshoot on a
+/// loaded box without burning meaningful CPU.
+const DEFAULT_SPIN_WINDOW: Duration = Duration::from_micros(50);
+
+/// A fixed-rate ticker with an absolute deadline schedule and a
+/// park-then-spin wait.
+///
+/// ```
+/// use hermes_runtime::Pacer;
+/// use std::time::{Duration, Instant};
+///
+/// let mut pacer = Pacer::new(Duration::from_micros(200));
+/// let start = Instant::now();
+/// for _ in 0..5 {
+///     pacer.pace(); // blocks until the next 200 µs boundary
+/// }
+/// assert!(start.elapsed() >= Duration::from_micros(1000));
+/// ```
+#[derive(Debug)]
+pub struct Pacer {
+    /// Next absolute deadline.
+    next: Instant,
+    interval: Duration,
+    spin_window: Duration,
+}
+
+impl Pacer {
+    /// Pacer ticking every `interval`, first tick one interval from now.
+    pub fn new(interval: Duration) -> Self {
+        Self::with_spin_window(interval, DEFAULT_SPIN_WINDOW)
+    }
+
+    /// Pacer with an explicit spin window (the tail of each wait that
+    /// busy-spins instead of parking). A zero window parks all the way to
+    /// the deadline — lowest CPU, sleep-grade precision.
+    pub fn with_spin_window(interval: Duration, spin_window: Duration) -> Self {
+        Self {
+            next: Instant::now() + interval,
+            interval,
+            spin_window,
+        }
+    }
+
+    /// The configured inter-tick interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Block until the current deadline, then advance the schedule by one
+    /// interval. Returns how late the deadline was observed (zero when the
+    /// wait completed on time; positive when the caller is running behind
+    /// schedule and the tick fired immediately).
+    pub fn pace(&mut self) -> Duration {
+        let deadline = self.next;
+        self.next += self.interval;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return now - deadline;
+            }
+            let remaining = deadline - now;
+            if remaining > self.spin_window {
+                // Coarse phase: park, leaving the spin window as margin
+                // for overshoot. Spurious wakeups just re-enter the loop.
+                std::thread::park_timeout(remaining - self.spin_window);
+            } else {
+                // Fine phase: busy-wait the last few microseconds.
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_the_long_run_rate() {
+        let interval = Duration::from_micros(500);
+        let ticks = 20u32;
+        let mut pacer = Pacer::new(interval);
+        let start = Instant::now();
+        for _ in 0..ticks {
+            pacer.pace();
+        }
+        let elapsed = start.elapsed();
+        let target = interval * ticks;
+        assert!(
+            elapsed >= target,
+            "finished early: {elapsed:?} for a {target:?} schedule"
+        );
+        // Absolute deadlines mean per-tick jitter must not accumulate:
+        // even on a loaded CI box the whole run should track the schedule
+        // far tighter than naive sleep's worst case.
+        assert!(
+            elapsed < target + Duration::from_millis(50),
+            "schedule drifted: {elapsed:?} for a {target:?} schedule"
+        );
+    }
+
+    #[test]
+    fn overdue_ticks_fire_immediately_and_catch_up() {
+        let interval = Duration::from_millis(1);
+        let mut pacer = Pacer::new(interval);
+        pacer.pace();
+        // Fall three intervals behind schedule.
+        std::thread::sleep(Duration::from_millis(4));
+        let t = Instant::now();
+        let lateness = pacer.pace();
+        assert!(
+            lateness >= Duration::from_millis(2),
+            "lateness {lateness:?}"
+        );
+        // The overdue ticks must not each wait a full interval.
+        pacer.pace();
+        pacer.pace();
+        assert!(
+            t.elapsed() < Duration::from_millis(2),
+            "catch-up ticks blocked: {:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn on_time_ticks_report_zero_or_tiny_lateness() {
+        let mut pacer = Pacer::new(Duration::from_millis(2));
+        let lateness = pacer.pace();
+        assert!(lateness < Duration::from_millis(1), "lateness {lateness:?}");
+    }
+
+    #[test]
+    fn zero_spin_window_still_paces() {
+        let interval = Duration::from_micros(300);
+        let mut pacer = Pacer::with_spin_window(interval, Duration::ZERO);
+        let start = Instant::now();
+        for _ in 0..4 {
+            pacer.pace();
+        }
+        assert!(start.elapsed() >= interval * 4);
+        assert_eq!(pacer.interval(), interval);
+    }
+}

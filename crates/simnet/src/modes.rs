@@ -13,7 +13,7 @@ use hermes_core::sched::{SchedConfig, Scheduler};
 use hermes_core::selmap::SelMap;
 use hermes_core::wst::{SnapshotCache, Wst};
 use hermes_core::FlowKey;
-use hermes_ebpf::ReuseportGroup;
+use hermes_ebpf::{ExecTier, ReuseportGroup};
 use std::sync::Arc;
 
 /// Hermes state bundle: WST + scheduler + the kernel-side dispatch path
@@ -27,6 +27,9 @@ pub struct HermesState {
     snap_cache: SnapshotCache,
     native: (Arc<SelMap>, ConnDispatcher),
     ebpf: Option<ReuseportGroup>,
+    /// Reusable outcome buffer for batched dispatch (no per-tick
+    /// allocation).
+    batch_buf: Vec<DispatchOutcome>,
     /// Scheduler/dispatch statistics (Fig. 14).
     pub stats: SchedStats,
 }
@@ -41,10 +44,16 @@ impl HermesState {
             ebpf: use_ebpf.then(|| {
                 let g = ReuseportGroup::new(workers);
                 // The bytecode twin must be admitted by the static analysis
-                // with zero warnings before the simulator trusts it.
-                assert!(g.is_fast_path(), "dispatch program failed verification");
+                // with zero warnings — and therefore reach the compiled
+                // tier — before the simulator trusts it.
+                assert_eq!(
+                    g.tier(),
+                    ExecTier::Compiled,
+                    "dispatch program failed verification"
+                );
                 g
             }),
+            batch_buf: Vec::new(),
             stats: SchedStats::default(),
         }
     }
@@ -75,6 +84,37 @@ impl HermesState {
             DispatchOutcome::Fallback(w) => {
                 self.stats.fallback_dispatches += 1;
                 w
+            }
+        }
+    }
+
+    /// Kernel-side dispatch of a same-instant SYN burst through one
+    /// batched program run: the availability bitmap and map registry are
+    /// loaded once for the whole burst. Decisions (and the Fig. 14
+    /// counters) are identical to per-SYN [`dispatch`](Self::dispatch)
+    /// calls — userspace cannot republish the bitmap between two events
+    /// carrying the same timestamp. Workers are appended to `out` in
+    /// arrival order.
+    pub fn dispatch_batch(&mut self, hashes: &[u32], out: &mut Vec<usize>) {
+        self.batch_buf.clear();
+        match &self.ebpf {
+            Some(g) => g.dispatch_batch(hashes, &mut self.batch_buf),
+            None => self
+                .native
+                .1
+                .dispatch_batch(self.native.0.load(), hashes, &mut self.batch_buf),
+        }
+        out.reserve(self.batch_buf.len());
+        for o in &self.batch_buf {
+            match *o {
+                DispatchOutcome::Directed(w) => {
+                    self.stats.directed_dispatches += 1;
+                    out.push(w);
+                }
+                DispatchOutcome::Fallback(w) => {
+                    self.stats.fallback_dispatches += 1;
+                    out.push(w);
+                }
             }
         }
     }
@@ -348,6 +388,40 @@ mod tests {
         }
         let h = d.hermes().unwrap();
         assert_eq!(h.stats.directed_dispatches, 100);
+    }
+
+    #[test]
+    fn hermes_batch_dispatch_matches_per_syn() {
+        for use_ebpf in [false, true] {
+            let mk = || {
+                let mut d = Dispatcher::new(Mode::Hermes, 8, cfg(), use_ebpf);
+                {
+                    let h = d.hermes_mut();
+                    for w in 0..8 {
+                        h.wst.worker(w).enter_loop(1_000_000);
+                    }
+                    h.wst.worker(3).conn_delta(50);
+                    h.schedule_and_sync(1_050_000);
+                }
+                d
+            };
+            let mut single = mk();
+            let mut batched = mk();
+            let flows: Vec<FlowKey> = (0..200u32)
+                .map(|i| FlowKey::new(i.wrapping_mul(13), i as u16, 1, 80))
+                .collect();
+            let hashes: Vec<u32> = flows.iter().map(|f| f.hash()).collect();
+            let singles: Vec<usize> = flows
+                .iter()
+                .map(|f| single.hermes_mut().dispatch(f))
+                .collect();
+            let mut batch = Vec::new();
+            batched.hermes_mut().dispatch_batch(&hashes, &mut batch);
+            assert_eq!(batch, singles, "use_ebpf={use_ebpf}");
+            let (s, b) = (single.hermes().unwrap(), batched.hermes().unwrap());
+            assert_eq!(s.stats.directed_dispatches, b.stats.directed_dispatches);
+            assert_eq!(s.stats.fallback_dispatches, b.stats.fallback_dispatches);
+        }
     }
 
     #[test]

@@ -75,6 +75,8 @@ pub struct Simulator<'w> {
     utils_buf: Vec<f64>,
     conns_buf: Vec<f64>,
     waiting_buf: Vec<(usize, u64)>,
+    syn_hash_buf: Vec<u32>,
+    syn_worker_buf: Vec<usize>,
     // Measurement state.
     events_processed: u64,
     worker_reports: Vec<WorkerReport>,
@@ -131,6 +133,8 @@ impl<'w> Simulator<'w> {
             utils_buf: Vec::with_capacity(n),
             conns_buf: Vec::with_capacity(n),
             waiting_buf: Vec::new(),
+            syn_hash_buf: Vec::new(),
+            syn_worker_buf: Vec::new(),
             events_processed: 0,
             now: 0,
             request_latency: Histogram::latency(),
@@ -199,13 +203,40 @@ impl<'w> Simulator<'w> {
 
     /// Run to the horizon and produce the report.
     pub fn run(mut self) -> DeviceReport {
-        while let Some((t, ev)) = self.queue.pop() {
+        // In Hermes mode, consecutive SYNs carrying the same timestamp are
+        // drained into one burst and dispatched through a single batched
+        // Algorithm 2 run. `carried` holds the first event popped past the
+        // end of a burst; it is processed on the next loop turn, so overall
+        // event order is exactly what the per-event loop would produce.
+        let mut syn_burst: Vec<ConnId> = Vec::new();
+        let mut carried: Option<(u64, Ev)> = None;
+        let batch_syns = self.dispatcher.hermes().is_some();
+        while let Some((t, ev)) = carried.take().or_else(|| self.queue.pop()) {
             if t > self.wl.duration_ns {
                 break;
             }
             self.now = t;
             self.events_processed += 1;
             match ev {
+                Ev::Syn(c) if batch_syns => {
+                    syn_burst.clear();
+                    syn_burst.push(c);
+                    while let Some((t2, ev2)) = self.queue.pop() {
+                        match ev2 {
+                            Ev::Syn(c2) if t2 == t => {
+                                self.events_processed += 1;
+                                syn_burst.push(c2);
+                            }
+                            other => {
+                                carried = Some((t2, other));
+                                break;
+                            }
+                        }
+                    }
+                    let burst = std::mem::take(&mut syn_burst);
+                    self.on_syn_burst(&burst);
+                    syn_burst = burst;
+                }
                 Ev::Syn(c) => self.on_syn(c),
                 Ev::RequestReady { conn, req } => self.on_request_ready(conn, req),
                 Ev::Wake { worker, generation } => self.on_wake(worker, generation),
@@ -261,6 +292,37 @@ impl<'w> Simulator<'w> {
             }
             self.wake_buf = wake;
         }
+    }
+
+    /// A same-instant SYN burst in Hermes mode: one batched Algorithm 2
+    /// run decides every connection, then each is delivered in arrival
+    /// order. Userspace cannot republish the bitmap between two events at
+    /// the same instant, so the decisions — and every downstream side
+    /// effect — are identical to per-SYN [`on_syn`](Self::on_syn) calls.
+    fn on_syn_burst(&mut self, burst: &[ConnId]) {
+        if burst.len() == 1 {
+            return self.on_syn(burst[0]);
+        }
+        self.syn_hash_buf.clear();
+        for &c in burst {
+            let spec = &self.wl.conns[c];
+            if self.nic.enabled() {
+                self.nic.record(&spec.flow, 2 + spec.requests.len() as u64);
+            }
+            self.conns[c].enqueue_ns = self.now;
+            self.syn_hash_buf.push(spec.flow.hash());
+        }
+        let mut workers = std::mem::take(&mut self.syn_worker_buf);
+        workers.clear();
+        self.dispatcher
+            .hermes_mut()
+            .dispatch_batch(&self.syn_hash_buf, &mut workers);
+        for (&c, &w) in burst.iter().zip(&workers) {
+            self.conns[c].worker = Some(w);
+            self.workers[w].pending.push_back(IoEvent::Accept(c));
+            self.notify(w);
+        }
+        self.syn_worker_buf = workers;
     }
 
     fn on_request_ready(&mut self, conn: ConnId, req: usize) {

@@ -16,11 +16,27 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> ebpf soundness differential suite (checked vs fast vs compiled)"
+# The tier ladder's safety argument: accepted programs never trap, and
+# every earned execution tier returns the checked interpreter's exact
+# result, single-shot and batched.
+cargo test --release -q -p hermes-ebpf --test soundness
+
 echo "==> simnet_throughput --smoke (event-engine regression gate)"
 # Fails if wheel events/sec drops >20% below the checked-in baseline.
 # Regenerate results/BENCH_simnet.json with a full (non-smoke) run when
 # the engine legitimately changes speed.
 cargo run --release -p hermes-bench --bin simnet_throughput -- \
   --smoke --baseline results/BENCH_simnet.json --no-write
+
+echo "==> dispatch_throughput --smoke (dispatch-tier regression gate)"
+# Fails if flat compiled dispatches/sec drops >20% below the checked-in
+# baseline, if the compiled tier stops beating the checked interpreter by
+# >= 2x on either Algorithm 2 program, or if the 64-burst batch stops
+# beating single-shot compiled dispatch. Regenerate
+# results/BENCH_dispatch.json with a full (non-smoke) run when the
+# dispatch path legitimately changes speed.
+cargo run --release -p hermes-bench --bin dispatch_throughput -- \
+  --smoke --baseline results/BENCH_dispatch.json --no-write
 
 echo "CI gate passed."
