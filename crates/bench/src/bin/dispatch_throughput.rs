@@ -37,7 +37,8 @@ use std::time::Instant;
 
 const DEFAULT_WORKERS: usize = 64;
 const BITMAP: u64 = 0x0000_F0F0_A5A5_3C3C;
-const BURST: usize = 64;
+/// Batch geometry under test — the workspace-wide accept/dispatch burst.
+const BURST: usize = hermes_core::DISPATCH_BATCH;
 const DEFAULT_DISPATCHES: usize = 1 << 20;
 const SMOKE_DISPATCHES: usize = 1 << 17;
 const REGRESSION_FRAC: f64 = 0.20;

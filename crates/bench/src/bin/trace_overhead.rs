@@ -1,0 +1,357 @@
+//! Flight-recorder overhead harness: the cost contract of `hermes-trace`,
+//! tracked as `results/BENCH_trace.json` from PR 4 on.
+//!
+//! Measures the same tight loop three ways and reports the *differential*
+//! per-event cost of the `trace_event!` macro:
+//!
+//!   baseline   the loop alone (wrapping-arithmetic accumulator)
+//!   enabled    loop + `trace_event!`, recorder on, a drainer thread
+//!              emptying the rings so writes exercise the full push path
+//!   disabled   loop + `trace_event!`, recorder switched off at runtime
+//!              (one branch + one relaxed atomic load per event)
+//!
+//! Built *without* the `trace` feature the macros compile to nothing, so
+//! the enabled/disabled loops must measure identical to baseline — that
+//! build proves the feature-off path is free, this build proves the
+//! feature-on path stays within its budget.
+//!
+//! Flags:
+//!   --smoke            fewer events (CI gate)
+//!   --out PATH         write JSON here (default results/BENCH_trace.json)
+//!   --no-write         measure and check only, leave the baseline file
+//!   --gate             enforce the absolute cost contract:
+//!                        feature on:  enabled overhead <= 25 ns/event,
+//!                                     runtime-disabled  <= 10 ns/event
+//!                        feature off: both loops within 3 ns of baseline
+//!   --baseline PATH    additionally compare the enabled overhead against
+//!                      a checked-in baseline; exit 1 if it more than
+//!                      doubles (and exceeds it by > 5 ns)
+//!
+//! The absolute numbers gate a release build on the CI machine; the
+//! relative baseline catches slow creep. Regenerate the baseline with
+//! `cargo run --release -p hermes-bench --features trace --bin
+//! trace_overhead` when the emit path legitimately changes cost.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const DEFAULT_EVENTS: usize = 1 << 22;
+const SMOKE_EVENTS: usize = 1 << 19;
+/// ISSUE contract: one traced event costs at most this on the hot path.
+const ENABLED_BUDGET_NS: f64 = 25.0;
+/// A runtime-disabled recorder costs one branch + one relaxed load.
+const DISABLED_BUDGET_NS: f64 = 10.0;
+/// Compiled out, the macros must vanish (margin covers timer noise).
+const COMPILED_OUT_BUDGET_NS: f64 = 3.0;
+/// Relative creep gate vs the checked-in baseline.
+const BASELINE_FACTOR: f64 = 2.0;
+const BASELINE_SLACK_NS: f64 = 5.0;
+
+#[derive(Clone, Copy, Debug)]
+struct LoopResult {
+    events: usize,
+    wall_seconds: f64,
+    ns_per_iter: f64,
+}
+
+/// Best-of-`runs` wall time for `n` iterations of `body(i) -> u64`, after
+/// one untimed warmup pass.
+fn measure(n: usize, runs: usize, mut body: impl FnMut(u64) -> u64) -> LoopResult {
+    let pass = |body: &mut dyn FnMut(u64) -> u64| {
+        let mut acc = 0u64;
+        for i in 0..n as u64 {
+            acc = acc.wrapping_add(body(i));
+        }
+        acc
+    };
+    black_box(pass(&mut body)); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let acc = pass(&mut body);
+        let secs = t.elapsed().as_secs_f64();
+        black_box(acc);
+        best = best.min(secs);
+    }
+    LoopResult {
+        events: n,
+        wall_seconds: best,
+        ns_per_iter: best * 1e9 / n as f64,
+    }
+}
+
+/// The unit of work every variant performs per iteration: cheap enough
+/// that the macro's cost dominates the differential, opaque enough that
+/// the optimizer cannot delete the loop.
+#[inline(always)]
+fn work(i: u64) -> u64 {
+    i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// Continuously empty every lane of the global recorder so the enabled
+/// loop measures sustained ring writes, not the saturated drop path.
+/// Returns (drainer handle, stop flag, drained-count receiver).
+fn start_drainer() -> (std::thread::JoinHandle<u64>, Arc<AtomicBool>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let tracer = hermes_trace::global();
+        let mut buf = Vec::with_capacity(hermes_trace::DEFAULT_RING_CAPACITY);
+        let mut drained = 0u64;
+        while !flag.load(Ordering::Relaxed) {
+            let mut any = false;
+            for lane in 0..hermes_trace::LANES as u32 {
+                buf.clear();
+                tracer.lane(lane).drain_into(&mut buf);
+                if !buf.is_empty() {
+                    any = true;
+                    drained += buf.len() as u64;
+                }
+            }
+            if !any {
+                std::thread::yield_now();
+            }
+        }
+        // Final sweep so dropped-event accounting reflects steady state.
+        for lane in 0..hermes_trace::LANES as u32 {
+            buf.clear();
+            tracer.lane(lane).drain_into(&mut buf);
+            drained += buf.len() as u64;
+        }
+        drained
+    });
+    (handle, stop)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    smoke: bool,
+    baseline: &LoopResult,
+    enabled: &LoopResult,
+    disabled: &LoopResult,
+    enabled_overhead: f64,
+    disabled_overhead: f64,
+    drained: u64,
+    dropped: u64,
+) -> String {
+    format!(
+        "{{\n  \"benchmark\": \"trace_overhead\",\n  \"feature_enabled\": {},\n  \"smoke\": {smoke},\n  \"events\": {},\n  \"baseline_ns_per_iter\": {:.3},\n  \"enabled_ns_per_iter\": {:.3},\n  \"runtime_disabled_ns_per_iter\": {:.3},\n  \"enabled_overhead_ns_per_event\": {:.3},\n  \"runtime_disabled_overhead_ns_per_event\": {:.3},\n  \"drained_events\": {drained},\n  \"dropped_events\": {dropped}\n}}\n",
+        hermes_trace::ENABLED,
+        baseline.events,
+        baseline.ns_per_iter,
+        enabled.ns_per_iter,
+        disabled.ns_per_iter,
+        enabled_overhead,
+        disabled_overhead,
+    )
+}
+
+/// Pull `"enabled_overhead_ns_per_event": <number>` out of a baseline
+/// file without a JSON dependency (the bench crate has none).
+fn baseline_enabled_overhead(contents: &str) -> Option<f64> {
+    let key = "\"enabled_overhead_ns_per_event\":";
+    let at = contents.find(key)? + key.len();
+    let rest = contents[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Whether a baseline file was recorded by a feature-on build.
+fn baseline_feature_enabled(contents: &str) -> bool {
+    contents.contains("\"feature_enabled\": true")
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut no_write = false;
+    let mut gate = false;
+    let mut out = String::from("results/BENCH_trace.json");
+    let mut baseline_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--no-write" => no_write = true,
+            "--gate" => gate = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let events = if smoke { SMOKE_EVENTS } else { DEFAULT_EVENTS };
+    let runs = 3;
+    println!(
+        "trace_overhead: {} events per variant, {runs} run(s), feature {}{}",
+        events,
+        if hermes_trace::ENABLED { "ON" } else { "OFF" },
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    hermes_trace::reset();
+
+    let baseline = measure(events, runs, work);
+
+    // Enabled: recorder on, drainer emptying the rings concurrently.
+    hermes_trace::set_enabled(true);
+    let (drainer, stop) = start_drainer();
+    let enabled = measure(events, runs, |i| {
+        let v = work(i);
+        hermes_trace::trace_event!(i, hermes_trace::EventKind::Dispatch, (i & 63) as u32, v, i);
+        v
+    });
+    stop.store(true, Ordering::Relaxed);
+    let drained = drainer.join().expect("drainer lives");
+    let dropped = hermes_trace::dropped_events();
+
+    // Runtime-disabled: same macro, recorder switched off.
+    hermes_trace::set_enabled(false);
+    let disabled = measure(events, runs, |i| {
+        let v = work(i);
+        hermes_trace::trace_event!(i, hermes_trace::EventKind::Dispatch, (i & 63) as u32, v, i);
+        v
+    });
+    hermes_trace::set_enabled(true);
+    hermes_trace::reset();
+
+    let enabled_overhead = (enabled.ns_per_iter - baseline.ns_per_iter).max(0.0);
+    let disabled_overhead = (disabled.ns_per_iter - baseline.ns_per_iter).max(0.0);
+
+    println!(
+        "  baseline          {:>8.3} ns/iter  ({:.4}s)",
+        baseline.ns_per_iter, baseline.wall_seconds
+    );
+    println!(
+        "  enabled           {:>8.3} ns/iter  (+{enabled_overhead:.3} ns/event, {drained} drained, {dropped} dropped)",
+        enabled.ns_per_iter
+    );
+    println!(
+        "  runtime-disabled  {:>8.3} ns/iter  (+{disabled_overhead:.3} ns/event)",
+        disabled.ns_per_iter
+    );
+
+    let mut failed = false;
+    if gate {
+        if hermes_trace::ENABLED {
+            if enabled_overhead > ENABLED_BUDGET_NS {
+                eprintln!(
+                    "REGRESSION: enabled trace overhead {enabled_overhead:.2} ns/event exceeds the {ENABLED_BUDGET_NS} ns budget"
+                );
+                failed = true;
+            }
+            if disabled_overhead > DISABLED_BUDGET_NS {
+                eprintln!(
+                    "REGRESSION: runtime-disabled overhead {disabled_overhead:.2} ns/event exceeds the {DISABLED_BUDGET_NS} ns budget"
+                );
+                failed = true;
+            }
+            if drained + dropped == 0 {
+                eprintln!("BROKEN HARNESS: enabled run recorded no events at all");
+                failed = true;
+            }
+        } else {
+            // Compiled out: both instrumented loops must be the baseline.
+            for (what, overhead) in [
+                ("compiled-out enabled-loop", enabled_overhead),
+                ("compiled-out disabled-loop", disabled_overhead),
+            ] {
+                if overhead > COMPILED_OUT_BUDGET_NS {
+                    eprintln!(
+                        "REGRESSION: {what} overhead {overhead:.2} ns/event — feature-off macros must be free (<= {COMPILED_OUT_BUDGET_NS} ns)"
+                    );
+                    failed = true;
+                }
+            }
+            if drained + dropped != 0 {
+                eprintln!("BROKEN HARNESS: feature-off build recorded events");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(contents) => {
+                if !hermes_trace::ENABLED || !baseline_feature_enabled(&contents) {
+                    println!("  baseline check skipped (needs feature-on build and baseline)");
+                } else {
+                    match baseline_enabled_overhead(&contents) {
+                        Some(base) => {
+                            let ceiling = (base * BASELINE_FACTOR).max(base + BASELINE_SLACK_NS);
+                            if enabled_overhead > ceiling {
+                                eprintln!(
+                                    "REGRESSION: enabled overhead {enabled_overhead:.2} ns/event vs baseline {base:.2} (ceiling {ceiling:.2})"
+                                );
+                                failed = true;
+                            } else {
+                                println!(
+                                    "  baseline check: {enabled_overhead:.2} ns/event vs baseline {base:.2} (ceiling {ceiling:.2}) — ok"
+                                );
+                            }
+                        }
+                        None => {
+                            eprintln!("baseline {path} has no enabled_overhead_ns_per_event field");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if !no_write {
+        let json = render_json(
+            smoke,
+            &baseline,
+            &enabled,
+            &disabled,
+            enabled_overhead,
+            disabled_overhead,
+            drained,
+            dropped,
+        );
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&out, json).expect("write BENCH_trace.json");
+        println!("  wrote {out}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_parse_finds_the_enabled_overhead() {
+        let b = LoopResult {
+            events: 1000,
+            wall_seconds: 1.0,
+            ns_per_iter: 2.5,
+        };
+        let e = LoopResult {
+            ns_per_iter: 14.25,
+            ..b
+        };
+        let d = LoopResult {
+            ns_per_iter: 3.0,
+            ..b
+        };
+        let json = render_json(false, &b, &e, &d, 11.75, 0.5, 999, 1);
+        assert_eq!(baseline_enabled_overhead(&json), Some(11.75));
+        assert_eq!(baseline_feature_enabled(&json), hermes_trace::ENABLED);
+        assert_eq!(baseline_enabled_overhead("not json"), None);
+    }
+}

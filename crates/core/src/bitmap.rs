@@ -6,6 +6,12 @@
 //! §5.4 then selects a worker from the bitmap with classic bit tricks:
 //! population count and *find the Nth set bit* (branchless rank/select from
 //! the Bit Twiddling Hacks collection the paper cites).
+//!
+//! The same packing doubles as the flight recorder's payload convention:
+//! `hermes-trace` records carry bitmaps verbatim as one `u64` payload word
+//! (`SchedStage`, `SchedDecision` and `BitmapPublish` events), so a trace
+//! of successive stage bitmaps can be diffed bit-by-bit to answer exactly
+//! which cascade stage rejected which worker.
 
 use crate::WorkerId;
 

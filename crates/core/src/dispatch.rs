@@ -91,10 +91,16 @@ impl ConnDispatcher {
     /// Full dispatch: Hermes selection with reuseport fallback.
     /// `hash` is the kernel-precomputed 4-tuple hash.
     pub fn dispatch(&self, bitmap: WorkerBitmap, hash: u32) -> DispatchOutcome {
-        match self.select(bitmap, hash) {
+        let out = match self.select(bitmap, hash) {
             Some(w) => DispatchOutcome::Directed(w),
             None => DispatchOutcome::Fallback(self.reuseport_select(hash)),
-        }
+        };
+        hermes_trace::trace_count!(if out.is_directed() {
+            hermes_trace::CounterId::DirectedDispatches
+        } else {
+            hermes_trace::CounterId::FallbackDispatches
+        });
+        out
     }
 
     /// Dispatch a whole arrival burst against one bitmap load: the mask,
@@ -112,12 +118,15 @@ impl ConnDispatcher {
         let masked = WorkerBitmap(bitmap.0 & WorkerBitmap::all(self.workers).0);
         let n = masked.count();
         out.reserve(hashes.len());
+        hermes_trace::trace_count!(hermes_trace::CounterId::DispatchBatches);
+        hermes_trace::trace_count!(hermes_trace::CounterId::BatchedFlows, hashes.len());
         if n <= self.min_candidates {
             out.extend(
                 hashes
                     .iter()
                     .map(|&h| DispatchOutcome::Fallback(self.reuseport_select(h))),
             );
+            hermes_trace::trace_count!(hermes_trace::CounterId::FallbackDispatches, hashes.len());
             return;
         }
         out.extend(hashes.iter().map(|&h| {
@@ -127,6 +136,7 @@ impl ConnDispatcher {
                 .expect("nth in 1..=count must exist");
             DispatchOutcome::Directed(id)
         }));
+        hermes_trace::trace_count!(hermes_trace::CounterId::DirectedDispatches, hashes.len());
     }
 
     /// Algorithm 2 lines 2–7: Hermes selection only. `None` means the guard

@@ -89,3 +89,9 @@ pub use wst::{SnapshotCache, Wst};
 
 /// Identifies a worker within one LB device (dense, 0-based).
 pub type WorkerId = usize;
+
+/// Shared batch geometry for the dispatch path: the lb server drains up to
+/// this many accepts per burst, the threaded runtime sizes `submit_batch`
+/// event capacity with it, and flight-recorder batch events report lengths
+/// against it. One constant so the layers cannot drift apart.
+pub const DISPATCH_BATCH: usize = 64;

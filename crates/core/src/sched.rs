@@ -146,25 +146,48 @@ impl Scheduler {
         debug_assert!(snapshot.len() <= 64);
         let mut selected = WorkerBitmap::all(snapshot.len());
         let mut alive = selected;
-        for stage in &self.config.stages {
-            match stage {
+        for (stage_idx, stage) in self.config.stages.iter().enumerate() {
+            let before = selected.count();
+            let stage_code = match stage {
                 FilterStage::Time => {
                     selected = self.filter_time(snapshot, selected, now_ns);
                     alive = selected;
+                    0u64
                 }
                 FilterStage::Connections => {
                     selected = self.filter_count(snapshot, selected, |s| s.connections as f64);
+                    1
                 }
                 FilterStage::PendingEvents => {
                     selected = self.filter_count(snapshot, selected, |s| s.pending_events as f64);
+                    2
                 }
-            }
+            };
+            hermes_trace::trace_event!(
+                now_ns,
+                hermes_trace::EventKind::SchedStage,
+                hermes_trace::CONTROL_LANE,
+                ((stage_idx as u64) << 32) | stage_code,
+                selected.0
+            );
+            hermes_trace::trace_count!(
+                hermes_trace::CounterId::SchedStageRejects,
+                u64::from(before - selected.count())
+            );
         }
         // If Time never ran (ablation orders), alive === the last state
         // after construction; recompute it for consistency.
         if !self.config.stages.contains(&FilterStage::Time) {
             alive = self.filter_time(snapshot, WorkerBitmap::all(snapshot.len()), now_ns);
         }
+        hermes_trace::trace_event!(
+            now_ns,
+            hermes_trace::EventKind::SchedDecision,
+            hermes_trace::CONTROL_LANE,
+            selected.0,
+            alive.0
+        );
+        hermes_trace::trace_count!(hermes_trace::CounterId::SchedPasses);
         SchedDecision {
             bitmap: selected,
             alive,

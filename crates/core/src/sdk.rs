@@ -64,6 +64,10 @@ pub struct WorkerSession<T: SyncTarget> {
     /// Epoch-tagged snapshot buffer: scheduling allocates nothing, and an
     /// unchanged table skips the snapshot copy entirely.
     snap_cache: SnapshotCache,
+    /// Timestamp of the most recent schedule call, so a split
+    /// [`sync_only`](Self::sync_only) can stamp its publish event with the
+    /// loop iteration's time rather than 0.
+    last_now_ns: u64,
 }
 
 impl<T: SyncTarget> WorkerSession<T> {
@@ -78,6 +82,7 @@ impl<T: SyncTarget> WorkerSession<T> {
             target,
             sched_calls: 0,
             snap_cache: SnapshotCache::new(),
+            last_now_ns: 0,
         }
     }
 
@@ -127,7 +132,9 @@ impl<T: SyncTarget> WorkerSession<T> {
         let decision = self
             .scheduler
             .schedule_into(&self.wst, now_ns, &mut self.snap_cache);
+        self.last_now_ns = now_ns;
         self.target.sync(decision.bitmap);
+        self.publish_trace(now_ns, decision.bitmap);
         self.sched_calls += 1;
         decision
     }
@@ -142,6 +149,7 @@ impl<T: SyncTarget> WorkerSession<T> {
     /// separately (Table 5's "Scheduler" vs "System call" columns). Takes
     /// `&mut self` for the session's snapshot cache.
     pub fn schedule_only(&mut self, now_ns: u64) -> SchedDecision {
+        self.last_now_ns = now_ns;
         self.scheduler
             .schedule_into(&self.wst, now_ns, &mut self.snap_cache)
     }
@@ -149,7 +157,23 @@ impl<T: SyncTarget> WorkerSession<T> {
     /// The publish half: push a previously computed bitmap.
     pub fn sync_only(&mut self, bitmap: WorkerBitmap) {
         self.target.sync(bitmap);
+        self.publish_trace(self.last_now_ns, bitmap);
         self.sched_calls += 1;
+    }
+
+    /// Flight-recorder hook for a bitmap publish: records the bitmap next
+    /// to the WST epoch it was derived from, so a trace can answer "how far
+    /// did the kernel's view lag behind the table". Compiles out without
+    /// the `trace` feature.
+    fn publish_trace(&self, now_ns: u64, bitmap: WorkerBitmap) {
+        hermes_trace::trace_event!(
+            now_ns,
+            hermes_trace::EventKind::BitmapPublish,
+            self.id,
+            bitmap.0,
+            self.wst.epoch()
+        );
+        hermes_trace::trace_count!(hermes_trace::CounterId::BitmapPublishes);
     }
 }
 

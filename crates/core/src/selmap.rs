@@ -35,6 +35,7 @@ impl SelMap {
     pub fn store(&self, bitmap: WorkerBitmap) {
         self.bits.store(bitmap.0, Ordering::Release);
         self.updates.fetch_add(1, Ordering::Relaxed);
+        hermes_trace::trace_count!(hermes_trace::CounterId::KernelBitmapSyncs);
     }
 
     /// `bpf_map_lookup_elem` — read the current decision (kernel side).

@@ -92,8 +92,10 @@ impl Wst {
             cache.epoch = epoch;
             cache.primed = true;
             cache.misses += 1;
+            hermes_trace::trace_count!(hermes_trace::CounterId::WstSnapshotMisses);
         } else {
             cache.hits += 1;
+            hermes_trace::trace_count!(hermes_trace::CounterId::WstSnapshotHits);
         }
         &cache.buf
     }

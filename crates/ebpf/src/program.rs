@@ -296,6 +296,7 @@ impl ReuseportGroup {
     /// Userspace sync: store the scheduling bitmap (Algorithm 1 line 8).
     pub fn sync_bitmap(&self, bitmap: WorkerBitmap) {
         self.sel_map.update(0, bitmap.0);
+        hermes_trace::trace_count!(hermes_trace::CounterId::KernelBitmapSyncs);
     }
 
     /// Current bitmap (monitoring).
@@ -341,6 +342,9 @@ impl ReuseportGroup {
             .expect("constructed on the compiled tier");
         let resolved = compiled.resolve(&self.registry);
         out.reserve(hashes.len());
+        hermes_trace::trace_count!(hermes_trace::CounterId::DispatchBatches);
+        hermes_trace::trace_count!(hermes_trace::CounterId::BatchedFlows, hashes.len());
+        hermes_trace::trace_count!(hermes_trace::CounterId::VmRunsCompiled, hashes.len());
         for &hash in hashes {
             let result = compiled.exec(hash, &self.registry, 0, &resolved);
             out.push(self.outcome(hash, result));
@@ -353,8 +357,10 @@ impl ReuseportGroup {
             let sock = result
                 .selected_sock
                 .expect("successful program must have committed a socket");
+            hermes_trace::trace_count!(hermes_trace::CounterId::DirectedDispatches);
             DispatchOutcome::Directed(sock as WorkerId)
         } else {
+            hermes_trace::trace_count!(hermes_trace::CounterId::FallbackDispatches);
             DispatchOutcome::Fallback(reciprocal_scale(hash, self.workers as u32) as WorkerId)
         }
     }

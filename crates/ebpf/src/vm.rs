@@ -43,6 +43,27 @@ pub enum ExecTier {
     Compiled,
 }
 
+impl ExecTier {
+    /// Stable numeric code used in flight-recorder payloads
+    /// (`EventKind::VmLoad` payload `a`).
+    pub fn trace_code(self) -> u64 {
+        match self {
+            ExecTier::Checked => 0,
+            ExecTier::Fast => 1,
+            ExecTier::Compiled => 2,
+        }
+    }
+
+    /// Flight-recorder counter tallying executions on this tier.
+    fn run_counter(self) -> hermes_trace::CounterId {
+        match self {
+            ExecTier::Checked => hermes_trace::CounterId::VmRunsChecked,
+            ExecTier::Fast => hermes_trace::CounterId::VmRunsFast,
+            ExecTier::Compiled => hermes_trace::CounterId::VmRunsCompiled,
+        }
+    }
+}
+
 impl std::fmt::Display for ExecTier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -227,12 +248,14 @@ impl Vm {
     /// [`Vm::load_analyzed`] to qualify for the proven tiers.
     pub fn load(prog: Vec<Insn>) -> Result<Self, VerifyError> {
         verify(&prog)?;
-        Ok(Self {
+        let vm = Self {
             prog,
             fast: None,
             compiled: None,
             report: None,
-        })
+        };
+        vm.trace_load();
+        Ok(vm)
     }
 
     /// Load a program through the full abstract interpreter, binding map
@@ -245,12 +268,27 @@ impl Vm {
         let clean = report.is_clean();
         let fast = clean.then(|| lower(&prog));
         let compiled = clean.then(|| CompiledProgram::compile(&prog, ctx));
-        Ok(Self {
+        let vm = Self {
             prog,
             fast,
             compiled,
             report: Some(report),
-        })
+        };
+        vm.trace_load();
+        Ok(vm)
+    }
+
+    /// Flight-recorder hook: record which execution tier this load earned
+    /// (payload: tier code, instruction count). Compiles out without the
+    /// `trace` feature.
+    fn trace_load(&self) {
+        hermes_trace::trace_event!(
+            0u64,
+            hermes_trace::EventKind::VmLoad,
+            hermes_trace::KERNEL_LANE,
+            self.tier().trace_code(),
+            self.prog.len()
+        );
     }
 
     /// Analysis report, when loaded via [`Vm::load_analyzed`].
@@ -305,6 +343,7 @@ impl Vm {
         maps: &MapRegistry,
         now_ns: u64,
     ) -> Result<ExecResult, ExecError> {
+        hermes_trace::trace_count!(self.tier().run_counter());
         if let Some(compiled) = &self.compiled {
             return Ok(compiled.run(ctx_hash, maps, now_ns));
         }
@@ -324,6 +363,7 @@ impl Vm {
         maps: &MapRegistry,
         now_ns: u64,
     ) -> Result<ExecResult, ExecError> {
+        hermes_trace::trace_count!(tier.run_counter());
         match tier {
             ExecTier::Checked => self.run_checked(ctx_hash, maps, now_ns),
             ExecTier::Fast => {
@@ -357,6 +397,7 @@ impl Vm {
     ) -> Result<(), ExecError> {
         out.reserve(hashes.len());
         if let Some(compiled) = &self.compiled {
+            hermes_trace::trace_count!(hermes_trace::CounterId::VmRunsCompiled, hashes.len());
             let resolved = compiled.resolve(maps);
             for &hash in hashes {
                 out.push(compiled.exec(hash, maps, now_ns, &resolved));

@@ -145,8 +145,9 @@ impl Drop for TcpLb {
     }
 }
 
-/// Largest accept burst dispatched through one batched program run.
-const ACCEPT_BURST: usize = 64;
+/// Largest accept burst dispatched through one batched program run — the
+/// workspace-wide batch geometry shared with the runtime driver.
+const ACCEPT_BURST: usize = hermes_core::DISPATCH_BATCH;
 
 /// The "kernel": drain the accept backlog into a burst, hash, run the
 /// dispatch program once for the whole burst, hand off.
@@ -158,6 +159,7 @@ fn accept_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     let local = listener.local_addr().expect("bound");
+    let epoch = std::time::Instant::now();
     let mut pending: Vec<TcpStream> = Vec::with_capacity(ACCEPT_BURST);
     let mut hashes: Vec<u32> = Vec::with_capacity(ACCEPT_BURST);
     let mut outcomes: Vec<DispatchOutcome> = Vec::with_capacity(ACCEPT_BURST);
@@ -184,6 +186,15 @@ fn accept_loop(
         }
         outcomes.clear();
         group.dispatch_batch(&hashes, &mut outcomes);
+        hermes_trace::trace_event!(
+            epoch.elapsed().as_nanos() as u64,
+            hermes_trace::EventKind::AcceptBurst,
+            hermes_trace::KERNEL_LANE,
+            pending.len(),
+            outcomes.iter().filter(|o| o.is_directed()).count()
+        );
+        hermes_trace::trace_count!(hermes_trace::CounterId::AcceptBursts);
+        hermes_trace::trace_count!(hermes_trace::CounterId::AcceptedConns, pending.len());
         for (stream, out) in pending.drain(..).zip(&outcomes) {
             let worker = match *out {
                 DispatchOutcome::Directed(w) => {
@@ -234,9 +245,24 @@ fn worker_loop(
                 session.events_fetched(1);
                 session.conn_opened();
                 stats.accepted[id].fetch_add(1, Ordering::Relaxed);
+                hermes_trace::trace_event!(
+                    now_ns(),
+                    hermes_trace::EventKind::ConnOpen,
+                    id,
+                    stats.accepted[id].load(Ordering::Relaxed),
+                    0u64
+                );
                 serve_connection(stream, &mut proxy, &stats);
                 session.event_handled();
                 session.conn_closed();
+                hermes_trace::trace_event!(
+                    now_ns(),
+                    hermes_trace::EventKind::ConnClose,
+                    id,
+                    stats.requests.load(Ordering::Relaxed),
+                    0u64
+                );
+                hermes_trace::trace_count!(hermes_trace::CounterId::ProxiedConns);
             }
             Err(RecvTimeoutError::Timeout) => {
                 session.events_fetched(0);

@@ -40,7 +40,7 @@ impl RuntimeConfig {
         Self {
             workers,
             epoll_timeout: Duration::from_millis(5),
-            max_events: 64,
+            max_events: hermes_core::DISPATCH_BATCH,
             sched: SchedConfig::default(),
             use_ebpf: true,
         }
@@ -203,6 +203,13 @@ impl LbRuntime {
     /// Returns the worker the kernel selected.
     pub fn submit(&mut self, script: ConnectionScript) -> usize {
         let w = self.dispatch(script.flow_hash);
+        hermes_trace::trace_event!(
+            self.clock.now_ns(),
+            hermes_trace::EventKind::Dispatch,
+            hermes_trace::KERNEL_LANE,
+            script.flow_hash,
+            w
+        );
         self.deliver(w, &script);
         w
     }
@@ -226,6 +233,13 @@ impl LbRuntime {
         }
         self.dispatcher_ns
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        hermes_trace::trace_event!(
+            self.clock.now_ns(),
+            hermes_trace::EventKind::DispatchBatch,
+            hermes_trace::KERNEL_LANE,
+            hashes.len(),
+            outcomes.iter().filter(|o| o.is_directed()).count()
+        );
         let mut workers = Vec::with_capacity(scripts.len());
         for (script, out) in scripts.iter().zip(outcomes) {
             let w = self.tally(out);
@@ -260,6 +274,8 @@ impl LbRuntime {
             sched_calls: 0,
             directed_dispatches: self.directed,
             fallback_dispatches: self.fallback,
+            pacer_missed_deadlines: 0,
+            pacer_max_overshoot_ns: 0,
         };
         for h in self.handles {
             let out = h.join().expect("worker panicked");
@@ -315,7 +331,10 @@ mod tests {
             rt.submit(s);
             pacer.pace();
         }
-        let report = rt.shutdown();
+        let mut report = rt.shutdown();
+        report.note_pacer(&pacer);
+        assert_eq!(report.pacer_missed_deadlines, pacer.missed_deadlines());
+        assert_eq!(report.pacer_max_overshoot_ns, pacer.max_overshoot_ns());
         assert_eq!(report.completed_requests, 800);
         assert!(
             report.directed_dispatches > 600,
@@ -393,10 +412,13 @@ mod tests {
         assert!(o.dispatcher_ns > 0);
         // Sanity bound only: this micro-run is all overhead and little
         // work, so the share is far above Table 5's production numbers;
-        // the table5 harness measures under realistic request costs.
+        // the table5 harness measures under realistic request costs. With
+        // the flight recorder compiled in, its (unoptimized, debug-build)
+        // emit cost lands inside the timed sections too, so allow more.
+        let limit = if hermes_trace::ENABLED { 99.0 } else { 95.0 };
         let pct = o.as_cpu_percent(report.workers, report.wall_ns);
         let total: f64 = pct.iter().sum();
-        assert!(total < 95.0, "overhead {total}%");
+        assert!(total < limit, "overhead {total}%");
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub struct Pacer {
     next: Instant,
     interval: Duration,
     spin_window: Duration,
+    /// Creation instant — the zero point for trace timestamps.
+    epoch: Instant,
+    /// Ticks whose deadline had already passed when `pace` was entered.
+    missed: u64,
+    /// Largest observed overshoot past a deadline, ns.
+    max_overshoot_ns: u64,
 }
 
 impl Pacer {
@@ -55,16 +61,32 @@ impl Pacer {
     /// busy-spins instead of parking). A zero window parks all the way to
     /// the deadline — lowest CPU, sleep-grade precision.
     pub fn with_spin_window(interval: Duration, spin_window: Duration) -> Self {
+        let epoch = Instant::now();
         Self {
-            next: Instant::now() + interval,
+            next: epoch + interval,
             interval,
             spin_window,
+            epoch,
+            missed: 0,
+            max_overshoot_ns: 0,
         }
     }
 
     /// The configured inter-tick interval.
     pub fn interval(&self) -> Duration {
         self.interval
+    }
+
+    /// Deadlines that had already passed when [`Pacer::pace`] was entered —
+    /// the caller fell at least one full wait behind schedule. On-time ticks
+    /// (the wait itself crossing the deadline) do not count.
+    pub fn missed_deadlines(&self) -> u64 {
+        self.missed
+    }
+
+    /// Largest single overshoot past a missed deadline, in nanoseconds.
+    pub fn max_overshoot_ns(&self) -> u64 {
+        self.max_overshoot_ns
     }
 
     /// Block until the current deadline, then advance the schedule by one
@@ -74,6 +96,27 @@ impl Pacer {
     pub fn pace(&mut self) -> Duration {
         let deadline = self.next;
         self.next += self.interval;
+        let entry = Instant::now();
+        if entry > deadline {
+            // Missed: the schedule slipped before we even started waiting.
+            let overshoot = entry - deadline;
+            let overshoot_ns = overshoot.as_nanos() as u64;
+            self.missed += 1;
+            self.max_overshoot_ns = self.max_overshoot_ns.max(overshoot_ns);
+            hermes_trace::trace_event!(
+                deadline.duration_since(self.epoch).as_nanos() as u64,
+                hermes_trace::EventKind::PacerMiss,
+                hermes_trace::CONTROL_LANE,
+                overshoot_ns,
+                self.missed
+            );
+            hermes_trace::trace_count!(hermes_trace::CounterId::PacerDeadlineMisses);
+            hermes_trace::trace_count_max!(
+                hermes_trace::CounterId::PacerMaxOvershootNs,
+                overshoot_ns
+            );
+            return overshoot;
+        }
         loop {
             let now = Instant::now();
             if now >= deadline {
@@ -148,6 +191,27 @@ mod tests {
         let mut pacer = Pacer::new(Duration::from_millis(2));
         let lateness = pacer.pace();
         assert!(lateness < Duration::from_millis(1), "lateness {lateness:?}");
+    }
+
+    #[test]
+    fn miss_accounting_counts_overdue_ticks() {
+        let interval = Duration::from_millis(1);
+        let mut pacer = Pacer::new(interval);
+        // The first tick may or may not miss depending on scheduler noise;
+        // measure deltas from here on.
+        pacer.pace();
+        let base = pacer.missed_deadlines();
+        // Fall several intervals behind: the next two catch-up ticks find
+        // their deadlines already expired and must both count as misses.
+        std::thread::sleep(Duration::from_millis(4));
+        pacer.pace();
+        pacer.pace();
+        assert_eq!(pacer.missed_deadlines(), base + 2);
+        assert!(
+            pacer.max_overshoot_ns() >= 1_000_000,
+            "max overshoot {} ns",
+            pacer.max_overshoot_ns()
+        );
     }
 
     #[test]

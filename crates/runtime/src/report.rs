@@ -65,9 +65,22 @@ pub struct RuntimeReport {
     pub directed_dispatches: u64,
     /// Dispatches that fell back to hashing.
     pub fallback_dispatches: u64,
+    /// Pacer deadlines already overdue at `pace()` entry, summed over every
+    /// pacer folded in via [`RuntimeReport::note_pacer`].
+    pub pacer_missed_deadlines: u64,
+    /// Worst single pacer overshoot (ns) across noted pacers.
+    pub pacer_max_overshoot_ns: u64,
 }
 
 impl RuntimeReport {
+    /// Fold a traffic generator's pacing quality into the report: the open
+    /// loop is only open if the generator held its schedule, so missed
+    /// deadlines are part of a run's result, not just its configuration.
+    pub fn note_pacer(&mut self, pacer: &crate::pacer::Pacer) {
+        self.pacer_missed_deadlines += pacer.missed_deadlines();
+        self.pacer_max_overshoot_ns = self.pacer_max_overshoot_ns.max(pacer.max_overshoot_ns());
+    }
+
     /// Cross-worker standard deviation of accepted connections.
     pub fn accept_sd(&self) -> f64 {
         let v: Vec<f64> = self.accepted_per_worker.iter().map(|&a| a as f64).collect();

@@ -261,6 +261,14 @@ impl<'w> Simulator<'w> {
             self.nic.record(&spec.flow, 2 + spec.requests.len() as u64);
         }
         self.conns[c].enqueue_ns = self.now;
+        hermes_trace::trace_event!(
+            self.now,
+            hermes_trace::EventKind::SimSyn,
+            hermes_trace::KERNEL_LANE,
+            c,
+            spec.flow.hash()
+        );
+        hermes_trace::trace_count!(hermes_trace::CounterId::SimSyns);
         if self.dispatcher.assigns_at_syn() {
             self.counts_buf.clear();
             self.counts_buf
@@ -270,6 +278,14 @@ impl<'w> Simulator<'w> {
                 .assign_at_syn(&spec.flow, &self.counts_buf)
                 .expect("per-socket modes always assign");
             self.conns[c].worker = Some(w);
+            hermes_trace::trace_event!(
+                self.now,
+                hermes_trace::EventKind::SimDispatch,
+                w,
+                spec.flow.hash(),
+                c
+            );
+            hermes_trace::trace_count!(hermes_trace::CounterId::SimDispatches);
             // The accept notification lands on the epoll instance that owns
             // the socket — the dispatcher worker (0) in userspace mode.
             let target = if matches!(self.dispatcher, Dispatcher::Userspace) {
@@ -317,10 +333,26 @@ impl<'w> Simulator<'w> {
         self.dispatcher
             .hermes_mut()
             .dispatch_batch(&self.syn_hash_buf, &mut workers);
+        hermes_trace::trace_event!(
+            self.now,
+            hermes_trace::EventKind::SimSynBurst,
+            hermes_trace::KERNEL_LANE,
+            burst.len(),
+            burst[0]
+        );
+        hermes_trace::trace_count!(hermes_trace::CounterId::SimSyns, burst.len());
         for (&c, &w) in burst.iter().zip(&workers) {
             self.conns[c].worker = Some(w);
             self.workers[w].pending.push_back(IoEvent::Accept(c));
             self.notify(w);
+            hermes_trace::trace_event!(
+                self.now,
+                hermes_trace::EventKind::SimDispatch,
+                w,
+                self.wl.conns[c].flow.hash(),
+                c
+            );
+            hermes_trace::trace_count!(hermes_trace::CounterId::SimDispatches);
         }
         self.syn_worker_buf = workers;
     }
@@ -404,6 +436,14 @@ impl<'w> Simulator<'w> {
         };
         let blocked = self.now.saturating_sub(since);
         self.worker_reports[w].blocking_ns.record(blocked);
+        hermes_trace::trace_event!(
+            self.now,
+            hermes_trace::EventKind::SimWake,
+            w,
+            self.workers[w].pending.len(),
+            blocked
+        );
+        hermes_trace::trace_count!(hermes_trace::CounterId::SimWakes);
         self.start_batch(w);
     }
 

@@ -1,0 +1,216 @@
+//! Monotonic pipeline counters.
+//!
+//! A small fixed registry of `AtomicU64`s indexed by [`CounterId`]. Each
+//! counter lives on its own cache line so two pipeline stages bumping
+//! different counters never false-share. Counters are monotonic: `add`
+//! accumulates, `max` ratchets (used for "worst overshoot"-style gauges).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of one monotonic counter. The discriminant is the registry index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Scheduler passes (Algorithm 1 full runs).
+    SchedPasses = 0,
+    /// Workers rejected by some cascading-filter stage.
+    SchedStageRejects = 1,
+    /// Admit-bitmap publishes from worker sessions to the kernel map.
+    BitmapPublishes = 2,
+    /// Kernel-side bitmap syncs observed by the sel map.
+    KernelBitmapSyncs = 3,
+    /// WST snapshot reuses (epoch unchanged).
+    WstSnapshotHits = 4,
+    /// WST snapshots rebuilt because the epoch moved.
+    WstSnapshotMisses = 5,
+    /// Flows dispatched to a bitmap-admitted worker.
+    DirectedDispatches = 6,
+    /// Flows that fell back to hashing over all alive workers.
+    FallbackDispatches = 7,
+    /// `dispatch_batch` invocations.
+    DispatchBatches = 8,
+    /// Flows carried by those batches.
+    BatchedFlows = 9,
+    /// VM executions on the checked (interpreter) tier.
+    VmRunsChecked = 10,
+    /// VM executions on the fast (unchecked interpreter) tier.
+    VmRunsFast = 11,
+    /// VM executions on the compiled tier.
+    VmRunsCompiled = 12,
+    /// Accept bursts drained by the lb server.
+    AcceptBursts = 13,
+    /// Connections accepted by the lb server.
+    AcceptedConns = 14,
+    /// Proxied connections completed by lb workers.
+    ProxiedConns = 15,
+    /// Pacer deadlines that were already overdue on entry.
+    PacerDeadlineMisses = 16,
+    /// Worst single pacer overshoot in nanoseconds (max-ratchet).
+    PacerMaxOvershootNs = 17,
+    /// Simulated SYN arrivals.
+    SimSyns = 18,
+    /// Simulated worker wakes.
+    SimWakes = 19,
+    /// Simulated dispatch decisions.
+    SimDispatches = 20,
+}
+
+impl CounterId {
+    /// Number of counters in the registry.
+    pub const COUNT: usize = 21;
+
+    /// Every counter, in registry order.
+    pub const ALL: [CounterId; CounterId::COUNT] = [
+        CounterId::SchedPasses,
+        CounterId::SchedStageRejects,
+        CounterId::BitmapPublishes,
+        CounterId::KernelBitmapSyncs,
+        CounterId::WstSnapshotHits,
+        CounterId::WstSnapshotMisses,
+        CounterId::DirectedDispatches,
+        CounterId::FallbackDispatches,
+        CounterId::DispatchBatches,
+        CounterId::BatchedFlows,
+        CounterId::VmRunsChecked,
+        CounterId::VmRunsFast,
+        CounterId::VmRunsCompiled,
+        CounterId::AcceptBursts,
+        CounterId::AcceptedConns,
+        CounterId::ProxiedConns,
+        CounterId::PacerDeadlineMisses,
+        CounterId::PacerMaxOvershootNs,
+        CounterId::SimSyns,
+        CounterId::SimWakes,
+        CounterId::SimDispatches,
+    ];
+
+    /// Stable dotted name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::SchedPasses => "sched.passes",
+            CounterId::SchedStageRejects => "sched.stage_rejects",
+            CounterId::BitmapPublishes => "bitmap.publishes",
+            CounterId::KernelBitmapSyncs => "bitmap.kernel_syncs",
+            CounterId::WstSnapshotHits => "wst.snapshot_hits",
+            CounterId::WstSnapshotMisses => "wst.snapshot_misses",
+            CounterId::DirectedDispatches => "dispatch.directed",
+            CounterId::FallbackDispatches => "dispatch.fallback",
+            CounterId::DispatchBatches => "dispatch.batches",
+            CounterId::BatchedFlows => "dispatch.batched_flows",
+            CounterId::VmRunsChecked => "vm.runs_checked",
+            CounterId::VmRunsFast => "vm.runs_fast",
+            CounterId::VmRunsCompiled => "vm.runs_compiled",
+            CounterId::AcceptBursts => "lb.accept_bursts",
+            CounterId::AcceptedConns => "lb.accepted_conns",
+            CounterId::ProxiedConns => "lb.proxied_conns",
+            CounterId::PacerDeadlineMisses => "pacer.deadline_misses",
+            CounterId::PacerMaxOvershootNs => "pacer.max_overshoot_ns",
+            CounterId::SimSyns => "sim.syns",
+            CounterId::SimWakes => "sim.wakes",
+            CounterId::SimDispatches => "sim.dispatches",
+        }
+    }
+}
+
+/// One counter on its own cache line.
+#[repr(align(64))]
+struct PaddedCounter(AtomicU64);
+
+/// Fixed registry of cache-line-padded monotonic counters.
+pub struct CounterRegistry {
+    cells: [PaddedCounter; CounterId::COUNT],
+}
+
+impl CounterRegistry {
+    /// All-zero registry.
+    pub fn new() -> Self {
+        Self {
+            cells: std::array::from_fn(|_| PaddedCounter(AtomicU64::new(0))),
+        }
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.cells[id as usize].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Ratchet a counter up to at least `v` (for max-style gauges).
+    #[inline]
+    pub fn max(&self, id: CounterId, v: u64) {
+        self.cells[id as usize].0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.cells[id as usize].0.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every counter, in [`CounterId::ALL`] order.
+    pub fn snapshot(&self) -> [(CounterId, u64); CounterId::COUNT] {
+        std::array::from_fn(|i| (CounterId::ALL[i], self.get(CounterId::ALL[i])))
+    }
+
+    /// Zero every counter (test/reset aid).
+    pub fn reset(&self) {
+        for c in &self.cells {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for CounterRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CounterRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("CounterRegistry");
+        for (id, v) in self.snapshot() {
+            if v != 0 {
+                s.field(id.name(), &v);
+            }
+        }
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_match_all_table() {
+        assert_eq!(CounterId::ALL.len(), CounterId::COUNT);
+        for (i, id) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(*id as usize, i, "discriminant order broke for {id:?}");
+        }
+        let mut names = std::collections::HashSet::new();
+        for id in CounterId::ALL {
+            assert!(names.insert(id.name()));
+        }
+    }
+
+    #[test]
+    fn cells_are_cache_line_padded() {
+        assert_eq!(std::mem::align_of::<PaddedCounter>(), 64);
+        assert_eq!(std::mem::size_of::<PaddedCounter>(), 64);
+    }
+
+    #[test]
+    fn add_and_max_behave_monotonically() {
+        let reg = CounterRegistry::new();
+        reg.add(CounterId::SimSyns, 3);
+        reg.add(CounterId::SimSyns, 4);
+        assert_eq!(reg.get(CounterId::SimSyns), 7);
+        reg.max(CounterId::PacerMaxOvershootNs, 50);
+        reg.max(CounterId::PacerMaxOvershootNs, 20);
+        reg.max(CounterId::PacerMaxOvershootNs, 80);
+        assert_eq!(reg.get(CounterId::PacerMaxOvershootNs), 80);
+        reg.reset();
+        assert_eq!(reg.get(CounterId::SimSyns), 0);
+        assert_eq!(reg.get(CounterId::PacerMaxOvershootNs), 0);
+    }
+}

@@ -13,6 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release
 
+echo "==> cargo build --release --features trace (flight recorder compiled in)"
+# The trace feature must never rot: both feature states build release.
+cargo build --workspace --release --features trace
+
 echo "==> cargo test"
 cargo test --workspace -q
 
@@ -38,5 +42,20 @@ echo "==> dispatch_throughput --smoke (dispatch-tier regression gate)"
 # dispatch path legitimately changes speed.
 cargo run --release -p hermes-bench --bin dispatch_throughput -- \
   --smoke --baseline results/BENCH_dispatch.json --no-write
+
+echo "==> trace determinism (simulation byte-identical with recorder on/off)"
+# Tracing is an observer, never an actor: the simnet report must not
+# change when the flight recorder runs, and the recorded stream must be
+# reproducible run-over-run (sim-time stamps, no wall clock).
+cargo test --release -q -p hermes-simnet --features trace --test trace_determinism
+
+echo "==> trace_overhead --smoke (flight-recorder cost gates)"
+# Feature on: one traced event must cost <= 25 ns on the hot path (and
+# not creep past the checked-in baseline); runtime-disabled <= 10 ns.
+cargo run --release -p hermes-bench --features trace --bin trace_overhead -- \
+  --smoke --gate --baseline results/BENCH_trace.json --no-write
+# Feature off: the same macros must compile to nothing — zero overhead.
+cargo run --release -p hermes-bench --bin trace_overhead -- \
+  --smoke --gate --no-write
 
 echo "CI gate passed."
