@@ -1,0 +1,425 @@
+//! Scale-throughput harness: the sharded dispatch plane swept across
+//! deployment sizes, tracked as `results/BENCH_scale.json` from PR 5 on.
+//!
+//! Sweeps the two-level grouped program over workers × groups
+//! (64×1 → 256×4, 64 workers per group — the §7 shape where a single
+//! 64-bit bitmap no longer covers the worker fleet) and measures, at each
+//! scale, the interpreted (checked) tier, the lock-free compiled tier, and
+//! the 64-burst batched compiled path. A flat single-group 64-worker
+//! compiled program is measured once as the per-connection cost reference:
+//! the grouped program does strictly more work (level-1 group selection
+//! plus a dynamic per-group map resolve), so the interesting number is how
+//! close its compiled tier stays to flat dispatch.
+//!
+//! Flags:
+//!   --smoke            fewer dispatches (CI gate)
+//!   --out PATH         write JSON here (default results/BENCH_scale.json)
+//!   --baseline PATH    compare against a checked-in baseline; exit 1 if
+//!                      the compiled grouped tier fails to beat the
+//!                      interpreted grouped tier by >= 2.5x at any scale,
+//!                      if compiled grouped dispatch falls more than 1.3x
+//!                      behind flat compiled dispatch per connection, or
+//!                      if grouped compiled dispatches/sec at 256x4
+//!                      regresses more than 20% against the baseline
+//!   --no-write         measure and check only, leave the baseline file
+//!
+//! The throughput regression gate compares against a baseline measured on
+//! a possibly different machine, so its 20% margin is generous; the
+//! tier-ratio and vs-flat gates are machine-independent. Regenerate the
+//! baseline with `cargo run --release -p hermes-bench --bin scale_throughput`
+//! when the dispatch path legitimately changes speed.
+
+use hermes_core::WorkerBitmap;
+use hermes_ebpf::maps::{ArrayMap, MapRef, MapRegistry, SockArrayMap};
+use hermes_ebpf::{AnalysisCtx, DispatchProgram, ExecTier, GroupedReuseportGroup, Vm};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Every group is a full 64-worker reuseport group; the sweep scales the
+/// *number of groups*, which is the only axis the flat program cannot
+/// follow.
+const GROUP_SIZE: usize = 64;
+/// groups swept: 64x1, 128x2, 192x3, 256x4 workers.
+const GROUP_COUNTS: [usize; 4] = [1, 2, 3, 4];
+const BITMAP: u64 = 0x0000_F0F0_A5A5_3C3C;
+/// Batch geometry under test — the workspace-wide accept/dispatch burst.
+const BURST: usize = hermes_core::DISPATCH_BATCH;
+const DEFAULT_DISPATCHES: usize = 1 << 19;
+const SMOKE_DISPATCHES: usize = 1 << 16;
+const REGRESSION_FRAC: f64 = 0.20;
+/// Acceptance floor: the compiled grouped tier must beat the interpreted
+/// grouped tier by at least this factor at every scale (the PR 5 tentpole
+/// target).
+const COMPILED_OVER_CHECKED_FLOOR: f64 = 2.5;
+/// Acceptance ceiling: compiled grouped dispatch may cost at most this
+/// factor more per connection than flat compiled dispatch.
+const VS_FLAT_NS_CEILING: f64 = 1.3;
+
+#[derive(Clone, Copy, Debug)]
+struct VariantResult {
+    dispatches: usize,
+    wall_seconds: f64,
+    ns_per_dispatch: f64,
+    dispatches_per_sec: f64,
+}
+
+/// One swept deployment shape.
+struct ScaleResult {
+    groups: usize,
+    workers: usize,
+    checked: VariantResult,
+    compiled: VariantResult,
+    compiled_batch: VariantResult,
+}
+
+impl ScaleResult {
+    fn speedup_compiled_over_checked(&self) -> f64 {
+        self.compiled.dispatches_per_sec / self.checked.dispatches_per_sec
+    }
+
+    fn ns_vs_flat(&self, flat: &VariantResult) -> f64 {
+        self.compiled.ns_per_dispatch / flat.ns_per_dispatch
+    }
+
+    fn label(&self) -> String {
+        format!("{}x{}", self.workers, self.groups)
+    }
+}
+
+/// Pseudorandom but deterministic hash stream (same constants as the
+/// runtime driver's scripted flows).
+fn hash_stream(n: usize) -> Vec<u32> {
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(11) ^ 0xA5A5_5A5A)
+        .collect()
+}
+
+/// Best-of-`runs` wall time for one full pass over the hash stream, after
+/// one untimed warmup pass. `pass` returns an accumulator so the work
+/// cannot be optimized away.
+fn measure(hashes: &[u32], runs: usize, mut pass: impl FnMut(&[u32]) -> u64) -> VariantResult {
+    black_box(pass(hashes)); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let acc = pass(hashes);
+        let secs = t.elapsed().as_secs_f64();
+        black_box(acc);
+        best = best.min(secs);
+    }
+    VariantResult {
+        dispatches: hashes.len(),
+        wall_seconds: best,
+        ns_per_dispatch: best * 1e9 / hashes.len() as f64,
+        dispatches_per_sec: hashes.len() as f64 / best,
+    }
+}
+
+/// Per-group bitmap: derived from the canonical bench bitmap, rotated so
+/// every group selects a different worker subset (as live schedulers do).
+fn group_bitmap(group: usize) -> WorkerBitmap {
+    WorkerBitmap(BITMAP.rotate_left(group as u32 * 13))
+}
+
+/// Flat single-group reference: the PR 3 compiled dispatch path at 64
+/// workers, maps mirroring [`hermes_ebpf::ReuseportGroup::new`].
+fn flat_compiled_reference(hashes: &[u32], runs: usize) -> VariantResult {
+    let registry = MapRegistry::new();
+    let sel = Arc::new(ArrayMap::new(1));
+    sel.update(0, BITMAP);
+    registry.register(MapRef::Array(sel));
+    let socks = Arc::new(SockArrayMap::new(GROUP_SIZE));
+    for w in 0..GROUP_SIZE {
+        socks.register(w, w);
+    }
+    registry.register(MapRef::SockArray(socks));
+    let prog = DispatchProgram::build(0, 1, GROUP_SIZE);
+    let ctx = AnalysisCtx::from_registry(&registry);
+    let vm = Vm::load_analyzed(prog.insns().to_vec(), &ctx).expect("flat program analyzes");
+    assert_eq!(vm.tier(), ExecTier::Compiled, "flat program must compile");
+    measure(hashes, runs, |hs| {
+        let mut acc = 0u64;
+        for &h in hs {
+            acc = acc.wrapping_add(
+                vm.run_tier(ExecTier::Compiled, h, &registry, 0)
+                    .unwrap()
+                    .return_value,
+            );
+        }
+        acc
+    })
+}
+
+/// Tier + batch sweep over one grouped deployment shape.
+fn measure_scale(groups: usize, hashes: &[u32], runs: usize) -> ScaleResult {
+    let deploy = GroupedReuseportGroup::new(groups, GROUP_SIZE);
+    assert_eq!(
+        deploy.tier(),
+        ExecTier::Compiled,
+        "grouped program must reach the lock-free compiled tier"
+    );
+    for g in 0..groups {
+        deploy.sync_group_bitmap(g, group_bitmap(g));
+    }
+    let (vm, maps) = (deploy.vm(), deploy.registry());
+    let tier_pass = |tier: ExecTier| {
+        move |hs: &[u32]| {
+            let mut acc = 0u64;
+            for &h in hs {
+                acc = acc.wrapping_add(vm.run_tier(tier, h, maps, 0).unwrap().return_value);
+            }
+            acc
+        }
+    };
+    let mut out = Vec::with_capacity(BURST);
+    let batch_pass = |hs: &[u32]| {
+        let mut acc = 0u64;
+        for chunk in hs.chunks(BURST) {
+            out.clear();
+            deploy.dispatch_batch(chunk, &mut out);
+            acc = acc.wrapping_add(out.iter().map(|o| o.global(GROUP_SIZE) as u64).sum::<u64>());
+        }
+        acc
+    };
+    ScaleResult {
+        groups,
+        workers: groups * GROUP_SIZE,
+        checked: measure(hashes, runs, tier_pass(ExecTier::Checked)),
+        compiled: measure(hashes, runs, tier_pass(ExecTier::Compiled)),
+        compiled_batch: measure(hashes, runs, batch_pass),
+    }
+}
+
+fn json_block(r: &VariantResult) -> String {
+    format!(
+        "{{ \"dispatches\": {}, \"wall_seconds\": {:.6}, \"ns_per_dispatch\": {:.2}, \"dispatches_per_sec\": {:.1} }}",
+        r.dispatches, r.wall_seconds, r.ns_per_dispatch, r.dispatches_per_sec
+    )
+}
+
+fn scale_json(s: &ScaleResult, flat: &VariantResult) -> String {
+    format!(
+        "\"{}\": {{\n      \"workers\": {},\n      \"groups\": {},\n      \"checked\": {},\n      \"compiled\": {},\n      \"compiled_batch64\": {},\n      \"speedup_compiled_over_checked\": {:.2},\n      \"ns_vs_flat_compiled\": {:.2}\n    }}",
+        s.label(),
+        s.workers,
+        s.groups,
+        json_block(&s.checked),
+        json_block(&s.compiled),
+        json_block(&s.compiled_batch),
+        s.speedup_compiled_over_checked(),
+        s.ns_vs_flat(flat),
+    )
+}
+
+fn render_json(smoke: bool, flat: &VariantResult, scales: &[ScaleResult]) -> String {
+    let blocks: Vec<String> = scales.iter().map(|s| scale_json(s, flat)).collect();
+    let min_speedup = scales
+        .iter()
+        .map(ScaleResult::speedup_compiled_over_checked)
+        .fold(f64::INFINITY, f64::min);
+    let max_vs_flat = scales
+        .iter()
+        .map(|s| s.ns_vs_flat(flat))
+        .fold(0.0f64, f64::max);
+    format!(
+        "{{\n  \"benchmark\": \"scale_throughput\",\n  \"scenario\": \"two-level dispatch / {GROUP_SIZE} workers per group / groups {:?}\",\n  \"smoke\": {smoke},\n  \"flat64_compiled\": {},\n  \"scales\": {{\n    {}\n  }},\n  \"min_speedup_compiled_over_checked\": {:.2},\n  \"max_ns_vs_flat_compiled\": {:.2}\n}}\n",
+        GROUP_COUNTS,
+        json_block(flat),
+        blocks.join(",\n    "),
+        min_speedup,
+        max_vs_flat,
+    )
+}
+
+/// Pull `"dispatches_per_sec": <number>` out of the `"compiled"` block of
+/// the largest (`256x4`) scale in a baseline file without a JSON
+/// dependency (the bench crate has none).
+fn baseline_top_scale_compiled_dps(contents: &str) -> Option<f64> {
+    let scale = contents.find("\"256x4\"")?;
+    let tail = &contents[scale..];
+    let compiled = tail.find("\"compiled\":")?;
+    let tail = &tail[compiled..];
+    let key = "\"dispatches_per_sec\":";
+    let at = tail.find(key)? + key.len();
+    let rest = tail[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn print_variant(name: &str, r: &VariantResult) {
+    println!(
+        "  {name:<24} {:>9} dispatches  {:>8.4}s  {:>12.0} dispatches/sec  {:>8.1} ns/dispatch",
+        r.dispatches, r.wall_seconds, r.dispatches_per_sec, r.ns_per_dispatch
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut no_write = false;
+    let mut out = String::from("results/BENCH_scale.json");
+    let mut baseline: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--no-write" => no_write = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let dispatches = if smoke {
+        SMOKE_DISPATCHES
+    } else {
+        DEFAULT_DISPATCHES
+    };
+    // Best-of-3 even in smoke: the ratio gates need the least-interfered
+    // run of each variant, and smoke passes are cheap enough to afford it.
+    let runs = 3;
+    let hashes = hash_stream(dispatches);
+
+    println!(
+        "scale_throughput: two-level dispatch, {GROUP_SIZE} workers/group, groups {GROUP_COUNTS:?}, {dispatches} dispatches per variant, {runs} run(s){}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let flat = flat_compiled_reference(&hashes, runs);
+    print_variant("flat64 compiled", &flat);
+
+    let scales: Vec<ScaleResult> = GROUP_COUNTS
+        .iter()
+        .map(|&g| {
+            let s = measure_scale(g, &hashes, runs);
+            println!(
+                "{} ({} workers, {} groups):",
+                s.label(),
+                s.workers,
+                s.groups
+            );
+            print_variant("checked", &s.checked);
+            print_variant("compiled", &s.compiled);
+            print_variant("compiled_batch64", &s.compiled_batch);
+            println!(
+                "  compiled/checked {:.2}x, ns vs flat {:.2}x, batch64/single {:.2}x",
+                s.speedup_compiled_over_checked(),
+                s.ns_vs_flat(&flat),
+                s.compiled_batch.dispatches_per_sec / s.compiled.dispatches_per_sec,
+            );
+            s
+        })
+        .collect();
+
+    let mut failed = false;
+    if baseline.is_some() {
+        for s in &scales {
+            let speedup = s.speedup_compiled_over_checked();
+            if speedup < COMPILED_OVER_CHECKED_FLOOR {
+                eprintln!(
+                    "REGRESSION: {} compiled/checked speedup {speedup:.2}x is below the {COMPILED_OVER_CHECKED_FLOOR:.2}x floor",
+                    s.label()
+                );
+                failed = true;
+            }
+            let vs_flat = s.ns_vs_flat(&flat);
+            if vs_flat > VS_FLAT_NS_CEILING {
+                eprintln!(
+                    "REGRESSION: {} compiled dispatch costs {vs_flat:.2}x flat compiled dispatch per connection (ceiling {VS_FLAT_NS_CEILING:.2}x)",
+                    s.label()
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = baseline {
+        let top = scales.last().expect("at least one scale");
+        match std::fs::read_to_string(&path) {
+            Ok(contents) => match baseline_top_scale_compiled_dps(&contents) {
+                Some(base) => {
+                    let floor = base * (1.0 - REGRESSION_FRAC);
+                    if top.compiled.dispatches_per_sec < floor {
+                        eprintln!(
+                            "REGRESSION: {} compiled {:.0} dispatches/sec is more than {:.0}% below baseline {:.0} (floor {:.0})",
+                            top.label(),
+                            top.compiled.dispatches_per_sec,
+                            REGRESSION_FRAC * 100.0,
+                            base,
+                            floor
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "  baseline check: {:.0} dispatches/sec vs baseline {:.0} (floor {:.0}) — ok",
+                            top.compiled.dispatches_per_sec, base, floor
+                        );
+                    }
+                }
+                None => {
+                    eprintln!("baseline {path} has no 256x4 compiled dispatches_per_sec field");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if !no_write {
+        let json = render_json(smoke, &flat, &scales);
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(&out, json).expect("write BENCH_scale.json");
+        println!("  wrote {out}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn variant(dps: f64) -> VariantResult {
+        VariantResult {
+            dispatches: 1000,
+            wall_seconds: 1000.0 / dps,
+            ns_per_dispatch: 1e9 / dps,
+            dispatches_per_sec: dps,
+        }
+    }
+
+    fn scale(groups: usize, checked: f64, compiled: f64) -> ScaleResult {
+        ScaleResult {
+            groups,
+            workers: groups * GROUP_SIZE,
+            checked: variant(checked),
+            compiled: variant(compiled),
+            compiled_batch: variant(compiled * 1.2),
+        }
+    }
+
+    #[test]
+    fn baseline_parse_finds_the_top_scale_compiled_block() {
+        let flat = variant(900.0);
+        let scales = vec![
+            scale(1, 100.0, 700.0),
+            scale(2, 95.0, 650.0),
+            scale(3, 92.0, 620.0),
+            scale(4, 90.0, 600.0),
+        ];
+        let json = render_json(false, &flat, &scales);
+        // Must pick the 256x4 scale's single-shot compiled figure — not a
+        // smaller scale's, the batch figure, or the flat reference's.
+        assert_eq!(baseline_top_scale_compiled_dps(&json), Some(600.0));
+        assert_eq!(baseline_top_scale_compiled_dps("not json"), None);
+    }
+}

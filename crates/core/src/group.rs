@@ -144,11 +144,14 @@ impl GroupScheduler {
     }
 
     /// Run the per-group scheduler for group `g` at `now_ns` and sync its
-    /// bitmap. Returns the decision (mirrors `schedule_and_sync`).
+    /// bitmap. Returns the decision (mirrors `schedule_and_sync`). The sync
+    /// is elided when the recomputed bitmap matches what the kernel already
+    /// sees ([`SelMap::store_if_changed`]) — in steady state, per-group
+    /// schedulers converge and re-publish nothing.
     pub fn schedule_group(&self, g: usize, now_ns: u64) -> SchedDecision {
         let group = &self.groups[g];
         let decision = self.scheduler.schedule(&group.wst, now_ns);
-        group.sel.store(decision.bitmap);
+        group.sel.store_if_changed(decision.bitmap);
         decision
     }
 
@@ -181,6 +184,153 @@ impl GroupScheduler {
             out.extend(bm.iter().map(|local| self.global_id(g, local)));
         }
         out
+    }
+}
+
+/// Most groups a [`GroupedConnDispatcher`] will shard across. Bounds the
+/// per-batch stack state (one bitmap + count per group); 64 groups of 64
+/// workers is 4096 workers — far past the paper's 256-worker scale point.
+pub const MAX_DISPATCH_GROUPS: usize = 64;
+
+/// One grouped dispatch decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupedDispatch {
+    /// Level-1 group the flow hashed into.
+    pub group: usize,
+    /// Level-2 outcome within that group (local worker id).
+    pub outcome: DispatchOutcome,
+    /// Flattened global worker id (`group * group_size + local`).
+    pub global: WorkerId,
+}
+
+impl GroupedDispatch {
+    /// True when the userspace bitmap directed the level-2 choice.
+    pub fn is_directed(&self) -> bool {
+        self.outcome.is_directed()
+    }
+}
+
+/// Kernel-side two-level dispatch over per-group selection maps — the
+/// native counterpart of the grouped eBPF program, shaped for bursts.
+///
+/// Holds one `(SelMap, ConnDispatcher)` pair per group. A new connection
+/// picks its group by `reciprocal_scale` over the flow hash (level 1), then
+/// runs Algorithm 2 against that group's bitmap (level 2).
+/// [`dispatch_batch`](Self::dispatch_batch) loads every group's bitmap,
+/// mask, and candidate count **once per burst**, so per-connection work is
+/// one scale plus one rank-select regardless of group count.
+#[derive(Debug)]
+pub struct GroupedConnDispatcher {
+    groups: Vec<(Arc<SelMap>, ConnDispatcher)>,
+    group_size: usize,
+}
+
+impl GroupedConnDispatcher {
+    /// Dispatcher over `sel_maps.len()` groups. `sizes[g]` workers live in
+    /// group `g`; `group_size` is the flattening stride (the nominal full
+    /// group width, so a ragged last group still gets contiguous global
+    /// ids).
+    pub fn new(sel_maps: Vec<Arc<SelMap>>, sizes: &[usize], group_size: usize) -> Self {
+        assert_eq!(sel_maps.len(), sizes.len(), "one size per group");
+        assert!(
+            (1..=MAX_DISPATCH_GROUPS).contains(&sel_maps.len()),
+            "1..=64 dispatch groups"
+        );
+        let groups = sel_maps
+            .into_iter()
+            .zip(sizes)
+            .map(|(sel, &n)| (sel, ConnDispatcher::new(n)))
+            .collect();
+        Self { groups, group_size }
+    }
+
+    /// Dispatcher sharing a [`GroupScheduler`]'s selection maps: scheduling
+    /// decisions published by the scheduler's workers are immediately
+    /// visible to dispatch, with no copies and no locks.
+    pub fn from_scheduler(gs: &GroupScheduler) -> Self {
+        let sel_maps = (0..gs.group_count())
+            .map(|g| Arc::clone(gs.group(g).sel()))
+            .collect();
+        let sizes: Vec<usize> = (0..gs.group_count())
+            .map(|g| gs.group(g).workers())
+            .collect();
+        Self::new(sel_maps, &sizes, gs.group_size)
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Group `g`'s selection map — the publish side for that group's
+    /// scheduler (workers call [`SelMap::store_if_changed`] on it).
+    pub fn sel(&self, g: usize) -> &Arc<SelMap> {
+        &self.groups[g].0
+    }
+
+    /// Flattening stride (nominal workers per group).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Total workers across all groups.
+    pub fn total_workers(&self) -> usize {
+        self.groups.iter().map(|(_, d)| d.workers()).sum()
+    }
+
+    /// Level-1 group selection for a flow hash.
+    #[inline]
+    pub fn group_for(&self, hash: u32) -> usize {
+        reciprocal_scale(hash, self.groups.len() as u32) as usize
+    }
+
+    /// Full two-level dispatch for one connection.
+    pub fn dispatch(&self, hash: u32) -> GroupedDispatch {
+        let g = self.group_for(hash);
+        let (sel, d) = &self.groups[g];
+        let outcome = d.dispatch(sel.load(), hash);
+        let out = GroupedDispatch {
+            group: g,
+            outcome,
+            global: g * self.group_size + outcome.worker(),
+        };
+        hermes_trace::trace_count!(hermes_trace::CounterId::GroupDispatches);
+        out
+    }
+
+    /// Dispatch a whole arrival burst: every group's bitmap is loaded and
+    /// masked **once**, then each hash costs one group scale plus one
+    /// rank-select (or the reuseport fallback). Decisions are appended to
+    /// `out` in arrival order and are identical to per-hash
+    /// [`dispatch`](Self::dispatch) calls under a stable bitmap.
+    pub fn dispatch_batch(&self, hashes: &[u32], out: &mut Vec<GroupedDispatch>) {
+        let mut masked = [WorkerBitmap::EMPTY; MAX_DISPATCH_GROUPS];
+        let mut counts = [0u32; MAX_DISPATCH_GROUPS];
+        for (g, (sel, d)) in self.groups.iter().enumerate() {
+            let m = WorkerBitmap(sel.load().0 & WorkerBitmap::all(d.workers()).0);
+            masked[g] = m;
+            counts[g] = m.count();
+        }
+        out.reserve(hashes.len());
+        hermes_trace::trace_count!(hermes_trace::CounterId::DispatchBatches);
+        hermes_trace::trace_count!(hermes_trace::CounterId::GroupDispatches, hashes.len());
+        for &h in hashes {
+            let g = self.group_for(h);
+            let outcome = if counts[g] > 1 {
+                let nth = reciprocal_scale(h, counts[g]) + 1;
+                let local = masked[g]
+                    .nth_set_bit(nth)
+                    .expect("nth in 1..=count must exist");
+                DispatchOutcome::Directed(local)
+            } else {
+                DispatchOutcome::Fallback(self.groups[g].1.reuseport_select(h))
+            };
+            out.push(GroupedDispatch {
+                group: g,
+                outcome,
+                global: g * self.group_size + outcome.worker(),
+            });
+        }
     }
 }
 
@@ -273,6 +423,77 @@ mod tests {
         let flow = FlowKey::new(1, 2, 3, 4);
         let (_, out) = reuseport.dispatch(&flow);
         assert!(!out.is_directed(), "single-worker groups must fall back");
+    }
+
+    #[test]
+    fn schedule_group_elides_steady_state_syncs() {
+        let gs = GroupScheduler::new(8, 4, GroupBy::FlowHash, cfg());
+        for g in 0..2 {
+            for w in 0..4 {
+                gs.group(g).wst().worker(w).enter_loop(1_000);
+            }
+        }
+        // First pass publishes; nine steady-state repeats publish nothing.
+        for round in 0..10 {
+            gs.schedule_all(1_010 + round);
+        }
+        for g in 0..2 {
+            assert_eq!(gs.group(g).sel().update_count(), 1, "group {g}");
+            assert_eq!(gs.group(g).sel().skipped_count(), 9, "group {g}");
+        }
+        // A load change re-publishes exactly once more.
+        gs.group(1).wst().worker(0).conn_delta(1_000);
+        gs.schedule_all(1_030);
+        assert_eq!(gs.group(0).sel().update_count(), 1);
+        assert_eq!(gs.group(1).sel().update_count(), 2);
+    }
+
+    #[test]
+    fn grouped_dispatcher_batch_matches_single_and_scheduler() {
+        let gs = GroupScheduler::new(16, 4, GroupBy::FlowHash, cfg());
+        for g in 0..4 {
+            for w in 0..4 {
+                gs.group(g).wst().worker(w).enter_loop(1_000);
+            }
+            gs.group(g).wst().worker(1).conn_delta(1_000);
+        }
+        gs.schedule_all(1_010);
+        let d = GroupedConnDispatcher::from_scheduler(&gs);
+        assert_eq!(d.group_count(), 4);
+        assert_eq!(d.total_workers(), 16);
+        let hashes: Vec<u32> = (0..512u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut batch = Vec::new();
+        d.dispatch_batch(&hashes, &mut batch);
+        assert_eq!(batch.len(), hashes.len());
+        for (&h, got) in hashes.iter().zip(&batch) {
+            // Batch == single-shot == the scheduler's own two-level path.
+            assert_eq!(*got, d.dispatch(h), "hash {h:#x}");
+            assert_eq!(got.group, reciprocal_scale(h, 4) as usize);
+            assert_eq!(got.global, got.group * 4 + got.outcome.worker());
+            assert!(got.is_directed());
+            assert_ne!(got.outcome.worker(), 1, "overloaded worker selected");
+        }
+    }
+
+    #[test]
+    fn grouped_dispatcher_falls_back_per_group() {
+        let gs = GroupScheduler::new(8, 4, GroupBy::FlowHash, cfg());
+        // Only group 0 schedules; group 1's bitmap stays empty.
+        for w in 0..4 {
+            gs.group(0).wst().worker(w).enter_loop(1_000);
+        }
+        gs.schedule_all(1_010);
+        let d = GroupedConnDispatcher::from_scheduler(&gs);
+        let mut batch = Vec::new();
+        let hashes: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(0x517C_C1B7)).collect();
+        d.dispatch_batch(&hashes, &mut batch);
+        for out in &batch {
+            match out.group {
+                0 => assert!(out.is_directed()),
+                _ => assert!(!out.is_directed(), "empty bitmap must fall back"),
+            }
+            assert!(out.outcome.worker() < 4);
+        }
     }
 
     #[test]

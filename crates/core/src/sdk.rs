@@ -43,7 +43,10 @@ pub trait SyncTarget: Send + Sync {
 
 impl SyncTarget for SelMap {
     fn sync(&self, bitmap: WorkerBitmap) {
-        self.store(bitmap);
+        // Steady-state schedulers recompute the same bitmap every loop;
+        // publishing it again would be a pure cache-line ping. The elision
+        // is counted separately so Fig. 14's sync frequency stays honest.
+        self.store_if_changed(bitmap);
     }
 }
 
@@ -68,6 +71,10 @@ pub struct WorkerSession<T: SyncTarget> {
     /// [`sync_only`](Self::sync_only) can stamp its publish event with the
     /// loop iteration's time rather than 0.
     last_now_ns: u64,
+    /// Flight-recorder lane for this session's publish events. Defaults to
+    /// the worker id; grouped deployments override it with the flattened
+    /// global id so lanes stay unique across groups.
+    trace_lane: u32,
 }
 
 impl<T: SyncTarget> WorkerSession<T> {
@@ -83,7 +90,15 @@ impl<T: SyncTarget> WorkerSession<T> {
             sched_calls: 0,
             snap_cache: SnapshotCache::new(),
             last_now_ns: 0,
+            trace_lane: id as u32,
         }
+    }
+
+    /// Override the flight-recorder lane for this session's publish events
+    /// (grouped deployments: `hermes_trace::grouped_lane(group, size, id)`).
+    pub fn with_trace_lane(mut self, lane: u32) -> Self {
+        self.trace_lane = lane;
+        self
     }
 
     /// This worker's id.
@@ -169,7 +184,7 @@ impl<T: SyncTarget> WorkerSession<T> {
         hermes_trace::trace_event!(
             now_ns,
             hermes_trace::EventKind::BitmapPublish,
-            self.id,
+            self.trace_lane,
             bitmap.0,
             self.wst.epoch()
         );

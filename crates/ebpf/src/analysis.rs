@@ -711,10 +711,12 @@ impl AnalysisCtx {
         self
     }
 
-    /// Snapshot every map registered in `registry`.
+    /// Snapshot every map registered in `registry`. Freezes the registry's
+    /// fd table (program analysis is the `BPF_PROG_LOAD` moment after which
+    /// no fds may appear) and binds against the cached layout slice.
     pub fn from_registry(registry: &MapRegistry) -> Self {
         let mut ctx = Self::new();
-        for (fd, kind, size) in registry.layout() {
+        for &(fd, kind, size) in registry.layout() {
             ctx.maps.insert(fd, (kind, size));
         }
         ctx
@@ -917,19 +919,44 @@ impl From<VerifyError> for AnalysisError {
     }
 }
 
+/// The fd interval one helper call site was proven to stay within, with
+/// every candidate checked against the bound layout. Recorded so
+/// [`crate::compile`] can turn a bounded *dynamic* fd — the grouped
+/// program's `sel_base + group` pattern — into a pre-resolved bank index
+/// instead of a per-call registry lookup. Exact because the analysis is a
+/// single forward pass over a loop-free, forward-jump-only program: each
+/// call site is visited exactly once with all predecessor states merged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FdRange {
+    /// Map kind every candidate fd was proven to be.
+    pub kind: MapKind,
+    /// Smallest candidate fd.
+    pub lo: u64,
+    /// Largest candidate fd.
+    pub hi: u64,
+}
+
 /// Structured result of a successful analysis: per-instruction proven
-/// facts, human-readable range notes, and warnings.
+/// facts, human-readable range notes, warnings, and per-call-site fd
+/// intervals.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AnalysisReport {
     facts: Vec<InsnFacts>,
     notes: Vec<String>,
     warnings: Vec<AnalysisWarning>,
+    fd_ranges: Vec<Option<FdRange>>,
 }
 
 impl AnalysisReport {
     /// Facts proven for instruction `at`.
     pub fn facts(&self, at: usize) -> InsnFacts {
         self.facts.get(at).copied().unwrap_or_default()
+    }
+
+    /// The fd interval proven for the helper call at `at`, if that
+    /// instruction is a call taking a map fd.
+    pub fn fd_range(&self, at: usize) -> Option<FdRange> {
+        self.fd_ranges.get(at).copied().flatten()
     }
 
     /// All warnings.
@@ -1010,6 +1037,7 @@ pub fn analyze(prog: &[Insn], ctx: &AnalysisCtx) -> Result<AnalysisReport, Analy
     let mut facts = vec![InsnFacts::default(); n];
     let mut notes = vec![String::new(); n];
     let mut warnings = Vec::new();
+    let mut fd_ranges: Vec<Option<FdRange>> = vec![None; n];
     let mut incoming: Vec<Option<AbsState>> = vec![None; n];
     incoming[0] = Some(AbsState::entry());
 
@@ -1107,7 +1135,15 @@ pub fn analyze(prog: &[Insn], ctx: &AnalysisCtx) -> Result<AnalysisReport, Analy
                 merge(&mut incoming[at + 1], &state);
             }
             Op::Call { helper } => {
-                apply_call(at, helper, &mut state, ctx, &mut facts, &mut notes)?;
+                apply_call(
+                    at,
+                    helper,
+                    &mut state,
+                    ctx,
+                    &mut facts,
+                    &mut notes,
+                    &mut fd_ranges,
+                )?;
                 merge(&mut incoming[at + 1], &state);
             }
             Op::Exit => {
@@ -1129,10 +1165,12 @@ pub fn analyze(prog: &[Insn], ctx: &AnalysisCtx) -> Result<AnalysisReport, Analy
         facts,
         notes,
         warnings,
+        fd_ranges,
     })
 }
 
 /// Check one helper call against its signature and model its effects.
+#[allow(clippy::too_many_arguments)]
 fn apply_call(
     at: usize,
     helper: u32,
@@ -1140,6 +1178,7 @@ fn apply_call(
     ctx: &AnalysisCtx,
     facts: &mut [InsnFacts],
     notes: &mut [String],
+    fd_ranges: &mut [Option<FdRange>],
 ) -> Result<(), AnalysisError> {
     let sig = signature(helper).expect("structural verifier admits only known helpers");
     // Captured before the call clobbers R1-R5: reciprocal_scale models its
@@ -1166,6 +1205,11 @@ fn apply_call(
             }
             ArgKind::ArrayFd { strict_key } => {
                 let size = resolve_fd_range(at, helper, argno, &reg, MapKind::Array, ctx)?;
+                fd_ranges[at] = Some(FdRange {
+                    kind: MapKind::Array,
+                    lo: reg.umin,
+                    hi: reg.umax,
+                });
                 let key = state.regs[arg_reg(i + 1)];
                 if key.kind != Kind::Scalar {
                     return Err(AnalysisError::BadHelperArg {
@@ -1188,6 +1232,11 @@ fn apply_call(
             }
             ArgKind::SockArrayFd => {
                 let size = resolve_fd_range(at, helper, argno, &reg, MapKind::SockArray, ctx)?;
+                fd_ranges[at] = Some(FdRange {
+                    kind: MapKind::SockArray,
+                    lo: reg.umin,
+                    hi: reg.umax,
+                });
                 let key = state.regs[arg_reg(i + 1)];
                 if key.kind != Kind::Scalar {
                     return Err(AnalysisError::BadHelperArg {

@@ -35,15 +35,15 @@
 //! selected socket, and retired-instruction count — is enforced by the
 //! differential fuzz suite in `tests/soundness.rs`.
 
-use crate::analysis::AnalysisCtx;
+use crate::analysis::{AnalysisCtx, AnalysisReport};
 use crate::helpers::{
     ENOENT_RET, HELPER_KTIME_GET_NS, HELPER_MAP_LOOKUP, HELPER_RECIPROCAL_SCALE,
     HELPER_SK_SELECT_REUSEPORT,
 };
 use crate::insn::{Alu, Cond, Insn, Op, Reg, Src, NUM_REGS, STACK_SIZE};
-use crate::maps::{ArrayMap, MapKind, MapRegistry, SockArrayMap};
+use crate::maps::{ArrayMap, MapKind, MapRef, MapRegistry, SockArrayMap};
 use crate::vm::ExecResult;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// SWAR popcount masks (Bit Twiddling Hacks / Hamming weight).
 const M1: u64 = 0x5555_5555_5555_5555;
@@ -58,6 +58,15 @@ const POPCOUNT_LEN: usize = 15;
 /// uses two (selection map + sockarray); the cap only bounds the resolved
 /// array on the stack — further constant fds fall back to the dynamic path.
 const MAX_CONST_SLOTS: usize = 8;
+
+/// Maximum pre-resolved fd banks per program (the grouped program needs
+/// two: the selmap bank and the sockarray bank).
+const MAX_BANKS: usize = 4;
+
+/// Maximum fds per bank — bounds the resolved table, not correctness;
+/// wider proven ranges fall back to the dynamic path. 64 covers every
+/// group-count the bitmap dispatch plane can shard into.
+const MAX_BANK_LEN: u64 = 64;
 
 /// One compiled operation. Monomorphic where it pays: `Mov` is the most
 /// common op in the dispatch programs, and helper calls are resolved to
@@ -107,13 +116,26 @@ enum Step {
     LookupConst {
         slot: u8,
     },
-    /// `bpf_map_lookup_elem` with a runtime-computed fd (grouped program).
+    /// `bpf_map_lookup_elem` whose fd is runtime-computed but proven to
+    /// lie in a contiguous registered array-map range: indexes
+    /// pre-resolved bank `bank` at `R1 - base` with no registry access.
+    LookupBank {
+        bank: u8,
+        base: u32,
+    },
+    /// `bpf_map_lookup_elem` with a runtime-computed, unprovable fd.
     LookupDyn,
     /// `bpf_sk_select_reuseport` with a constant sockarray fd.
     SkSelectConst {
         slot: u8,
     },
-    /// `bpf_sk_select_reuseport` with a runtime-computed fd.
+    /// `bpf_sk_select_reuseport` with a bounded dynamic sockarray fd:
+    /// pre-resolved bank indexed at `R1 - base`.
+    SkSelectBank {
+        bank: u8,
+        base: u32,
+    },
+    /// `bpf_sk_select_reuseport` with a runtime-computed, unprovable fd.
     SkSelectDyn,
 }
 
@@ -155,6 +177,18 @@ struct Block {
     retired: u32,
 }
 
+/// A contiguous fd range a helper call site was proven to stay within —
+/// the analysis' [`crate::analysis::FdRange`] after compile-time
+/// validation that *every* fd in the interval is bound with the expected
+/// kind (analysis only checks tnum-possible candidates; the bank is
+/// indexed by subtraction, so the whole interval must resolve).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct BankSpec {
+    kind: MapKind,
+    base: u32,
+    len: u32,
+}
+
 /// A clean-analysis program lowered to basic blocks (see module docs).
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
@@ -162,18 +196,41 @@ pub struct CompiledProgram {
     /// Constant map fds discovered at compile time, resolved once per
     /// run/batch into [`ResolvedMaps`].
     const_fds: Box<[(u32, MapKind)]>,
+    /// Bounded dynamic-fd banks (grouped program selmap/sockarray ranges).
+    banks: Box<[BankSpec]>,
+    /// Bank resolution cache, keyed by the frozen fd table it was built
+    /// against. Holding the table `Arc` pins its address, so the identity
+    /// check cannot alias a recycled allocation; a different frozen
+    /// registry gets a fresh, uncached resolution.
+    bank_cache: BankCache,
     fused_popcounts: usize,
 }
 
+/// One cached bank resolution: the frozen fd table it was built against
+/// (the identity key) plus the banks resolved from it.
+type BankCache = OnceLock<(Arc<[MapRef]>, Arc<[ResolvedBank]>)>;
+
 /// Per-run (or per-batch) resolution of the constant-fd slots: the Arc
 /// clones replace one registry lock per helper call with one per slot per
-/// run.
-pub(crate) struct ResolvedMaps([ResolvedSlot; MAX_CONST_SLOTS]);
+/// run. Banked programs additionally carry their pre-resolved fd banks —
+/// one refcount bump per run once the cache is warm.
+pub(crate) struct ResolvedMaps {
+    slots: [ResolvedSlot; MAX_CONST_SLOTS],
+    banks: Option<Arc<[ResolvedBank]>>,
+}
 
 enum ResolvedSlot {
     Missing,
     Array(Arc<ArrayMap>),
     Sock(Arc<SockArrayMap>),
+}
+
+/// One resolved fd bank: every map in the proven range, densely indexed by
+/// `fd - base`.
+#[derive(Debug)]
+enum ResolvedBank {
+    Arrays(Box<[Arc<ArrayMap>]>),
+    Socks(Box<[Arc<SockArrayMap>]>),
 }
 
 /// Match the exact instruction window `emit_popcount` produces, returning
@@ -262,12 +319,15 @@ impl Consts {
 impl CompiledProgram {
     /// Lower a verified, clean-analysis program. `ctx` is the map layout
     /// the analysis ran against; it classifies constant fds by kind so the
-    /// right pre-resolved access path is emitted.
+    /// right pre-resolved access path is emitted. `report` supplies the
+    /// per-call-site fd intervals the analysis proved, turning bounded
+    /// dynamic fds (the grouped program's per-group map banks) into
+    /// pre-resolved bank indexes.
     ///
     /// Panics on malformed input (out-of-range jump targets, code past
     /// `exit` that is not a jump target) — impossible for programs that
     /// passed the verifier, which is the only way this is reached.
-    pub(crate) fn compile(prog: &[Insn], ctx: &AnalysisCtx) -> Self {
+    pub(crate) fn compile(prog: &[Insn], ctx: &AnalysisCtx, report: &AnalysisReport) -> Self {
         assert!(!prog.is_empty(), "verified programs are non-empty");
         // Pass 1: find block leaders — entry, every jump target, and every
         // instruction following a control transfer.
@@ -305,6 +365,7 @@ impl CompiledProgram {
 
         // Pass 2: compile each block.
         let mut const_fds: Vec<(u32, MapKind)> = Vec::new();
+        let mut banks: Vec<BankSpec> = Vec::new();
         let mut fused_popcounts = 0usize;
         let mut blocks = Vec::with_capacity(starts.len());
         for (b, &start) in starts.iter().enumerate() {
@@ -368,7 +429,15 @@ impl CompiledProgram {
                         retired += 1;
                     }
                     Op::Call { helper } => {
-                        steps.push(Self::compile_call(helper, &konst, ctx, &mut const_fds));
+                        steps.push(Self::compile_call(
+                            at,
+                            helper,
+                            &konst,
+                            ctx,
+                            report,
+                            &mut const_fds,
+                            &mut banks,
+                        ));
                         konst.clobber_call();
                         retired += 1;
                     }
@@ -417,18 +486,26 @@ impl CompiledProgram {
         Self {
             blocks: blocks.into_boxed_slice(),
             const_fds: const_fds.into_boxed_slice(),
+            banks: banks.into_boxed_slice(),
+            bank_cache: OnceLock::new(),
             fused_popcounts,
         }
     }
 
-    /// Resolve one helper call site into a direct step, interning a
-    /// constant-fd slot when constant propagation and the analysis map
-    /// layout allow it.
+    /// Resolve one helper call site into a direct step: a constant-fd slot
+    /// when block-local constant propagation pins the fd, else a
+    /// pre-resolved bank when the analysis proved the fd stays inside a
+    /// contiguous registered range of the right kind, else the dynamic
+    /// registry path.
+    #[allow(clippy::too_many_arguments)]
     fn compile_call(
+        at: usize,
         helper: u32,
         konst: &Consts,
         ctx: &AnalysisCtx,
+        report: &AnalysisReport,
         const_fds: &mut Vec<(u32, MapKind)>,
+        banks: &mut Vec<BankSpec>,
     ) -> Step {
         let slot_for = |const_fds: &mut Vec<(u32, MapKind)>, fd: u64, want: MapKind| {
             let bound = ctx.fd_layout(fd)?;
@@ -445,16 +522,52 @@ impl CompiledProgram {
             const_fds.push((fd, want));
             Some((const_fds.len() - 1) as u8)
         };
+        // The bounded-dynamic-fd step: the analysis proved the fd operand
+        // lies in `[lo, hi]`; the bank is sound only if every fd in that
+        // interval (the analysis skips tnum-excluded values, the runtime
+        // subtraction does not) is bound with the expected kind.
+        let bank_for = |banks: &mut Vec<BankSpec>, want: MapKind| {
+            let range = report.fd_range(at)?;
+            if range.kind != want || range.hi - range.lo + 1 > MAX_BANK_LEN {
+                return None;
+            }
+            for fd in range.lo..=range.hi {
+                if ctx.fd_layout(fd).map(|(k, _)| k) != Some(want) {
+                    return None;
+                }
+            }
+            let spec = BankSpec {
+                kind: want,
+                base: range.lo as u32,
+                len: (range.hi - range.lo + 1) as u32,
+            };
+            if let Some(i) = banks.iter().position(|&b| b == spec) {
+                return Some((i as u8, spec.base));
+            }
+            if banks.len() >= MAX_BANKS {
+                return None;
+            }
+            banks.push(spec);
+            Some(((banks.len() - 1) as u8, spec.base))
+        };
         match helper {
             HELPER_RECIPROCAL_SCALE => Step::ReciprocalScale,
             HELPER_KTIME_GET_NS => Step::KtimeGetNs,
             HELPER_MAP_LOOKUP => konst.0[1]
                 .and_then(|fd| slot_for(const_fds, fd, MapKind::Array))
                 .map(|slot| Step::LookupConst { slot })
+                .or_else(|| {
+                    bank_for(banks, MapKind::Array)
+                        .map(|(bank, base)| Step::LookupBank { bank, base })
+                })
                 .unwrap_or(Step::LookupDyn),
             HELPER_SK_SELECT_REUSEPORT => konst.0[1]
                 .and_then(|fd| slot_for(const_fds, fd, MapKind::SockArray))
                 .map(|slot| Step::SkSelectConst { slot })
+                .or_else(|| {
+                    bank_for(banks, MapKind::SockArray)
+                        .map(|(bank, base)| Step::SkSelectBank { bank, base })
+                })
                 .unwrap_or(Step::SkSelectDyn),
             other => unreachable!("verifier admits only known helpers, got {other}"),
         }
@@ -476,9 +589,27 @@ impl CompiledProgram {
         self.const_fds.iter().map(|&(fd, _)| fd)
     }
 
+    /// Number of bounded dynamic-fd banks compiled in.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Helper call sites left on the dynamic registry path — the only
+    /// steps that may take a lock per call (and only until the registry
+    /// freezes). Zero means the per-connection path is lock-free.
+    pub fn dyn_helper_calls(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.steps.iter())
+            .filter(|s| matches!(s, Step::LookupDyn | Step::SkSelectDyn))
+            .count()
+    }
+
     /// Resolve the constant-fd slots against `maps`. Called once per run
     /// by [`crate::vm::Vm::run`], and once per *batch* by
-    /// [`crate::vm::Vm::run_batch`] — the point of the exercise.
+    /// [`crate::vm::Vm::run_batch`] — the point of the exercise. Banked
+    /// programs also attach their pre-resolved fd banks, cached against
+    /// the registry's frozen table.
     pub(crate) fn resolve(&self, maps: &MapRegistry) -> ResolvedMaps {
         let mut slots: [ResolvedSlot; MAX_CONST_SLOTS] =
             std::array::from_fn(|_| ResolvedSlot::Missing);
@@ -494,7 +625,46 @@ impl CompiledProgram {
                     .unwrap_or(ResolvedSlot::Missing),
             };
         }
-        ResolvedMaps(slots)
+        let banks = (!self.banks.is_empty()).then(|| self.resolve_banks(maps));
+        ResolvedMaps { slots, banks }
+    }
+
+    /// Pre-resolve every bank against `maps`, reusing the cached
+    /// resolution when `maps` is frozen and matches the cache. A banked
+    /// program forces the freeze: banks exist precisely so the hot path
+    /// never consults the locked registry.
+    fn resolve_banks(&self, maps: &MapRegistry) -> Arc<[ResolvedBank]> {
+        let build = || -> Arc<[ResolvedBank]> {
+            self.banks
+                .iter()
+                .map(|spec| {
+                    let fds = spec.base..spec.base + spec.len;
+                    match spec.kind {
+                        MapKind::Array => ResolvedBank::Arrays(
+                            fds.map(|fd| maps.array(fd).expect("compile proved the bank fd bound"))
+                                .collect(),
+                        ),
+                        MapKind::SockArray => ResolvedBank::Socks(
+                            fds.map(|fd| {
+                                maps.sockarray(fd)
+                                    .expect("compile proved the bank fd bound")
+                            })
+                            .collect(),
+                        ),
+                    }
+                })
+                .collect()
+        };
+        let table = Arc::clone(maps.frozen_table());
+        let (cached_table, cached) = self.bank_cache.get_or_init(|| (table.clone(), build()));
+        if Arc::ptr_eq(cached_table, &table) {
+            Arc::clone(cached)
+        } else {
+            // A different registry than the one cached: resolve fresh,
+            // uncached (only differential tests run one program against
+            // several registries).
+            build()
+        }
     }
 
     /// Execute against pre-resolved map slots. Observationally identical
@@ -564,10 +734,20 @@ impl CompiledProgram {
                         regs[1..=5].fill(0);
                     }
                     Step::LookupConst { slot } => {
-                        let ResolvedSlot::Array(m) = &resolved.0[slot as usize] else {
+                        let ResolvedSlot::Array(m) = &resolved.slots[slot as usize] else {
                             unreachable!("analysis proved the array fd bound")
                         };
                         regs[0] = m.lookup_fast(regs[2] as usize);
+                        regs[1..=5].fill(0);
+                    }
+                    Step::LookupBank { bank, base } => {
+                        let banks = resolved.banks.as_ref().expect("banked program resolved");
+                        let ResolvedBank::Arrays(bank) = &banks[bank as usize] else {
+                            unreachable!("compile proved the bank kind")
+                        };
+                        // R1 proven in [base, base+len) by the analysis.
+                        let idx = (regs[1] - base as u64) as usize;
+                        regs[0] = bank[idx].lookup_fast(regs[2] as usize);
                         regs[1..=5].fill(0);
                     }
                     Step::LookupDyn => {
@@ -578,10 +758,25 @@ impl CompiledProgram {
                         regs[1..=5].fill(0);
                     }
                     Step::SkSelectConst { slot } => {
-                        let ResolvedSlot::Sock(m) = &resolved.0[slot as usize] else {
+                        let ResolvedSlot::Sock(m) = &resolved.slots[slot as usize] else {
                             unreachable!("analysis proved the sockarray fd bound")
                         };
                         regs[0] = match m.lookup(regs[2] as usize) {
+                            Some(sock) => {
+                                selected = Some(sock);
+                                0
+                            }
+                            None => ENOENT_RET,
+                        };
+                        regs[1..=5].fill(0);
+                    }
+                    Step::SkSelectBank { bank, base } => {
+                        let banks = resolved.banks.as_ref().expect("banked program resolved");
+                        let ResolvedBank::Socks(bank) = &banks[bank as usize] else {
+                            unreachable!("compile proved the bank kind")
+                        };
+                        let idx = (regs[1] - base as u64) as usize;
+                        regs[0] = match bank[idx].lookup(regs[2] as usize) {
                             Some(sock) => {
                                 selected = Some(sock);
                                 0
@@ -653,7 +848,8 @@ mod tests {
 
     fn compiled(prog: Vec<Insn>, ctx: &AnalysisCtx) -> (Vm, CompiledProgram) {
         let vm = Vm::load_analyzed(prog.clone(), ctx).expect("clean");
-        let cp = CompiledProgram::compile(&prog, ctx);
+        let report = crate::analysis::analyze(&prog, ctx).expect("analyzes");
+        let cp = CompiledProgram::compile(&prog, ctx, &report);
         (vm, cp)
     }
 
@@ -682,11 +878,14 @@ mod tests {
         let ctx = AnalysisCtx::new()
             .bind(0, MapKind::Array, 1)
             .bind(1, MapKind::SockArray, 64);
-        let cp = CompiledProgram::compile(prog.insns(), &ctx);
+        let report = crate::analysis::analyze(prog.insns(), &ctx).expect("analyzes");
+        let cp = CompiledProgram::compile(prog.insns(), &ctx, &report);
         assert_eq!(cp.fused_popcounts(), 7);
         // Both map fds become pre-resolved constant slots.
         let fds: Vec<u32> = cp.const_map_fds().collect();
         assert_eq!(fds, vec![0, 1]);
+        assert_eq!(cp.bank_count(), 0);
+        assert_eq!(cp.dyn_helper_calls(), 0);
     }
 
     #[test]
@@ -703,7 +902,8 @@ mod tests {
         let prog = DispatchProgram::build(sel_fd, sock_fd, 16);
         let ctx = AnalysisCtx::from_registry(&maps);
         let checked = Vm::load(prog.insns().to_vec()).expect("verifies");
-        let cp = CompiledProgram::compile(prog.insns(), &ctx);
+        let report = crate::analysis::analyze(prog.insns(), &ctx).expect("analyzes");
+        let cp = CompiledProgram::compile(prog.insns(), &ctx, &report);
         let resolved = cp.resolve(&maps);
         for i in 0..1_000u32 {
             let h = i.wrapping_mul(0x9E37_79B9);
@@ -713,6 +913,48 @@ mod tests {
                 "divergence at hash {h:#x}"
             );
         }
+    }
+
+    #[test]
+    fn bounded_dynamic_fd_compiles_to_bank() {
+        // fd = hash & 3 — runtime-computed, but provably in [0, 3]; all
+        // four fds are registered arrays, so the lookup compiles to a
+        // pre-resolved bank index instead of a registry lock.
+        let mut a = Assembler::new();
+        a.mov(Reg::R6, Reg::R1);
+        a.alu_imm(Alu::And, Reg::R6, 3);
+        a.mov(Reg::R1, Reg::R6);
+        a.mov_imm(Reg::R2, 0);
+        a.call(crate::helpers::HELPER_MAP_LOOKUP);
+        a.exit();
+        let prog = a.finish();
+
+        let maps = MapRegistry::new();
+        for fd in 0..4u64 {
+            let m = Arc::new(ArrayMap::new(1));
+            m.update(0, 100 + fd);
+            maps.register(MapRef::Array(m));
+        }
+        let ctx = AnalysisCtx::from_registry(&maps);
+        let (vm, cp) = compiled(prog, &ctx);
+        assert_eq!(cp.bank_count(), 1);
+        assert_eq!(cp.dyn_helper_calls(), 0);
+        for hash in 0..16u32 {
+            let got = cp.run(hash, &maps, 0);
+            assert_eq!(got.return_value, 100 + (hash & 3) as u64);
+            assert_eq!(got, vm.run(hash, &maps, 0).unwrap());
+        }
+        // The bank cache is keyed to this registry's frozen table; a
+        // different (also frozen) registry must resolve fresh, not reuse it.
+        let other = MapRegistry::new();
+        for fd in 0..4u64 {
+            let m = Arc::new(ArrayMap::new(1));
+            m.update(0, 200 + fd);
+            other.register(MapRef::Array(m));
+        }
+        other.freeze();
+        assert_eq!(cp.run(2, &other, 0).return_value, 202);
+        assert_eq!(cp.run(2, &maps, 0).return_value, 102);
     }
 
     #[test]

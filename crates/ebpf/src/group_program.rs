@@ -84,12 +84,22 @@ impl GroupedReuseportGroup {
             sock_maps.push(m);
         }
         let prog = Self::build_program(groups, group_size);
+        // `from_registry` freezes the fd table — the `BPF_PROG_LOAD`
+        // moment. All resolution below is lock-free against the frozen
+        // snapshot.
         let ctx = AnalysisCtx::from_registry(&registry);
         let vm = Vm::load_analyzed(prog, &ctx).expect("grouped dispatch program must analyze");
         assert_eq!(
             vm.tier(),
             ExecTier::Compiled,
             "grouped dispatch program must be proven clean for the compiled tier"
+        );
+        let compiled = vm.compiled().expect("compiled tier present");
+        assert_eq!(
+            compiled.dyn_helper_calls(),
+            0,
+            "grouped dispatch must pre-resolve its map banks: no registry \
+             access on the per-connection path"
         );
         Self {
             registry,
@@ -198,8 +208,9 @@ impl GroupedReuseportGroup {
 
     /// Execution tier the attached program runs on — [`ExecTier::Compiled`]
     /// always, by construction. The grouped program computes its map fds at
-    /// run time, so helper calls take the dynamic-fd path, but block
-    /// compilation and popcount fusion still apply.
+    /// run time, but analysis bounds each helper's fd to a contiguous
+    /// registered bank, so every call compiles to a lock-free pre-resolved
+    /// bank step (`dyn_helper_calls()` is zero by the construction assert).
     pub fn tier(&self) -> ExecTier {
         self.vm.tier()
     }
@@ -220,9 +231,14 @@ impl GroupedReuseportGroup {
         self.group_size
     }
 
-    /// Userspace sync for one group's bitmap.
+    /// Userspace sync for one group's bitmap. Skips the store (and the
+    /// cross-core cache traffic it would cause) when the published bits
+    /// already match.
     pub fn sync_group_bitmap(&self, group: usize, bitmap: WorkerBitmap) {
-        self.sel_maps[group].update(0, bitmap.0);
+        let map = &self.sel_maps[group];
+        if map.lookup_fast(0) != bitmap.0 {
+            map.update(0, bitmap.0);
+        }
     }
 
     /// Kernel-side dispatch: run the program; on fallback, hash within

@@ -56,10 +56,10 @@ pub mod program;
 pub mod verifier;
 pub mod vm;
 
-pub use analysis::{analyze, AnalysisCtx, AnalysisError, AnalysisReport};
+pub use analysis::{analyze, AnalysisCtx, AnalysisError, AnalysisReport, FdRange};
 pub use asm::{parse_listing, Assembler, ParseError};
 pub use compile::CompiledProgram;
-pub use group_program::GroupedReuseportGroup;
+pub use group_program::{GroupedOutcome, GroupedReuseportGroup};
 pub use insn::{Insn, Op, Reg};
 pub use maps::{ArrayMap, MapKind, MapRegistry, SockArrayMap};
 pub use program::{DispatchProgram, ReuseportGroup};

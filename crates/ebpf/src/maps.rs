@@ -8,7 +8,7 @@
 
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// `BPF_MAP_TYPE_ARRAY` with `u64` values: index-keyed, atomic per element.
 #[derive(Debug)]
@@ -151,11 +151,31 @@ impl std::fmt::Display for MapKind {
     }
 }
 
+/// The immutable post-freeze snapshot: a dense fd-indexed table plus the
+/// layout the abstract interpreter binds against. Published once through a
+/// `OnceLock`; every hot-path resolution after that is a plain slice index
+/// with no lock and no refcount traffic.
+#[derive(Debug)]
+struct Frozen {
+    table: Arc<[MapRef]>,
+    layout: Box<[(u32, MapKind, usize)]>,
+}
+
 /// Map registry: fd → map, as the kernel's fd table would resolve map
 /// references inside a loaded program.
+///
+/// Mirrors the kernel's lifecycle: maps are created (registered) first,
+/// then `BPF_PROG_LOAD` verifies programs against the fd table, after
+/// which the table is effectively immutable — map *contents* stay mutable
+/// and atomic, but no fds appear or disappear. [`freeze`](Self::freeze)
+/// marks that point: the registry publishes a dense `Arc<[MapRef]>`
+/// snapshot and all fd resolution becomes lock-free. The `RwLock` then
+/// guards only registration-time writes; registering after the freeze
+/// panics (it would invalidate loaded programs' resolved fds).
 #[derive(Debug, Default)]
 pub struct MapRegistry {
     maps: RwLock<Vec<MapRef>>,
+    frozen: OnceLock<Frozen>,
 }
 
 impl MapRegistry {
@@ -164,16 +184,58 @@ impl MapRegistry {
         Self::default()
     }
 
-    /// Register a map, returning its fd.
+    /// Register a map, returning its fd. Panics once the registry is
+    /// frozen — all maps must exist before programs load against them.
     pub fn register(&self, map: MapRef) -> u32 {
+        assert!(
+            self.frozen.get().is_none(),
+            "map registry is frozen: register all maps before program load"
+        );
         let mut maps = self.maps.write();
         maps.push(map);
         (maps.len() - 1) as u32
     }
 
-    /// Resolve an fd.
+    /// Freeze the fd table into its immutable snapshot. Idempotent; called
+    /// implicitly by [`layout`](Self::layout) (program-load time) and by
+    /// the first frozen-table resolution.
+    pub fn freeze(&self) {
+        self.frozen.get_or_init(|| {
+            let maps = self.maps.read();
+            let layout = maps
+                .iter()
+                .enumerate()
+                .map(|(fd, m)| match m {
+                    MapRef::Array(a) => (fd as u32, MapKind::Array, a.len()),
+                    MapRef::SockArray(s) => (fd as u32, MapKind::SockArray, s.len()),
+                })
+                .collect();
+            Frozen {
+                table: maps.as_slice().into(),
+                layout,
+            }
+        });
+    }
+
+    /// True once the fd table has been frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.get().is_some()
+    }
+
+    /// The frozen dense fd table, freezing on first use. Indexing this
+    /// slice is the lock-free hot path compiled bank steps run on.
+    pub fn frozen_table(&self) -> &Arc<[MapRef]> {
+        self.freeze();
+        &self.frozen.get().expect("frozen by freeze()").table
+    }
+
+    /// Resolve an fd: lock-free against the frozen table once frozen,
+    /// via the registration lock before that.
     pub fn get(&self, fd: u32) -> Option<MapRef> {
-        self.maps.read().get(fd as usize).cloned()
+        match self.frozen.get() {
+            Some(f) => f.table.get(fd as usize).cloned(),
+            None => self.maps.read().get(fd as usize).cloned(),
+        }
     }
 
     /// Resolve an fd expecting an array map.
@@ -192,20 +254,15 @@ impl MapRegistry {
         }
     }
 
-    /// Snapshot `(fd, kind, size)` for every registered map — the layout
-    /// the abstract interpreter binds program analysis against. Sizes are
-    /// fixed at map creation (as in the kernel), so the snapshot stays
-    /// valid for the registry's lifetime.
-    pub fn layout(&self) -> Vec<(u32, MapKind, usize)> {
-        self.maps
-            .read()
-            .iter()
-            .enumerate()
-            .map(|(fd, m)| match m {
-                MapRef::Array(a) => (fd as u32, MapKind::Array, a.len()),
-                MapRef::SockArray(s) => (fd as u32, MapKind::SockArray, s.len()),
-            })
-            .collect()
+    /// `(fd, kind, size)` for every registered map — the layout the
+    /// abstract interpreter binds program analysis against. Computed once
+    /// at freeze time (program load implies the fd table is final, as with
+    /// `BPF_PROG_LOAD`) and returned as a cached slice thereafter; sizes
+    /// are fixed at map creation, so the snapshot stays valid for the
+    /// registry's lifetime.
+    pub fn layout(&self) -> &[(u32, MapKind, usize)] {
+        self.freeze();
+        &self.frozen.get().expect("frozen by freeze()").layout
     }
 }
 
@@ -281,5 +338,38 @@ mod tests {
     #[should_panic(expected = "at least one element")]
     fn empty_array_map_rejected() {
         ArrayMap::new(0);
+    }
+
+    #[test]
+    fn freeze_publishes_lock_free_snapshot() {
+        let reg = MapRegistry::new();
+        let a_fd = reg.register(MapRef::Array(Arc::new(ArrayMap::new(2))));
+        let s_fd = reg.register(MapRef::SockArray(Arc::new(SockArrayMap::new(3))));
+        assert!(!reg.is_frozen());
+        // layout() freezes implicitly and the cached slice is stable.
+        let layout = reg.layout();
+        assert!(reg.is_frozen());
+        assert_eq!(
+            layout,
+            &[(0, MapKind::Array, 2), (1, MapKind::SockArray, 3)]
+        );
+        assert_eq!(layout.as_ptr(), reg.layout().as_ptr());
+        // Resolution still works, now against the frozen table.
+        assert!(reg.array(a_fd).is_some());
+        assert!(reg.sockarray(s_fd).is_some());
+        assert!(reg.get(9).is_none());
+        assert_eq!(reg.frozen_table().len(), 2);
+        // freeze() is idempotent.
+        reg.freeze();
+        assert_eq!(reg.frozen_table().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn register_after_freeze_panics() {
+        let reg = MapRegistry::new();
+        reg.register(MapRef::Array(Arc::new(ArrayMap::new(1))));
+        reg.freeze();
+        reg.register(MapRef::Array(Arc::new(ArrayMap::new(1))));
     }
 }

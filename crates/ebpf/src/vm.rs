@@ -267,7 +267,7 @@ impl Vm {
         let report = analyze(&prog, ctx)?;
         let clean = report.is_clean();
         let fast = clean.then(|| lower(&prog));
-        let compiled = clean.then(|| CompiledProgram::compile(&prog, ctx));
+        let compiled = clean.then(|| CompiledProgram::compile(&prog, ctx, &report));
         let vm = Self {
             prog,
             fast,

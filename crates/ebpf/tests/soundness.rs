@@ -368,6 +368,18 @@ proptest! {
     fn dispatch_program_tiers_match_checked(bits: u64, hash: u32, workers in 1usize..=64) {
         check_dispatch_tiers(bits, hash, workers);
     }
+
+    /// The grouped (bounded-dynamic-fd) program under the fuzz harness:
+    /// every tier, the batched path, and the native two-level oracle agree
+    /// for random group shapes, bitmaps, and hashes.
+    #[test]
+    fn grouped_dispatch_matches_native_oracle(
+        bitmaps in prop::collection::vec(any::<u64>(), 1..6),
+        hashes in prop::collection::vec(any::<u32>(), 1..8),
+        group_size in 1usize..=64,
+    ) {
+        check_grouped_dispatch(bitmaps.len(), group_size, &bitmaps, &hashes);
+    }
 }
 
 /// Oracle shared by the proptest above and the deterministic sweep below:
@@ -447,4 +459,122 @@ fn dispatch_programs_are_tier_identical() {
     vm.run_batch(&hashes, grouped.registry(), 0, &mut batch)
         .unwrap();
     assert_eq!(batch, singles);
+}
+
+/// Grouped-dispatch differential oracle. Loads `bitmaps[g]` into group
+/// `g`'s selection map on both planes, then asserts for every hash:
+///
+/// * the checked interpreter, the unchecked fast path, and the compiled
+///   (pre-resolved bank) tier return byte-identical `ExecResult`s;
+/// * `run_batch` over the compiled tier equals the single-shot runs;
+/// * the bytecode decision (group, local worker, directed flag, global
+///   flattening) equals the native [`GroupedConnDispatcher`] — the §7
+///   two-level composition the scheduler side publishes into — for both
+///   its single-shot and batched paths.
+fn check_grouped_dispatch(groups: usize, group_size: usize, bitmaps: &[u64], hashes: &[u32]) {
+    use hermes_core::{GroupedConnDispatcher, SelMap, WorkerBitmap};
+    use hermes_ebpf::GroupedReuseportGroup;
+    assert_eq!(bitmaps.len(), groups);
+    let g = GroupedReuseportGroup::new(groups, group_size);
+    let sel_maps: Vec<Arc<SelMap>> = bitmaps
+        .iter()
+        .map(|&b| {
+            let s = SelMap::new();
+            s.store(WorkerBitmap(b));
+            Arc::new(s)
+        })
+        .collect();
+    let oracle = GroupedConnDispatcher::new(sel_maps, &vec![group_size; groups], group_size);
+    for (i, &b) in bitmaps.iter().enumerate() {
+        g.sync_group_bitmap(i, WorkerBitmap(b));
+    }
+    let vm = g.vm();
+    assert_eq!(
+        vm.tier(),
+        ExecTier::Compiled,
+        "grouped program lost its tier"
+    );
+    let mut singles = Vec::with_capacity(hashes.len());
+    for &h in hashes {
+        let c = vm
+            .run_tier(ExecTier::Checked, h, g.registry(), 0)
+            .expect("interpreted grouped run trapped");
+        for tier in [ExecTier::Fast, ExecTier::Compiled] {
+            let r = vm.run_tier(tier, h, g.registry(), 0).unwrap();
+            assert_eq!(r, c, "grouped {tier} diverged on hash {h:#x}");
+        }
+        let got = g.dispatch(h);
+        let want = oracle.dispatch(h);
+        assert_eq!(got.group, want.group, "level-1 group diverged on {h:#x}");
+        assert_eq!(
+            got.local,
+            want.outcome.worker(),
+            "level-2 worker diverged on {h:#x}"
+        );
+        assert_eq!(
+            got.directed,
+            want.is_directed(),
+            "directed flag diverged on {h:#x}"
+        );
+        assert_eq!(
+            got.global(group_size),
+            want.global,
+            "global flattening diverged on {h:#x}"
+        );
+        singles.push(c);
+    }
+    let mut batch = Vec::new();
+    vm.run_batch(hashes, g.registry(), 0, &mut batch)
+        .expect("batched grouped run trapped");
+    assert_eq!(batch, singles, "run_batch diverged from single-shot runs");
+    let mut ebpf_outs = Vec::new();
+    g.dispatch_batch(hashes, &mut ebpf_outs);
+    let mut native_outs = Vec::new();
+    oracle.dispatch_batch(hashes, &mut native_outs);
+    assert_eq!(ebpf_outs.len(), native_outs.len());
+    for ((&h, e), n) in hashes.iter().zip(&ebpf_outs).zip(&native_outs) {
+        assert_eq!(e.group, n.group, "batched group diverged on {h:#x}");
+        assert_eq!(
+            e.local,
+            n.outcome.worker(),
+            "batched worker diverged on {h:#x}"
+        );
+        assert_eq!(
+            e.directed,
+            n.is_directed(),
+            "batched directed flag diverged on {h:#x}"
+        );
+    }
+}
+
+/// Deterministic LCG sweep of the grouped differential: shapes from the
+/// degenerate single group through the 256-worker scale point (4×64),
+/// bitmaps and hashes randomized per round.
+#[test]
+fn grouped_dispatch_differential_sweep() {
+    let mut state = 0x0DDB_1A5E_5BAD_5EEDu64;
+    let mut lcg = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for (groups, size) in [
+        (1usize, 1usize),
+        (1, 64),
+        (2, 32),
+        (3, 5),
+        (4, 16),
+        (4, 64),
+        (8, 8),
+    ] {
+        for _ in 0..6 {
+            let bitmaps: Vec<u64> = (0..groups).map(|_| lcg()).collect();
+            let hashes: Vec<u32> = (0..24).map(|_| lcg() as u32).collect();
+            check_grouped_dispatch(groups, size, &bitmaps, &hashes);
+        }
+        // Degenerate bitmaps: all-empty (pure fallback) and all-full.
+        check_grouped_dispatch(groups, size, &vec![0u64; groups], &[0, 1, u32::MAX]);
+        check_grouped_dispatch(groups, size, &vec![u64::MAX; groups], &[0, 1, u32::MAX]);
+    }
 }

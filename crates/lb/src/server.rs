@@ -18,7 +18,7 @@ use hermes_core::sched::SchedConfig;
 use hermes_core::sdk::{SyncTarget, WorkerSession};
 use hermes_core::wst::Wst;
 use hermes_core::FlowKey;
-use hermes_ebpf::{ExecTier, ReuseportGroup};
+use hermes_ebpf::{ExecTier, GroupedReuseportGroup, ReuseportGroup};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,6 +31,19 @@ struct GroupSync(Arc<ReuseportGroup>);
 impl SyncTarget for GroupSync {
     fn sync(&self, bitmap: hermes_core::WorkerBitmap) {
         self.0.sync_bitmap(bitmap);
+    }
+}
+
+/// Sync target for one shard of a sharded deployment: publishes into that
+/// group's selection map (redundant stores elided inside the grouped map).
+struct ShardSync {
+    group: Arc<GroupedReuseportGroup>,
+    index: usize,
+}
+
+impl SyncTarget for ShardSync {
+    fn sync(&self, bitmap: hermes_core::WorkerBitmap) {
+        self.group.sync_group_bitmap(self.index, bitmap);
     }
 }
 
@@ -96,7 +109,7 @@ impl TcpLb {
             let shutdown = Arc::clone(&shutdown);
             let proxy = proxy.for_worker(id);
             handles.push(std::thread::spawn(move || {
-                worker_loop(id, rx, session, proxy, stats, shutdown)
+                worker_loop(id, id as u32, rx, session, proxy, stats, shutdown)
             }));
         }
 
@@ -105,6 +118,88 @@ impl TcpLb {
             let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
                 accept_loop(listener, senders, group, stats, shutdown);
+            })
+        };
+
+        Ok(TcpLb {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: handles,
+            stats,
+        })
+    }
+
+    /// Bind `addr` and serve `groups * group_size` workers sharded into
+    /// per-group Worker Status Tables with the two-level (§7) dispatch
+    /// program in front — the >64-worker deployment shape.
+    ///
+    /// Each shard runs its own scheduler instances over its own WST and
+    /// publishes into its own selection map; the acceptor runs the grouped
+    /// program once per accept burst. Worker threads keep group-local ids
+    /// (the WST is per group) while stats and proxies index the flattened
+    /// global id.
+    pub fn start_sharded(
+        addr: impl ToSocketAddrs,
+        groups: usize,
+        group_size: usize,
+        proxy: Proxy,
+    ) -> std::io::Result<TcpLb> {
+        assert!((1..=64).contains(&groups), "1..=64 groups");
+        assert!((1..=64).contains(&group_size), "1..=64 workers per group");
+        let workers = groups * group_size;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(LbStats {
+            accepted: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            ..LbStats::default()
+        });
+        let group = Arc::new(GroupedReuseportGroup::new(groups, group_size));
+        // Serve only on the lock-free compiled tier: the analysis must have
+        // proven every run-time map fd bounded to a registered bank, so the
+        // per-connection path touches no registry lock.
+        assert_eq!(
+            group.tier(),
+            ExecTier::Compiled,
+            "grouped dispatch program failed static verification:\n{}",
+            group.analysis().render(group.program())
+        );
+
+        let wsts: Vec<Arc<Wst>> = (0..groups)
+            .map(|_| Arc::new(Wst::new(group_size)))
+            .collect();
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for global in 0..workers {
+            let (g, local) = (global / group_size, global % group_size);
+            let (tx, rx) = bounded::<TcpStream>(1024);
+            senders.push(tx);
+            let session = WorkerSession::new(
+                Arc::clone(&wsts[g]),
+                local,
+                SchedConfig::default(),
+                Arc::new(ShardSync {
+                    group: Arc::clone(&group),
+                    index: g,
+                }),
+            )
+            .with_trace_lane(hermes_trace::grouped_lane(g, group_size, local));
+            let lane = hermes_trace::grouped_lane(g, group_size, local);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let proxy = proxy.for_worker(global);
+            handles.push(std::thread::spawn(move || {
+                worker_loop(global, lane, rx, session, proxy, stats, shutdown)
+            }));
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                accept_loop_sharded(listener, senders, group, stats, shutdown);
             })
         };
 
@@ -215,6 +310,73 @@ fn accept_loop(
     }
 }
 
+/// The sharded "kernel": identical burst shape to [`accept_loop`], but the
+/// two-level program picks group then worker, and each decision is recorded
+/// as a `GroupDispatch` flight-recorder event.
+fn accept_loop_sharded(
+    listener: TcpListener,
+    senders: Vec<Sender<TcpStream>>,
+    group: Arc<GroupedReuseportGroup>,
+    stats: Arc<LbStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let local = listener.local_addr().expect("bound");
+    let epoch = std::time::Instant::now();
+    let group_size = group.group_size();
+    let mut pending: Vec<TcpStream> = Vec::with_capacity(ACCEPT_BURST);
+    let mut hashes: Vec<u32> = Vec::with_capacity(ACCEPT_BURST);
+    let mut outcomes: Vec<hermes_ebpf::GroupedOutcome> = Vec::with_capacity(ACCEPT_BURST);
+    while !shutdown.load(Ordering::SeqCst) {
+        pending.clear();
+        hashes.clear();
+        while pending.len() < ACCEPT_BURST {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    hashes.push(flow_hash(&peer, &local));
+                    pending.push(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => return,
+            }
+        }
+        if pending.is_empty() {
+            std::thread::sleep(Duration::from_micros(500));
+            continue;
+        }
+        outcomes.clear();
+        group.dispatch_batch(&hashes, &mut outcomes);
+        let now = epoch.elapsed().as_nanos() as u64;
+        hermes_trace::trace_event!(
+            now,
+            hermes_trace::EventKind::AcceptBurst,
+            hermes_trace::KERNEL_LANE,
+            pending.len(),
+            outcomes.iter().filter(|o| o.directed).count()
+        );
+        hermes_trace::trace_count!(hermes_trace::CounterId::AcceptBursts);
+        hermes_trace::trace_count!(hermes_trace::CounterId::AcceptedConns, pending.len());
+        hermes_trace::trace_count!(hermes_trace::CounterId::GroupDispatches, pending.len());
+        for ((stream, out), &hash) in pending.drain(..).zip(&outcomes).zip(&hashes) {
+            let worker = out.global(group_size);
+            if out.directed {
+                stats.directed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                stats.fallback.fetch_add(1, Ordering::Relaxed);
+            }
+            hermes_trace::trace_event!(
+                now,
+                hermes_trace::EventKind::GroupDispatch,
+                hermes_trace::KERNEL_LANE,
+                hash,
+                ((out.group as u64) << 32) | worker as u64
+            );
+            if senders[worker].send(stream).is_err() {
+                return; // workers gone: shutting down
+            }
+        }
+    }
+}
+
 /// The kernel-precomputed 4-tuple hash, from the socket addresses.
 fn flow_hash(peer: &SocketAddr, local: &SocketAddr) -> u32 {
     let ip_bits = |a: &SocketAddr| match a.ip() {
@@ -227,11 +389,14 @@ fn flow_hash(peer: &SocketAddr, local: &SocketAddr) -> u32 {
     FlowKey::new(ip_bits(peer), peer.port(), ip_bits(local), local.port()).hash()
 }
 
-/// One worker: Fig. 9's loop over a socket channel.
-fn worker_loop(
+/// One worker: Fig. 9's loop over a socket channel. `id` indexes stats
+/// (global worker id); `lane` is the flight-recorder lane (equal to `id`
+/// flat, `grouped_lane(..)` sharded).
+fn worker_loop<T: SyncTarget>(
     id: usize,
+    lane: u32,
     rx: Receiver<TcpStream>,
-    mut session: WorkerSession<GroupSync>,
+    mut session: WorkerSession<T>,
     mut proxy: Proxy,
     stats: Arc<LbStats>,
     shutdown: Arc<AtomicBool>,
@@ -248,7 +413,7 @@ fn worker_loop(
                 hermes_trace::trace_event!(
                     now_ns(),
                     hermes_trace::EventKind::ConnOpen,
-                    id,
+                    lane,
                     stats.accepted[id].load(Ordering::Relaxed),
                     0u64
                 );
@@ -258,7 +423,7 @@ fn worker_loop(
                 hermes_trace::trace_event!(
                     now_ns(),
                     hermes_trace::EventKind::ConnClose,
-                    id,
+                    lane,
                     stats.requests.load(Ordering::Relaxed),
                     0u64
                 );
@@ -389,6 +554,40 @@ mod tests {
             *accepted.iter().max().unwrap() < 32,
             "one worker took all: {accepted:?}"
         );
+    }
+
+    #[test]
+    fn sharded_lb_serves_and_spreads_across_groups() {
+        // 2 groups × 2 workers: small enough for the test host, but every
+        // sharded code path (per-group WSTs, grouped program, global
+        // flattening) is exercised.
+        let lb = TcpLb::start_sharded("127.0.0.1:0", 2, 2, demo_proxy()).expect("bind");
+        let addr = lb.local_addr();
+        std::thread::sleep(Duration::from_millis(15)); // first bitmaps
+        for i in 0..24 {
+            let resp = http_get(addr, &format!("/api/s{i}"));
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        }
+        let stats = Arc::clone(lb.stats());
+        lb.shutdown();
+        let accepted: Vec<u64> = stats
+            .accepted
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(accepted.len(), 4, "stats indexed by global worker id");
+        assert_eq!(accepted.iter().sum::<u64>(), 24);
+        assert_eq!(stats.requests.load(Ordering::Relaxed), 24);
+        assert!(
+            *accepted.iter().max().unwrap() < 24,
+            "one worker took all: {accepted:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 groups")]
+    fn sharded_lb_rejects_zero_groups() {
+        let _ = TcpLb::start_sharded("127.0.0.1:0", 0, 4, demo_proxy());
     }
 
     #[test]

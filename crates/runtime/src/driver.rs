@@ -5,12 +5,13 @@ use crate::clock::Clock;
 use crate::report::{ComponentOverhead, RuntimeReport};
 use crate::worker::{run_worker, Task, WorkerCtx, WorkerOutput};
 use crossbeam::channel::{unbounded, Sender};
-use hermes_core::dispatch::{ConnDispatcher, DispatchOutcome};
+use hermes_core::dispatch::ConnDispatcher;
+use hermes_core::group::GroupedConnDispatcher;
 use hermes_core::sched::SchedConfig;
 use hermes_core::sdk::WorkerSession;
 use hermes_core::selmap::SelMap;
 use hermes_core::wst::Wst;
-use hermes_ebpf::{ExecTier, ReuseportGroup};
+use hermes_ebpf::{ExecTier, GroupedReuseportGroup, ReuseportGroup};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,6 +33,12 @@ pub struct RuntimeConfig {
     /// dispatch, which is exactly what Table 5's dispatcher column wants
     /// to see.
     pub use_ebpf: bool,
+    /// Shard workers into this many two-level dispatch groups (§7). `None`
+    /// keeps the flat single-bitmap path. With `Some(g)`, `workers` must
+    /// divide evenly into `g` groups of at most 64, each with its own WST,
+    /// selection map, and per-worker scheduler; dispatch picks the group by
+    /// flow hash (level 1) then rank-selects within it (level 2).
+    pub groups: Option<usize>,
 }
 
 impl RuntimeConfig {
@@ -43,6 +50,15 @@ impl RuntimeConfig {
             max_events: hermes_core::DISPATCH_BATCH,
             sched: SchedConfig::default(),
             use_ebpf: true,
+            groups: None,
+        }
+    }
+
+    /// Defaults for `workers` workers sharded into `groups` groups.
+    pub fn grouped(workers: usize, groups: usize) -> Self {
+        Self {
+            groups: Some(groups),
+            ..Self::new(workers)
         }
     }
 }
@@ -65,17 +81,42 @@ enum Kernel {
         sel: Arc<SelMap>,
         dispatcher: ConnDispatcher,
     },
+    /// §7 two-level dispatch through the compiled grouped bytecode.
+    GroupedEbpf(GroupedReuseportGroup),
+    /// §7 two-level dispatch through the native grouped oracle.
+    GroupedNative(GroupedConnDispatcher),
 }
 
 /// SDK sync target routing bitmap publishes to whichever kernel backs
-/// this runtime.
+/// this runtime (flat kernels).
 struct KernelSync(Arc<Kernel>);
 
 impl hermes_core::sdk::SyncTarget for KernelSync {
     fn sync(&self, bitmap: hermes_core::WorkerBitmap) {
         match &*self.0 {
             Kernel::Ebpf(g) => g.sync_bitmap(bitmap),
-            Kernel::Native { sel, .. } => sel.store(bitmap),
+            Kernel::Native { sel, .. } => {
+                sel.store_if_changed(bitmap);
+            }
+            _ => unreachable!("flat sync target on a grouped kernel"),
+        }
+    }
+}
+
+/// SDK sync target publishing one group's bitmap to a grouped kernel.
+struct GroupKernelSync {
+    kernel: Arc<Kernel>,
+    group: usize,
+}
+
+impl hermes_core::sdk::SyncTarget for GroupKernelSync {
+    fn sync(&self, bitmap: hermes_core::WorkerBitmap) {
+        match &*self.kernel {
+            Kernel::GroupedEbpf(g) => g.sync_group_bitmap(self.group, bitmap),
+            Kernel::GroupedNative(d) => {
+                d.sel(self.group).store_if_changed(bitmap);
+            }
+            _ => unreachable!("grouped sync target on a flat kernel"),
         }
     }
 }
@@ -88,14 +129,33 @@ pub struct LbRuntime {
     clock: Clock,
     started: Instant,
     workers: usize,
+    /// Flattening stride for grouped kernels (`workers` when flat).
+    group_size: usize,
     dispatcher_ns: Arc<AtomicU64>,
     directed: u64,
     fallback: u64,
 }
 
+/// One dispatch decision, normalized across kernels: whether the bitmap
+/// directed it, which group it landed in (grouped kernels), and the global
+/// worker id.
+#[derive(Clone, Copy)]
+struct Decision {
+    directed: bool,
+    group: Option<usize>,
+    worker: usize,
+}
+
 impl LbRuntime {
     /// Spawn workers and return a handle for submitting traffic.
     pub fn start(config: RuntimeConfig) -> Self {
+        match config.groups {
+            None => Self::start_flat(config),
+            Some(groups) => Self::start_grouped(config, groups),
+        }
+    }
+
+    fn start_flat(config: RuntimeConfig) -> Self {
         assert!(
             (1..=64).contains(&config.workers),
             "1..=64 workers per runtime"
@@ -150,36 +210,151 @@ impl LbRuntime {
             clock,
             started: Instant::now(),
             workers: config.workers,
+            group_size: config.workers,
             dispatcher_ns: Arc::new(AtomicU64::new(0)),
             directed: 0,
             fallback: 0,
         }
     }
 
-    /// Kernel-side dispatch of one connection; returns the chosen worker.
-    fn dispatch(&mut self, flow_hash: u32) -> usize {
+    /// §7 sharded runtime: `groups` groups of `workers / groups` workers,
+    /// each with its own WST and selection map. Every worker runs its own
+    /// scheduler instance over *its group's* table only, so scheduling cost
+    /// stays O(group) as the deployment scales past 64 workers.
+    fn start_grouped(config: RuntimeConfig, groups: usize) -> Self {
+        assert!(groups >= 1, "need at least one group");
+        assert_eq!(
+            config.workers % groups,
+            0,
+            "workers must divide evenly into groups"
+        );
+        let group_size = config.workers / groups;
+        assert!(
+            (1..=64).contains(&group_size),
+            "1..=64 workers per group (got {group_size})"
+        );
+        let clock = Clock::new();
+        let kernel = Arc::new(if config.use_ebpf {
+            let group = GroupedReuseportGroup::new(groups, group_size);
+            // The grouped program must reach the compiled tier with every
+            // helper pre-resolved: no registry lock on the per-SYN path.
+            assert_eq!(
+                group.tier(),
+                ExecTier::Compiled,
+                "grouped dispatch program failed verification:\n{}",
+                group.analysis().render(group.program())
+            );
+            assert_eq!(
+                group
+                    .vm()
+                    .compiled()
+                    .expect("compiled tier present")
+                    .dyn_helper_calls(),
+                0,
+                "grouped dispatch must be lock-free (pre-resolved map banks)"
+            );
+            Kernel::GroupedEbpf(group)
+        } else {
+            let sel_maps: Vec<Arc<SelMap>> = (0..groups).map(|_| Arc::new(SelMap::new())).collect();
+            Kernel::GroupedNative(GroupedConnDispatcher::new(
+                sel_maps,
+                &vec![group_size; groups],
+                group_size,
+            ))
+        });
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for g in 0..groups {
+            let wst = Arc::new(Wst::new(group_size));
+            for local in 0..group_size {
+                let (tx, rx) = unbounded();
+                senders.push(tx);
+                let session = WorkerSession::new(
+                    Arc::clone(&wst),
+                    local,
+                    config.sched.clone(),
+                    Arc::new(GroupKernelSync {
+                        kernel: Arc::clone(&kernel),
+                        group: g,
+                    }),
+                )
+                .with_trace_lane(hermes_trace::grouped_lane(g, group_size, local));
+                let epoll_timeout = config.epoll_timeout;
+                let max_events = config.max_events;
+                handles.push(std::thread::spawn(move || {
+                    run_worker(WorkerCtx {
+                        rx,
+                        session,
+                        clock,
+                        epoll_timeout,
+                        max_events,
+                    })
+                }));
+            }
+        }
+        Self {
+            kernel,
+            senders,
+            handles,
+            clock,
+            started: Instant::now(),
+            workers: config.workers,
+            group_size,
+            dispatcher_ns: Arc::new(AtomicU64::new(0)),
+            directed: 0,
+            fallback: 0,
+        }
+    }
+
+    /// Kernel-side dispatch of one connection (tallied).
+    fn dispatch(&mut self, flow_hash: u32) -> Decision {
         let t = Instant::now();
-        let out = match &*self.kernel {
-            Kernel::Ebpf(g) => g.dispatch(flow_hash),
-            Kernel::Native { sel, dispatcher } => dispatcher.dispatch(sel.load(), flow_hash),
+        let decision = match &*self.kernel {
+            Kernel::Ebpf(g) => {
+                let out = g.dispatch(flow_hash);
+                Decision {
+                    directed: out.is_directed(),
+                    group: None,
+                    worker: out.worker(),
+                }
+            }
+            Kernel::Native { sel, dispatcher } => {
+                let out = dispatcher.dispatch(sel.load(), flow_hash);
+                Decision {
+                    directed: out.is_directed(),
+                    group: None,
+                    worker: out.worker(),
+                }
+            }
+            Kernel::GroupedEbpf(g) => {
+                let out = g.dispatch(flow_hash);
+                Decision {
+                    directed: out.directed,
+                    group: Some(out.group),
+                    worker: out.global(self.group_size),
+                }
+            }
+            Kernel::GroupedNative(d) => {
+                let out = d.dispatch(flow_hash);
+                Decision {
+                    directed: out.is_directed(),
+                    group: Some(out.group),
+                    worker: out.global,
+                }
+            }
         };
         self.dispatcher_ns
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.tally(out)
+        self.tally(decision);
+        decision
     }
 
-    /// Record a dispatch decision in the directed/fallback tallies and
-    /// return the chosen worker.
-    fn tally(&mut self, out: DispatchOutcome) -> usize {
-        match out {
-            DispatchOutcome::Directed(w) => {
-                self.directed += 1;
-                w
-            }
-            DispatchOutcome::Fallback(w) => {
-                self.fallback += 1;
-                w
-            }
+    /// Record a dispatch decision in the directed/fallback tallies.
+    fn tally(&mut self, d: Decision) {
+        if d.directed {
+            self.directed += 1;
+        } else {
+            self.fallback += 1;
         }
     }
 
@@ -199,19 +374,35 @@ impl LbRuntime {
         tx.send(Task::Close).expect("worker alive");
     }
 
+    /// Flight-recorder hook for one dispatch decision: flat kernels emit
+    /// `Dispatch`, grouped kernels emit `GroupDispatch` with the group in
+    /// the payload's high word so traces break out per group.
+    fn dispatch_trace(&self, flow_hash: u32, d: Decision) {
+        match d.group {
+            None => hermes_trace::trace_event!(
+                self.clock.now_ns(),
+                hermes_trace::EventKind::Dispatch,
+                hermes_trace::KERNEL_LANE,
+                flow_hash,
+                d.worker
+            ),
+            Some(g) => hermes_trace::trace_event!(
+                self.clock.now_ns(),
+                hermes_trace::EventKind::GroupDispatch,
+                hermes_trace::KERNEL_LANE,
+                flow_hash,
+                ((g as u64) << 32) | d.worker as u64
+            ),
+        }
+    }
+
     /// Submit one connection: dispatch, deliver accept + requests + close.
     /// Returns the worker the kernel selected.
     pub fn submit(&mut self, script: ConnectionScript) -> usize {
-        let w = self.dispatch(script.flow_hash);
-        hermes_trace::trace_event!(
-            self.clock.now_ns(),
-            hermes_trace::EventKind::Dispatch,
-            hermes_trace::KERNEL_LANE,
-            script.flow_hash,
-            w
-        );
-        self.deliver(w, &script);
-        w
+        let d = self.dispatch(script.flow_hash);
+        self.dispatch_trace(script.flow_hash, d);
+        self.deliver(d.worker, &script);
+        d.worker
     }
 
     /// Submit an arrival burst through one batched kernel dispatch: the
@@ -223,12 +414,44 @@ impl LbRuntime {
     /// delivered in submission order. Returns the chosen worker per script.
     pub fn submit_batch(&mut self, scripts: &[ConnectionScript]) -> Vec<usize> {
         let hashes: Vec<u32> = scripts.iter().map(|s| s.flow_hash).collect();
-        let mut outcomes = Vec::with_capacity(scripts.len());
+        let mut decisions: Vec<Decision> = Vec::with_capacity(scripts.len());
         let t = Instant::now();
         match &*self.kernel {
-            Kernel::Ebpf(g) => g.dispatch_batch(&hashes, &mut outcomes),
+            Kernel::Ebpf(g) => {
+                let mut outcomes = Vec::with_capacity(hashes.len());
+                g.dispatch_batch(&hashes, &mut outcomes);
+                decisions.extend(outcomes.into_iter().map(|o| Decision {
+                    directed: o.is_directed(),
+                    group: None,
+                    worker: o.worker(),
+                }));
+            }
             Kernel::Native { sel, dispatcher } => {
-                dispatcher.dispatch_batch(sel.load(), &hashes, &mut outcomes)
+                let mut outcomes = Vec::with_capacity(hashes.len());
+                dispatcher.dispatch_batch(sel.load(), &hashes, &mut outcomes);
+                decisions.extend(outcomes.into_iter().map(|o| Decision {
+                    directed: o.is_directed(),
+                    group: None,
+                    worker: o.worker(),
+                }));
+            }
+            Kernel::GroupedEbpf(g) => {
+                let mut outcomes = Vec::with_capacity(hashes.len());
+                g.dispatch_batch(&hashes, &mut outcomes);
+                decisions.extend(outcomes.into_iter().map(|o| Decision {
+                    directed: o.directed,
+                    group: Some(o.group),
+                    worker: o.global(self.group_size),
+                }));
+            }
+            Kernel::GroupedNative(d) => {
+                let mut outcomes = Vec::with_capacity(hashes.len());
+                d.dispatch_batch(&hashes, &mut outcomes);
+                decisions.extend(outcomes.into_iter().map(|o| Decision {
+                    directed: o.is_directed(),
+                    group: Some(o.group),
+                    worker: o.global,
+                }));
             }
         }
         self.dispatcher_ns
@@ -238,13 +461,19 @@ impl LbRuntime {
             hermes_trace::EventKind::DispatchBatch,
             hermes_trace::KERNEL_LANE,
             hashes.len(),
-            outcomes.iter().filter(|o| o.is_directed()).count()
+            decisions.iter().filter(|d| d.directed).count()
         );
         let mut workers = Vec::with_capacity(scripts.len());
-        for (script, out) in scripts.iter().zip(outcomes) {
-            let w = self.tally(out);
-            self.deliver(w, script);
-            workers.push(w);
+        for ((script, &hash), d) in scripts.iter().zip(&hashes).zip(decisions) {
+            self.tally(d);
+            // Grouped batches emit one GroupDispatch per decision so the
+            // trace summary can break dispatch out by group; flat batches
+            // keep their single DispatchBatch record, as before.
+            if d.group.is_some() {
+                self.dispatch_trace(hash, d);
+            }
+            self.deliver(d.worker, script);
+            workers.push(d.worker);
         }
         workers
     }
@@ -277,10 +506,13 @@ impl LbRuntime {
             pacer_missed_deadlines: 0,
             pacer_max_overshoot_ns: 0,
         };
-        for h in self.handles {
+        // Handles were spawned in global-worker order; a grouped worker's
+        // session id is group-local, so index by spawn order rather than
+        // the session's own id.
+        for (global, h) in self.handles.into_iter().enumerate() {
             let out = h.join().expect("worker panicked");
             report.completed_requests += out.completed;
-            report.accepted_per_worker[out.id] = out.accepted;
+            report.accepted_per_worker[global] = out.accepted;
             report.request_latency.merge(&out.request_latency);
             report.probe_latency.merge(&out.probe_latency);
             report.overhead.counter_ns += out.overhead.counter_ns;
@@ -467,6 +699,68 @@ mod tests {
         assert_eq!(batch_workers, single_workers);
         batched.shutdown();
         single.shutdown();
+    }
+
+    #[test]
+    fn grouped_runtime_completes_on_both_kernels() {
+        for use_ebpf in [false, true] {
+            let mut cfg = RuntimeConfig::grouped(4, 2);
+            cfg.use_ebpf = use_ebpf;
+            let mut rt = LbRuntime::start(cfg);
+            std::thread::sleep(Duration::from_millis(15));
+            let burst: Vec<ConnectionScript> = scripts(64, Duration::from_micros(10)).collect();
+            let workers = rt.submit_batch(&burst);
+            assert!(workers.iter().all(|&w| w < 4), "use_ebpf={use_ebpf}");
+            for s in scripts(32, Duration::from_micros(10)) {
+                let w = rt.submit(s);
+                assert!(w < 4, "use_ebpf={use_ebpf}");
+            }
+            let report = rt.shutdown();
+            assert_eq!(report.completed_requests, 96, "use_ebpf={use_ebpf}");
+            assert_eq!(report.accepted_per_worker.iter().sum::<u64>(), 96);
+            assert_eq!(
+                report.directed_dispatches + report.fallback_dispatches,
+                96,
+                "use_ebpf={use_ebpf}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_batch_matches_per_connection_decisions() {
+        // Zero-work scripts keep every bitmap stable, so a grouped batch
+        // must pick exactly what per-connection grouped dispatch picks —
+        // and the eBPF and native grouped kernels must agree with each
+        // other (same two-level decision procedure).
+        let burst: Vec<ConnectionScript> = (0..64u32)
+            .map(|i| ConnectionScript {
+                flow_hash: i.wrapping_mul(0x9E37_79B9).rotate_left(11) ^ 0xA5A5_5A5A,
+                requests: Vec::new(),
+                probe: false,
+            })
+            .collect();
+        let mut batched = LbRuntime::start(RuntimeConfig::grouped(4, 2));
+        let mut single = LbRuntime::start(RuntimeConfig::grouped(4, 2));
+        let mut native = {
+            let mut cfg = RuntimeConfig::grouped(4, 2);
+            cfg.use_ebpf = false;
+            LbRuntime::start(cfg)
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        let batch_workers = batched.submit_batch(&burst);
+        let single_workers: Vec<usize> = burst.iter().map(|s| single.submit(s.clone())).collect();
+        let native_workers = native.submit_batch(&burst);
+        assert_eq!(batch_workers, single_workers);
+        assert_eq!(batch_workers, native_workers);
+        batched.shutdown();
+        single.shutdown();
+        native.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn grouped_runtime_rejects_ragged_groups() {
+        LbRuntime::start(RuntimeConfig::grouped(7, 2));
     }
 
     #[test]

@@ -9,17 +9,36 @@
 use crate::config::Mode;
 use crate::metrics::SchedStats;
 use hermes_core::dispatch::{ConnDispatcher, DispatchOutcome};
+use hermes_core::group::{GroupBy, GroupScheduler};
 use hermes_core::sched::{SchedConfig, Scheduler};
 use hermes_core::selmap::SelMap;
+use hermes_core::status::WorkerStatus;
 use hermes_core::wst::{SnapshotCache, Wst};
-use hermes_core::FlowKey;
-use hermes_ebpf::{ExecTier, ReuseportGroup};
+use hermes_core::{FlowKey, GroupedConnDispatcher};
+use hermes_ebpf::{ExecTier, GroupedReuseportGroup, ReuseportGroup};
 use std::sync::Arc;
+
+/// Sharded (§7) dispatch-plane state: per-group WSTs, schedulers, and
+/// selection maps, with the two-level dispatcher (native or bytecode)
+/// in front. Constructed when `SimConfig::groups` is set.
+struct ShardedState {
+    /// Per-group WSTs + the shared per-group selection maps.
+    sched: GroupScheduler,
+    /// Native two-level burst dispatcher sharing the scheduler's maps.
+    dispatcher: GroupedConnDispatcher,
+    /// Bytecode twin (grouped program, compiled lock-free tier).
+    ebpf: Option<GroupedReuseportGroup>,
+    /// Reusable grouped-outcome buffers for batched dispatch.
+    native_buf: Vec<hermes_core::GroupedDispatch>,
+    ebpf_buf: Vec<hermes_ebpf::GroupedOutcome>,
+    group_size: usize,
+}
 
 /// Hermes state bundle: WST + scheduler + the kernel-side dispatch path
 /// (native oracle or verified bytecode — decision-identical, tested so).
 pub struct HermesState {
-    /// The shared worker status table.
+    /// The shared worker status table (flat deployments; sharded ones
+    /// route through [`worker`](Self::worker) to per-group tables).
     pub wst: Arc<Wst>,
     scheduler: Scheduler,
     /// Epoch-tagged snapshot buffer for the scheduler (no per-call
@@ -30,18 +49,48 @@ pub struct HermesState {
     /// Reusable outcome buffer for batched dispatch (no per-tick
     /// allocation).
     batch_buf: Vec<DispatchOutcome>,
+    /// §7 sharded plane (set when the sim runs with a `groups` knob).
+    sharded: Option<ShardedState>,
     /// Scheduler/dispatch statistics (Fig. 14).
     pub stats: SchedStats,
 }
 
 impl HermesState {
-    fn new(workers: usize, config: SchedConfig, use_ebpf: bool) -> Self {
+    fn new(workers: usize, config: SchedConfig, use_ebpf: bool, groups: Option<usize>) -> Self {
+        let sharded = groups.map(|g| {
+            assert!(
+                g >= 1 && workers.is_multiple_of(g),
+                "workers must divide evenly into groups"
+            );
+            let group_size = workers / g;
+            let sched = GroupScheduler::new(workers, group_size, GroupBy::FlowHash, config.clone());
+            let dispatcher = GroupedConnDispatcher::from_scheduler(&sched);
+            ShardedState {
+                sched,
+                dispatcher,
+                ebpf: use_ebpf.then(|| {
+                    let e = GroupedReuseportGroup::new(g, group_size);
+                    // The grouped program must reach the compiled tier with
+                    // every map fd pre-resolved (lock-free banks) before
+                    // the simulator trusts it.
+                    assert_eq!(
+                        e.tier(),
+                        ExecTier::Compiled,
+                        "grouped dispatch program failed verification"
+                    );
+                    e
+                }),
+                native_buf: Vec::new(),
+                ebpf_buf: Vec::new(),
+                group_size,
+            }
+        });
         Self {
             wst: Arc::new(Wst::new(workers)),
             scheduler: Scheduler::new(config),
             snap_cache: SnapshotCache::new(),
             native: (Arc::new(SelMap::new()), ConnDispatcher::new(workers)),
-            ebpf: use_ebpf.then(|| {
+            ebpf: (use_ebpf && sharded.is_none()).then(|| {
                 let g = ReuseportGroup::new(workers);
                 // The bytecode twin must be admitted by the static analysis
                 // with zero warnings — and therefore reach the compiled
@@ -54,38 +103,94 @@ impl HermesState {
                 g
             }),
             batch_buf: Vec::new(),
+            sharded,
             stats: SchedStats::default(),
         }
     }
 
-    /// `schedule_and_sync` (Algorithm 1): run the cascade and publish the
-    /// bitmap to the kernel-visible map.
-    pub fn schedule_and_sync(&mut self, now_ns: u64) {
-        let decision = self
-            .scheduler
-            .schedule_into(&self.wst, now_ns, &mut self.snap_cache);
-        self.native.0.store(decision.bitmap);
-        if let Some(g) = &self.ebpf {
-            g.sync_bitmap(decision.bitmap);
+    /// Workers-per-group stride, when the plane is sharded.
+    pub fn group_size(&self) -> Option<usize> {
+        self.sharded.as_ref().map(|s| s.group_size)
+    }
+
+    /// The group a global worker id belongs to (`None` when flat).
+    pub fn group_of(&self, worker: usize) -> Option<usize> {
+        self.sharded.as_ref().map(|s| worker / s.group_size)
+    }
+
+    /// Status cell for global worker `w` — the flat table, or the owning
+    /// group's table in a sharded plane.
+    pub fn worker(&self, w: usize) -> &WorkerStatus {
+        match &self.sharded {
+            Some(s) => s
+                .sched
+                .group(w / s.group_size)
+                .wst()
+                .worker(w % s.group_size),
+            None => self.wst.worker(w),
         }
+    }
+
+    /// `schedule_and_sync` (Algorithm 1) as run from worker `worker`'s
+    /// event loop: run the cascade and publish the bitmap to the
+    /// kernel-visible map. Sharded planes schedule only the calling
+    /// worker's group — each group's bitmap is maintained by its own
+    /// workers, exactly as §7 prescribes.
+    pub fn schedule_and_sync(&mut self, worker: usize, now_ns: u64) {
+        let decision = match &mut self.sharded {
+            Some(s) => {
+                let g = worker / s.group_size;
+                let decision = s.sched.schedule_group(g, now_ns);
+                if let Some(e) = &s.ebpf {
+                    e.sync_group_bitmap(g, decision.bitmap);
+                }
+                decision
+            }
+            None => {
+                let decision =
+                    self.scheduler
+                        .schedule_into(&self.wst, now_ns, &mut self.snap_cache);
+                // Redundant republishes are elided (and counted) just like
+                // the real runtime's sync path.
+                self.native.0.store_if_changed(decision.bitmap);
+                if let Some(g) = &self.ebpf {
+                    g.sync_bitmap(decision.bitmap);
+                }
+                decision
+            }
+        };
         self.stats.calls += 1;
         self.stats.selected_sum += u64::from(decision.bitmap.count());
         self.stats.alive_sum += u64::from(decision.alive.count());
     }
 
-    /// Kernel-side dispatch of one SYN (Algorithm 2).
-    pub fn dispatch(&mut self, flow: &FlowKey) -> usize {
-        let out = self.select(flow);
-        match out {
-            DispatchOutcome::Directed(w) => {
-                self.stats.directed_dispatches += 1;
-                w
+    /// Boot-time sync: publish an initial bitmap for every group (one
+    /// scheduler pass per group; a flat plane is one group).
+    pub fn schedule_boot(&mut self, now_ns: u64) {
+        match self
+            .sharded
+            .as_ref()
+            .map(|s| (s.sched.group_count(), s.group_size))
+        {
+            Some((count, size)) => {
+                for g in 0..count {
+                    self.schedule_and_sync(g * size, now_ns);
+                }
             }
-            DispatchOutcome::Fallback(w) => {
-                self.stats.fallback_dispatches += 1;
-                w
-            }
+            None => self.schedule_and_sync(0, now_ns),
         }
+    }
+
+    /// Kernel-side dispatch of one SYN (Algorithm 2; two-level when
+    /// sharded), returning the *global* worker id.
+    pub fn dispatch(&mut self, flow: &FlowKey) -> usize {
+        let (directed, w) = self.select(flow);
+        if directed {
+            self.stats.directed_dispatches += 1;
+        } else {
+            self.stats.fallback_dispatches += 1;
+        }
+        w
     }
 
     /// Kernel-side dispatch of a same-instant SYN burst through one
@@ -96,6 +201,36 @@ impl HermesState {
     /// carrying the same timestamp. Workers are appended to `out` in
     /// arrival order.
     pub fn dispatch_batch(&mut self, hashes: &[u32], out: &mut Vec<usize>) {
+        if let Some(s) = &mut self.sharded {
+            out.reserve(hashes.len());
+            match &s.ebpf {
+                Some(e) => {
+                    s.ebpf_buf.clear();
+                    e.dispatch_batch(hashes, &mut s.ebpf_buf);
+                    for o in &s.ebpf_buf {
+                        if o.directed {
+                            self.stats.directed_dispatches += 1;
+                        } else {
+                            self.stats.fallback_dispatches += 1;
+                        }
+                        out.push(o.global(s.group_size));
+                    }
+                }
+                None => {
+                    s.native_buf.clear();
+                    s.dispatcher.dispatch_batch(hashes, &mut s.native_buf);
+                    for o in &s.native_buf {
+                        if o.is_directed() {
+                            self.stats.directed_dispatches += 1;
+                        } else {
+                            self.stats.fallback_dispatches += 1;
+                        }
+                        out.push(o.global);
+                    }
+                }
+            }
+            return;
+        }
         self.batch_buf.clear();
         match &self.ebpf {
             Some(g) => g.dispatch_batch(hashes, &mut self.batch_buf),
@@ -123,14 +258,29 @@ impl HermesState {
     /// degradation re-homing (Appendix C), which is not a new connection
     /// and must not inflate the Fig. 14 counters.
     pub fn redirect(&self, flow: &FlowKey) -> usize {
-        self.select(flow).worker()
+        self.select(flow).1
     }
 
-    fn select(&self, flow: &FlowKey) -> DispatchOutcome {
-        match &self.ebpf {
+    /// `(directed, global_worker)` for one flow through whichever plane is
+    /// configured.
+    fn select(&self, flow: &FlowKey) -> (bool, usize) {
+        if let Some(s) = &self.sharded {
+            return match &s.ebpf {
+                Some(e) => {
+                    let o = e.dispatch(flow.hash());
+                    (o.directed, o.global(s.group_size))
+                }
+                None => {
+                    let o = s.dispatcher.dispatch(flow.hash());
+                    (o.is_directed(), o.global)
+                }
+            };
+        }
+        let out = match &self.ebpf {
             Some(g) => g.dispatch(flow.hash()),
             None => self.native.1.dispatch(self.native.0.load(), flow.hash()),
-        }
+        };
+        (out.is_directed(), out.worker())
     }
 }
 
@@ -174,8 +324,20 @@ pub enum WakeOrder {
 }
 
 impl Dispatcher {
-    /// Build the dispatcher for a mode.
+    /// Build the dispatcher for a mode (flat Hermes plane).
     pub fn new(mode: Mode, workers: usize, hermes: SchedConfig, use_ebpf: bool) -> Self {
+        Self::with_groups(mode, workers, hermes, use_ebpf, None)
+    }
+
+    /// Build the dispatcher for a mode, sharding the Hermes plane into
+    /// `groups` worker groups when set (non-Hermes modes ignore it).
+    pub fn with_groups(
+        mode: Mode,
+        workers: usize,
+        hermes: SchedConfig,
+        use_ebpf: bool,
+        groups: Option<usize>,
+    ) -> Self {
         match mode {
             Mode::ExclusiveLifo => Dispatcher::Shared {
                 order: WakeOrder::Lifo,
@@ -190,9 +352,9 @@ impl Dispatcher {
                 order: WakeOrder::Fifo,
             },
             Mode::Reuseport => Dispatcher::Reuseport { workers },
-            Mode::Hermes => {
-                Dispatcher::Hermes(Box::new(HermesState::new(workers, hermes, use_ebpf)))
-            }
+            Mode::Hermes => Dispatcher::Hermes(Box::new(HermesState::new(
+                workers, hermes, use_ebpf, groups,
+            ))),
             Mode::UserspaceDispatcher => Dispatcher::Userspace,
         }
     }
@@ -377,7 +539,7 @@ mod tests {
                 h.wst.worker(w).enter_loop(1_000_000);
             }
             h.wst.worker(0).conn_delta(1_000); // overload worker 0
-            h.schedule_and_sync(1_100_000);
+            h.schedule_and_sync(0, 1_100_000);
             assert_eq!(h.stats.calls, 1);
             assert_eq!(h.stats.selected_sum, 3);
         }
@@ -401,7 +563,7 @@ mod tests {
                         h.wst.worker(w).enter_loop(1_000_000);
                     }
                     h.wst.worker(3).conn_delta(50);
-                    h.schedule_and_sync(1_050_000);
+                    h.schedule_and_sync(0, 1_050_000);
                 }
                 d
             };
@@ -435,7 +597,7 @@ mod tests {
                 }
                 h.wst.worker(2).conn_delta(50);
                 h.wst.worker(5).conn_delta(50);
-                h.schedule_and_sync(1_050_000);
+                h.schedule_and_sync(0, 1_050_000);
             }
             d
         };

@@ -99,7 +99,8 @@ impl<'w> Simulator<'w> {
     pub fn new(cfg: SimConfig, wl: &'w Workload) -> Self {
         cfg.validate();
         let n = cfg.workers;
-        let dispatcher = Dispatcher::new(cfg.mode, n, cfg.hermes.clone(), cfg.use_ebpf);
+        let dispatcher =
+            Dispatcher::with_groups(cfg.mode, n, cfg.hermes.clone(), cfg.use_ebpf, cfg.groups);
         // Dense port table from the workload, plus per-connection port
         // indices resolved once up front.
         let ports = PortTable::new(wl.conns.iter().map(|c| c.port));
@@ -178,12 +179,12 @@ impl<'w> Simulator<'w> {
         // workers were looping long before the first connection arrives.
         for w in 0..self.cfg.workers {
             if let Some(h) = self.dispatcher.hermes() {
-                h.wst.worker(w).enter_loop(0);
+                h.worker(w).enter_loop(0);
             }
             self.block_worker(w, 0);
         }
         if let Dispatcher::Hermes(h) = &mut self.dispatcher {
-            h.schedule_and_sync(0);
+            h.schedule_boot(0);
         }
         let mut t = self.cfg.sample_interval_ns;
         while t <= self.wl.duration_ns {
@@ -286,6 +287,15 @@ impl<'w> Simulator<'w> {
                 c
             );
             hermes_trace::trace_count!(hermes_trace::CounterId::SimDispatches);
+            if let Some(g) = self.dispatcher.hermes().and_then(|h| h.group_of(w)) {
+                hermes_trace::trace_event!(
+                    self.now,
+                    hermes_trace::EventKind::GroupDispatch,
+                    hermes_trace::KERNEL_LANE,
+                    spec.flow.hash(),
+                    ((g as u64) << 32) | w as u64
+                );
+            }
             // The accept notification lands on the epoll instance that owns
             // the socket — the dispatcher worker (0) in userspace mode.
             let target = if matches!(self.dispatcher, Dispatcher::Userspace) {
@@ -353,6 +363,15 @@ impl<'w> Simulator<'w> {
                 c
             );
             hermes_trace::trace_count!(hermes_trace::CounterId::SimDispatches);
+            if let Some(g) = self.dispatcher.hermes().and_then(|h| h.group_of(w)) {
+                hermes_trace::trace_event!(
+                    self.now,
+                    hermes_trace::EventKind::GroupDispatch,
+                    hermes_trace::KERNEL_LANE,
+                    self.wl.conns[c].flow.hash(),
+                    ((g as u64) << 32) | w as u64
+                );
+            }
         }
         self.syn_worker_buf = workers;
     }
@@ -512,7 +531,7 @@ impl<'w> Simulator<'w> {
         if is_hermes {
             // shm_busy_count(event_num) + per-event decrement + scheduler.
             let h = self.dispatcher.hermes_mut();
-            h.wst.worker(w).add_pending(batch.len() as i64);
+            h.worker(w).add_pending(batch.len() as i64);
             cost += costs.counter_ns * (1 + batch.len() as u64) + costs.sched_ns + costs.sync_ns;
         }
 
@@ -589,7 +608,7 @@ impl<'w> Simulator<'w> {
         self.workers[owner].accepted_total += 1;
         self.accepted_connections += 1;
         if let Some(h) = self.dispatcher.hermes() {
-            h.wst.worker(owner).conn_delta(1);
+            h.worker(owner).conn_delta(1);
         }
         let pidx = self.conn_port[c] as usize;
         let live = self.ports.live_delta(pidx, 1);
@@ -659,19 +678,19 @@ impl<'w> Simulator<'w> {
         let drained = std::mem::take(&mut self.workers[w].in_flight_events);
         if let Dispatcher::Hermes(h) = &mut self.dispatcher {
             // Per-event decrements of Fig. 9 line 18, applied at batch end.
-            h.wst.worker(w).add_pending(-drained);
+            h.worker(w).add_pending(-drained);
         }
         if let Dispatcher::Hermes(h) = &mut self.dispatcher {
             if !sched_at_start {
                 // schedule_and_sync at the end of the loop (Fig. 9 line 20).
-                h.schedule_and_sync(self.now);
+                h.schedule_and_sync(w, self.now);
             }
             // Loop top: shm_avail_update(current_time).
-            h.wst.worker(w).enter_loop(self.now);
+            h.worker(w).enter_loop(self.now);
             if sched_at_start {
                 // Ablation: schedule before epoll_wait, observing pre-batch
                 // (possibly stale) status.
-                h.schedule_and_sync(self.now);
+                h.schedule_and_sync(w, self.now);
             }
         }
         // epoll_wait: immediate return if events are pending, else block.
@@ -695,7 +714,7 @@ impl<'w> Simulator<'w> {
             let owner = conn.worker.expect("accepted conn has owner");
             self.workers[owner].connections -= 1;
             if let Some(h) = self.dispatcher.hermes() {
-                h.wst.worker(owner).conn_delta(-1);
+                h.worker(owner).conn_delta(-1);
             }
             let pidx = self.conn_port[c] as usize;
             let live = self.ports.live_delta(pidx, -1);
@@ -776,8 +795,8 @@ impl<'w> Simulator<'w> {
                 self.workers[victim].connections -= 1;
                 self.workers[new_owner].connections += 1;
                 if let Some(h) = self.dispatcher.hermes() {
-                    h.wst.worker(victim).conn_delta(-1);
-                    h.wst.worker(new_owner).conn_delta(1);
+                    h.worker(victim).conn_delta(-1);
+                    h.worker(new_owner).conn_delta(1);
                 }
                 self.rst_reschedules += 1;
                 shed += 1;

@@ -53,11 +53,18 @@ pub enum CounterId {
     SimWakes = 19,
     /// Simulated dispatch decisions.
     SimDispatches = 20,
+    /// Redundant bitmap syncs elided by `store_if_changed`.
+    BitmapSyncSkips = 21,
+    /// Grouped (two-level) dispatch decisions.
+    GroupDispatches = 22,
+    /// Grouped workers that could not be assigned a trace lane (lane
+    /// space is 64 wide; a 256-worker deployment overflows it).
+    TraceLaneOverflows = 23,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 24;
 
     /// Every counter, in registry order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -82,6 +89,9 @@ impl CounterId {
         CounterId::SimSyns,
         CounterId::SimWakes,
         CounterId::SimDispatches,
+        CounterId::BitmapSyncSkips,
+        CounterId::GroupDispatches,
+        CounterId::TraceLaneOverflows,
     ];
 
     /// Stable dotted name used in exports.
@@ -108,6 +118,9 @@ impl CounterId {
             CounterId::SimSyns => "sim.syns",
             CounterId::SimWakes => "sim.wakes",
             CounterId::SimDispatches => "sim.dispatches",
+            CounterId::BitmapSyncSkips => "bitmap.sync_skips",
+            CounterId::GroupDispatches => "dispatch.grouped",
+            CounterId::TraceLaneOverflows => "trace.lane_overflows",
         }
     }
 }

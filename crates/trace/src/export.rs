@@ -88,6 +88,31 @@ pub fn summary(records: &[TraceRecord], counters: &[(CounterId, u64)], dropped: 
         ]);
     }
     let mut out = events.render();
+    // Grouped deployments: break dispatch out per level-1 group. The group
+    // index travels in the high word of a `GroupDispatch` record's `b`
+    // payload, so the breakdown survives lane aliasing on >64-worker runs.
+    let mut per_group: std::collections::BTreeMap<u32, (u64, std::collections::BTreeSet<u32>)> =
+        std::collections::BTreeMap::new();
+    for r in records
+        .iter()
+        .filter(|r| r.kind == EventKind::GroupDispatch)
+    {
+        let entry = per_group.entry((r.b >> 32) as u32).or_default();
+        entry.0 += 1;
+        entry.1.insert(r.b as u32);
+    }
+    if !per_group.is_empty() {
+        let mut gtab = Table::new("Grouped dispatch").header(["group", "dispatches", "workers"]);
+        for (group, (count, workers)) in &per_group {
+            gtab.row([
+                group.to_string(),
+                count.to_string(),
+                workers.len().to_string(),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&gtab.render());
+    }
     let mut ctab = Table::new("Counters").header(["counter", "value"]);
     for (id, v) in counters {
         if *v != 0 {
@@ -148,5 +173,32 @@ mod tests {
         assert!(s.contains("sim.syns"));
         // Zero counters are suppressed.
         assert!(!s.contains("dispatch.fallback"));
+    }
+
+    #[test]
+    fn summary_breaks_grouped_dispatch_out_by_group() {
+        let records = vec![
+            rec(10, EventKind::GroupDispatch, 64, 0xabc, (0u64 << 32) | 3),
+            rec(20, EventKind::GroupDispatch, 64, 0xdef, (0u64 << 32) | 5),
+            rec(30, EventKind::GroupDispatch, 64, 0x123, (2u64 << 32) | 130),
+        ];
+        let s = summary(&records, &[], 0);
+        assert!(s.contains("Grouped dispatch"), "{s}");
+        // Group 0 saw two dispatches over two distinct workers; group 2 one.
+        let row = |g: &str| {
+            s.lines()
+                .map(|l| l.split_whitespace().collect::<Vec<_>>())
+                .find(|w| w.first() == Some(&g))
+                .unwrap_or_else(|| panic!("no row for group {g} in {s}"))
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(row("0")[1..3], ["2".to_string(), "2".to_string()]);
+        assert_eq!(row("2")[1..3], ["1".to_string(), "1".to_string()]);
+        // Flat traces stay untouched.
+        assert!(
+            !summary(&[rec(1, EventKind::Dispatch, 0, 0, 0)], &[], 0).contains("Grouped dispatch")
+        );
     }
 }

@@ -39,7 +39,9 @@ pub use counters::{CounterId, CounterRegistry};
 pub use export::{chrome_json, summary};
 pub use record::{EventKind, TraceRecord};
 pub use ring::{TraceRing, DEFAULT_RING_CAPACITY};
-pub use tracer::{global, Tracer, CONTROL_LANE, KERNEL_LANE, LANES, MAX_WORKER_LANES};
+pub use tracer::{
+    global, grouped_lane, Tracer, CONTROL_LANE, KERNEL_LANE, LANES, MAX_WORKER_LANES,
+};
 
 /// Compile-time master switch. `true` iff this crate was built with the
 /// `trace` cargo feature. The macros below branch on this constant, so with

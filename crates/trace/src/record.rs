@@ -51,12 +51,15 @@ pub enum EventKind {
     SimWake = 13,
     /// Simulated dispatch decision. `a` = flow hash, `b` = chosen worker.
     SimDispatch = 14,
+    /// Grouped (two-level) dispatch decision.
+    /// `a` = flow hash, `b` = `group << 32 | global_worker`.
+    GroupDispatch = 15,
 }
 
 impl EventKind {
     /// Every kind the decoder knows, in discriminant order (excluding
     /// [`EventKind::Unknown`]). Drives the per-kind summary table.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::SchedStage,
         EventKind::SchedDecision,
         EventKind::BitmapPublish,
@@ -71,6 +74,7 @@ impl EventKind {
         EventKind::SimSynBurst,
         EventKind::SimWake,
         EventKind::SimDispatch,
+        EventKind::GroupDispatch,
     ];
 
     /// Decode a wire discriminant, mapping unknown values to
@@ -91,6 +95,7 @@ impl EventKind {
             12 => EventKind::SimSynBurst,
             13 => EventKind::SimWake,
             14 => EventKind::SimDispatch,
+            15 => EventKind::GroupDispatch,
             _ => EventKind::Unknown,
         }
     }
@@ -113,6 +118,7 @@ impl EventKind {
             EventKind::SimSynBurst => "sim.syn_burst",
             EventKind::SimWake => "sim.wake",
             EventKind::SimDispatch => "sim.dispatch",
+            EventKind::GroupDispatch => "dispatch.group",
         }
     }
 }

@@ -153,6 +153,23 @@ impl std::fmt::Debug for Tracer {
     }
 }
 
+/// Map a grouped worker onto a flight-recorder lane: `group * group_size +
+/// local`, the flattened global worker id. Deployments wider than
+/// [`MAX_WORKER_LANES`] workers (e.g. 256 workers in 4 groups) overflow the
+/// lane table; overflowing workers share [`CONTROL_LANE`], and each such
+/// mapping bumps [`CounterId::TraceLaneOverflows`] so the aliasing is
+/// visible in the counter export rather than silent.
+#[inline]
+pub fn grouped_lane(group: usize, group_size: usize, local: usize) -> u32 {
+    let global = group * group_size + local;
+    if global < MAX_WORKER_LANES {
+        global as u32
+    } else {
+        crate::trace_count!(CounterId::TraceLaneOverflows);
+        CONTROL_LANE
+    }
+}
+
 static GLOBAL: OnceLock<Tracer> = OnceLock::new();
 
 /// The process-wide recorder, created on first use.

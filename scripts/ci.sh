@@ -43,6 +43,22 @@ echo "==> dispatch_throughput --smoke (dispatch-tier regression gate)"
 cargo run --release -p hermes-bench --bin dispatch_throughput -- \
   --smoke --baseline results/BENCH_dispatch.json --no-write
 
+echo "==> grouped dispatch differential fuzz (native oracle vs every tier)"
+# The sharded plane's safety argument: the two-level grouped program
+# agrees with the native GroupedConnDispatcher oracle bit-for-bit across
+# checked/fast/compiled tiers and batch, over swept shapes and bitmaps.
+cargo test --release -q -p hermes-ebpf --test soundness grouped
+
+echo "==> scale_throughput --smoke (sharded-plane scaling gate)"
+# Fails if the compiled grouped tier stops beating the interpreted
+# grouped tier by >= 2.5x at any swept scale (64x1 .. 256x4), if grouped
+# compiled dispatch costs > 1.3x flat compiled dispatch per connection,
+# or if the 256x4 compiled dispatches/sec regresses >20% against the
+# checked-in baseline. Regenerate results/BENCH_scale.json with a full
+# (non-smoke) run when the dispatch path legitimately changes speed.
+cargo run --release -p hermes-bench --bin scale_throughput -- \
+  --smoke --baseline results/BENCH_scale.json --no-write
+
 echo "==> trace determinism (simulation byte-identical with recorder on/off)"
 # Tracing is an observer, never an actor: the simnet report must not
 # change when the flight recorder runs, and the recorded stream must be
