@@ -85,6 +85,14 @@ fn bench_tiers(c: &mut Criterion) {
         })
     });
 
+    // Load-time cost of the translation proof alone (EXPERIMENTS.md
+    // budget: < 5 ms per program; in practice tens of microseconds).
+    let report = vm.analysis().expect("loaded via load_analyzed");
+    let cp = vm.compiled().expect("compiled tier earned");
+    g.bench_function("validate_cost_flat", |b| {
+        b.iter(|| black_box(hermes_ebpf::validate(prog.insns(), cp, &ctx, report).expect("proves")))
+    });
+
     // Two-level program (dynamic-fd compiled path), single and batched.
     let grouped = GroupedReuseportGroup::new(4, 16);
     for grp in 0..4 {
@@ -100,6 +108,20 @@ fn bench_tiers(c: &mut Criterion) {
             grouped_out.clear();
             grouped.dispatch_batch(black_box(&hashes), &mut grouped_out);
             black_box(grouped_out.len())
+        })
+    });
+
+    // Translation proof for the grouped program (bank obligations
+    // included).
+    let grouped_ctx = AnalysisCtx::from_registry(grouped.registry());
+    let grouped_report = grouped.analysis();
+    let grouped_cp = grouped.vm().compiled().expect("compiled tier earned");
+    g.bench_function("validate_cost_grouped", |b| {
+        b.iter(|| {
+            black_box(
+                hermes_ebpf::validate(grouped.program(), grouped_cp, &grouped_ctx, grouped_report)
+                    .expect("proves"),
+            )
         })
     });
 

@@ -76,6 +76,7 @@ pub mod sched;
 pub mod sdk;
 pub mod selmap;
 pub mod status;
+pub(crate) mod sync;
 pub mod wst;
 
 pub use bitmap::{WorkerBitmap, MAX_WORKERS_PER_GROUP};

@@ -1,0 +1,13 @@
+//! Atomics facade for the model-checked kernel-sync cells.
+//!
+//! Normal builds re-export `std::sync::atomic`; building with
+//! `RUSTFLAGS="--cfg loom"` swaps in loom's model-checked atomics so
+//! `selmap::loom_tests` can exhaustively explore writer/reader
+//! interleavings of [`crate::SelMap`]. Loom is deliberately **not** a
+//! listed dependency (the workspace builds offline); the loom lane in
+//! `scripts/ci.sh` documents how to wire it up locally.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

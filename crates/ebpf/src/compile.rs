@@ -45,14 +45,16 @@ use crate::maps::{ArrayMap, MapKind, MapRef, MapRegistry, SockArrayMap};
 use crate::vm::ExecResult;
 use std::sync::{Arc, OnceLock};
 
-/// SWAR popcount masks (Bit Twiddling Hacks / Hamming weight).
-const M1: u64 = 0x5555_5555_5555_5555;
-const M2: u64 = 0x3333_3333_3333_3333;
-const M3: u64 = 0x0f0f_0f0f_0f0f_0f0f;
-const M4: u64 = 0x0101_0101_0101_0101;
+/// SWAR popcount masks (Bit Twiddling Hacks / Hamming weight). Shared with
+/// the translation validator, whose symbolic popcount ladder must build the
+/// same constants.
+pub(crate) const M1: u64 = 0x5555_5555_5555_5555;
+pub(crate) const M2: u64 = 0x3333_3333_3333_3333;
+pub(crate) const M3: u64 = 0x0f0f_0f0f_0f0f_0f0f;
+pub(crate) const M4: u64 = 0x0101_0101_0101_0101;
 
 /// Length of the fused popcount window, in source instructions.
-const POPCOUNT_LEN: usize = 15;
+pub(crate) const POPCOUNT_LEN: usize = 15;
 
 /// Maximum constant-fd map slots pre-resolved per program. Algorithm 2
 /// uses two (selection map + sockarray); the cap only bounds the resolved
@@ -72,7 +74,7 @@ const MAX_BANK_LEN: u64 = 64;
 /// common op in the dispatch programs, and helper calls are resolved to
 /// direct code at compile time.
 #[derive(Clone, Copy, Debug)]
-enum Step {
+pub(crate) enum Step {
     MovImm {
         dst: u8,
         imm: u64,
@@ -142,7 +144,7 @@ enum Step {
 /// How a basic block ends. Targets are *block* indices, resolved at
 /// compile time; the program is loop-free so targets always point forward.
 #[derive(Clone, Copy, Debug)]
-enum Terminator {
+pub(crate) enum Terminator {
     /// Unconditional transfer (a `ja`, or a fall-through into the next
     /// block when a jump target splits straight-line code).
     Jump { target: u32 },
@@ -160,21 +162,21 @@ enum Terminator {
 
 /// Branch source operand, immediates pre-converted.
 #[derive(Clone, Copy, Debug)]
-enum BrSrc {
+pub(crate) enum BrSrc {
     Reg(u8),
     Imm(u64),
 }
 
 /// One basic block: a straight-line step slice plus its terminator.
 #[derive(Clone, Debug)]
-struct Block {
-    steps: Box<[Step]>,
-    term: Terminator,
+pub(crate) struct Block {
+    pub(crate) steps: Box<[Step]>,
+    pub(crate) term: Terminator,
     /// Source instructions retired by executing this block (fused steps
     /// count their whole window; the terminator counts iff it is a real
     /// instruction rather than a fall-through edge). Identical on both
     /// branch edges, so it is a per-block constant.
-    retired: u32,
+    pub(crate) retired: u32,
 }
 
 /// A contiguous fd range a helper call site was proven to stay within —
@@ -183,32 +185,32 @@ struct Block {
 /// kind (analysis only checks tnum-possible candidates; the bank is
 /// indexed by subtraction, so the whole interval must resolve).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct BankSpec {
-    kind: MapKind,
-    base: u32,
-    len: u32,
+pub(crate) struct BankSpec {
+    pub(crate) kind: MapKind,
+    pub(crate) base: u32,
+    pub(crate) len: u32,
 }
 
 /// A clean-analysis program lowered to basic blocks (see module docs).
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
-    blocks: Box<[Block]>,
+    pub(crate) blocks: Box<[Block]>,
     /// Constant map fds discovered at compile time, resolved once per
     /// run/batch into [`ResolvedMaps`].
-    const_fds: Box<[(u32, MapKind)]>,
+    pub(crate) const_fds: Box<[(u32, MapKind)]>,
     /// Bounded dynamic-fd banks (grouped program selmap/sockarray ranges).
-    banks: Box<[BankSpec]>,
+    pub(crate) banks: Box<[BankSpec]>,
     /// Bank resolution cache, keyed by the frozen fd table it was built
     /// against. Holding the table `Arc` pins its address, so the identity
     /// check cannot alias a recycled allocation; a different frozen
     /// registry gets a fresh, uncached resolution.
-    bank_cache: BankCache,
-    fused_popcounts: usize,
+    pub(crate) bank_cache: BankCache,
+    pub(crate) fused_popcounts: usize,
 }
 
 /// One cached bank resolution: the frozen fd table it was built against
 /// (the identity key) plus the banks resolved from it.
-type BankCache = OnceLock<(Arc<[MapRef]>, Arc<[ResolvedBank]>)>;
+pub(crate) type BankCache = OnceLock<(Arc<[MapRef]>, Arc<[ResolvedBank]>)>;
 
 /// Per-run (or per-batch) resolution of the constant-fd slots: the Arc
 /// clones replace one registry lock per helper call with one per slot per
@@ -228,7 +230,7 @@ enum ResolvedSlot {
 /// One resolved fd bank: every map in the proven range, densely indexed by
 /// `fd - base`.
 #[derive(Debug)]
-enum ResolvedBank {
+pub(crate) enum ResolvedBank {
     Arrays(Box<[Arc<ArrayMap>]>),
     Socks(Box<[Arc<SockArrayMap>]>),
 }
@@ -834,6 +836,17 @@ impl CompiledProgram {
     pub(crate) fn run(&self, ctx_hash: u32, maps: &MapRegistry, now_ns: u64) -> ExecResult {
         let resolved = self.resolve(maps);
         self.exec(ctx_hash, maps, now_ns, &resolved)
+    }
+
+    /// Execute *without* a [`crate::validate::ValidationCert`]. Test-only
+    /// escape hatch for the mutation-kill harness, which must run seeded
+    /// miscompilations to demonstrate how rarely they diverge under
+    /// differential fuzzing. Production execution goes through
+    /// [`crate::vm::Vm::run`], which only reaches the compiled tier with a
+    /// cert in hand.
+    #[doc(hidden)]
+    pub fn run_uncertified(&self, ctx_hash: u32, maps: &MapRegistry, now_ns: u64) -> ExecResult {
+        self.run(ctx_hash, maps, now_ns)
     }
 }
 

@@ -94,6 +94,13 @@ impl GroupedReuseportGroup {
             ExecTier::Compiled,
             "grouped dispatch program must be proven clean for the compiled tier"
         );
+        // Reaching the tier is not enough: the translation validator must
+        // have certified the compiled artifact against checked semantics.
+        assert!(
+            vm.validation().is_some(),
+            "grouped compiled dispatch must carry a validation certificate: {:?}",
+            vm.validation_error()
+        );
         let compiled = vm.compiled().expect("compiled tier present");
         assert_eq!(
             compiled.dyn_helper_calls(),
@@ -213,6 +220,12 @@ impl GroupedReuseportGroup {
     /// bank step (`dyn_helper_calls()` is zero by the construction assert).
     pub fn tier(&self) -> ExecTier {
         self.vm.tier()
+    }
+
+    /// The translation-validation certificate the compiled tier was
+    /// admitted under — present always, by construction.
+    pub fn validation(&self) -> &crate::validate::ValidationCert {
+        self.vm.validation().expect("certified at construction")
     }
 
     /// The VM the program is loaded in (tier benchmarks and tests).

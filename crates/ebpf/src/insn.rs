@@ -83,7 +83,7 @@ impl Cond {
 }
 
 /// ALU operation kind.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Alu {
     /// `dst = src`
     Mov,

@@ -31,6 +31,10 @@
 //! * [`program`] — the Algorithm 2 connection-dispatch program assembled
 //!   from all of the above, plus [`program::ReuseportGroup`], the
 //!   attach-point abstraction the simulator and runtime dispatch through.
+//! * [`validate`] — translation validation for the compiled tier: every
+//!   [`compile::CompiledProgram`] is proven bit-exactly equivalent to the
+//!   checked interpreter's semantics, block by block, before [`vm::Vm`]
+//!   will execute it.
 //!
 //! The bytecode program is property-tested for exact equivalence with the
 //! native oracle `hermes_core::ConnDispatcher` over all bitmaps and hashes.
@@ -53,6 +57,7 @@ pub mod helpers;
 pub mod insn;
 pub mod maps;
 pub mod program;
+pub mod validate;
 pub mod verifier;
 pub mod vm;
 
@@ -63,5 +68,6 @@ pub use group_program::{GroupedOutcome, GroupedReuseportGroup};
 pub use insn::{Insn, Op, Reg};
 pub use maps::{ArrayMap, MapKind, MapRegistry, SockArrayMap};
 pub use program::{DispatchProgram, ReuseportGroup};
+pub use validate::{validate, ValidationCert, ValidationError};
 pub use verifier::{verify, VerifyError};
 pub use vm::{ExecError, ExecResult, ExecTier, Vm};

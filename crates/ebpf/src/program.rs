@@ -246,6 +246,13 @@ impl ReuseportGroup {
             ExecTier::Compiled,
             "dispatch program must be proven clean for the compiled tier"
         );
+        // Reaching the tier is not enough: the translation validator must
+        // have certified the compiled artifact against checked semantics.
+        assert!(
+            vm.validation().is_some(),
+            "compiled dispatch must carry a validation certificate: {:?}",
+            vm.validation_error()
+        );
         Self {
             registry,
             sel_map,
@@ -275,6 +282,12 @@ impl ReuseportGroup {
     /// always, by construction.
     pub fn tier(&self) -> ExecTier {
         self.vm.tier()
+    }
+
+    /// The translation-validation certificate the compiled tier was
+    /// admitted under — present always, by construction.
+    pub fn validation(&self) -> &crate::validate::ValidationCert {
+        self.vm.validation().expect("certified at construction")
     }
 
     /// The VM the program is loaded in (tier benchmarks and tests).

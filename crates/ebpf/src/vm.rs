@@ -25,6 +25,7 @@ use crate::disasm::disasm_insn;
 use crate::helpers::{call_helper, call_helper_fast, HelperCtx};
 use crate::insn::{Alu, Cond, Insn, Op, Reg, Src, NUM_REGS, STACK_SIZE};
 use crate::maps::MapRegistry;
+use crate::validate::{validate, ValidationCert, ValidationError};
 use crate::verifier::{verify, VerifyError};
 
 /// Execution tier a program qualifies for — the ladder the analysis pays
@@ -236,8 +237,15 @@ pub struct Vm {
     /// clean (see module docs).
     fast: Option<Vec<FastInsn>>,
     /// Basic-block compiled stream (the top tier), built alongside `fast`
-    /// for clean programs.
-    compiled: Option<CompiledProgram>,
+    /// for clean programs — and admitted only with its translation-
+    /// validation certificate. Pairing the program with the cert in one
+    /// `Option` makes certificate-free compiled execution unrepresentable:
+    /// there is no state where [`Vm::run`] could reach the compiled tier
+    /// without [`crate::validate::validate`] having proven it.
+    compiled: Option<(CompiledProgram, ValidationCert)>,
+    /// Why translation validation demoted this program off the compiled
+    /// tier, when it did (the program then runs on the fast tier).
+    validation_error: Option<ValidationError>,
     /// Analysis report, present when loaded via [`Vm::load_analyzed`].
     report: Option<AnalysisReport>,
 }
@@ -252,6 +260,7 @@ impl Vm {
             prog,
             fast: None,
             compiled: None,
+            validation_error: None,
             report: None,
         };
         vm.trace_load();
@@ -263,15 +272,32 @@ impl Vm {
     /// A clean report (no warnings) enables the proven tiers — the lowered
     /// fast stream and the block-compiled top tier; otherwise execution
     /// falls back to the checked interpreter.
+    ///
+    /// The compiled tier is additionally gated on translation validation
+    /// ([`crate::validate`]): the compiled stream is admitted only with a
+    /// [`ValidationCert`] proving it bit-exactly equivalent to the checked
+    /// interpreter's semantics. A program that compiles but fails
+    /// validation is demoted to the fast tier and the first undischarged
+    /// obligation retained in [`Vm::validation_error`].
     pub fn load_analyzed(prog: Vec<Insn>, ctx: &AnalysisCtx) -> Result<Self, AnalysisError> {
         let report = analyze(&prog, ctx)?;
         let clean = report.is_clean();
         let fast = clean.then(|| lower(&prog));
-        let compiled = clean.then(|| CompiledProgram::compile(&prog, ctx, &report));
+        let mut validation_error = None;
+        let compiled = clean
+            .then(|| CompiledProgram::compile(&prog, ctx, &report))
+            .and_then(|cp| match validate(&prog, &cp, ctx, &report) {
+                Ok(cert) => Some((cp, cert)),
+                Err(e) => {
+                    validation_error = Some(e);
+                    None
+                }
+            });
         let vm = Self {
             prog,
             fast,
             compiled,
+            validation_error,
             report: Some(report),
         };
         vm.trace_load();
@@ -319,9 +345,23 @@ impl Vm {
         }
     }
 
-    /// The compiled top-tier program, when the analysis earned it.
+    /// The compiled top-tier program, when the analysis earned it *and*
+    /// translation validation proved it.
     pub fn compiled(&self) -> Option<&CompiledProgram> {
-        self.compiled.as_ref()
+        self.compiled.as_ref().map(|(cp, _)| cp)
+    }
+
+    /// The translation-validation certificate — present exactly when the
+    /// compiled tier is active. `vm.tier() == ExecTier::Compiled` implies
+    /// `vm.validation().is_some()` by construction.
+    pub fn validation(&self) -> Option<&ValidationCert> {
+        self.compiled.as_ref().map(|(_, cert)| cert)
+    }
+
+    /// Why translation validation demoted this program off the compiled
+    /// tier, if it did.
+    pub fn validation_error(&self) -> Option<&ValidationError> {
+        self.validation_error.as_ref()
     }
 
     /// Number of instructions in the loaded program.
@@ -344,7 +384,9 @@ impl Vm {
         now_ns: u64,
     ) -> Result<ExecResult, ExecError> {
         hermes_trace::trace_count!(self.tier().run_counter());
-        if let Some(compiled) = &self.compiled {
+        // Destructuring the pair is the admission check: the compiled
+        // stream is only reachable alongside its ValidationCert.
+        if let Some((compiled, _cert)) = &self.compiled {
             return Ok(compiled.run(ctx_hash, maps, now_ns));
         }
         match &self.fast {
@@ -374,7 +416,7 @@ impl Vm {
                 Ok(Self::run_fast(fast, ctx_hash, maps, now_ns))
             }
             ExecTier::Compiled => {
-                let compiled = self
+                let (compiled, _cert) = self
                     .compiled
                     .as_ref()
                     .expect("program did not earn the compiled tier");
@@ -396,7 +438,7 @@ impl Vm {
         out: &mut Vec<ExecResult>,
     ) -> Result<(), ExecError> {
         out.reserve(hashes.len());
-        if let Some(compiled) = &self.compiled {
+        if let Some((compiled, _cert)) = &self.compiled {
             hermes_trace::trace_count!(hermes_trace::CounterId::VmRunsCompiled, hashes.len());
             let resolved = compiled.resolve(maps);
             for &hash in hashes {
@@ -929,6 +971,7 @@ mod tests {
             prog,
             fast: None,
             compiled: None,
+            validation_error: None,
             report: None,
         };
         let err = vm

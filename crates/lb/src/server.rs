@@ -84,14 +84,19 @@ impl TcpLb {
         });
         let wst = Arc::new(Wst::new(workers));
         let group = Arc::new(ReuseportGroup::new(workers));
-        // Serve only on a statically verified dispatch program: the
-        // analysis must have proven it clean (zero warnings) so it runs on
-        // the compiled tier.
+        // Serve only on a statically verified *and validated* dispatch
+        // program: the analysis must have proven it clean (zero warnings)
+        // and the translation validator must have certified the compiled
+        // artifact bit-exact against checked semantics.
         assert_eq!(
             group.tier(),
             ExecTier::Compiled,
             "dispatch program failed static verification:\n{}",
             group.analysis().render(group.program())
+        );
+        assert!(
+            group.validation().blocks_proven() > 0,
+            "compiled dispatch admitted without a translation proof"
         );
 
         let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
@@ -157,14 +162,20 @@ impl TcpLb {
             ..LbStats::default()
         });
         let group = Arc::new(GroupedReuseportGroup::new(groups, group_size));
-        // Serve only on the lock-free compiled tier: the analysis must have
-        // proven every run-time map fd bounded to a registered bank, so the
-        // per-connection path touches no registry lock.
+        // Serve only on the lock-free, *validated* compiled tier: the
+        // analysis must have proven every run-time map fd bounded to a
+        // registered bank, and the translation validator must have
+        // certified the compiled artifact bit-exact against checked
+        // semantics.
         assert_eq!(
             group.tier(),
             ExecTier::Compiled,
             "grouped dispatch program failed static verification:\n{}",
             group.analysis().render(group.program())
+        );
+        assert!(
+            group.validation().blocks_proven() > 0,
+            "grouped compiled dispatch admitted without a translation proof"
         );
 
         let wsts: Vec<Arc<Wst>> = (0..groups)

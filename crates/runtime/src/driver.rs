@@ -165,13 +165,18 @@ impl LbRuntime {
         let kernel = Arc::new(if config.use_ebpf {
             let group = ReuseportGroup::new(config.workers);
             // The attached Algorithm 2 program must be statically proven
-            // safe (zero analysis warnings) and reach the top execution
-            // tier before the runtime serves on it.
+            // safe (zero analysis warnings) and *proven* onto the top
+            // execution tier — the translation validator must have certified
+            // the compiled artifact — before the runtime serves on it.
             assert_eq!(
                 group.tier(),
                 ExecTier::Compiled,
                 "dispatch program failed verification:\n{}",
                 group.analysis().render(group.program())
+            );
+            assert!(
+                group.validation().blocks_proven() > 0,
+                "compiled dispatch admitted without a translation proof"
             );
             Kernel::Ebpf(group)
         } else {
@@ -236,13 +241,18 @@ impl LbRuntime {
         let clock = Clock::new();
         let kernel = Arc::new(if config.use_ebpf {
             let group = GroupedReuseportGroup::new(groups, group_size);
-            // The grouped program must reach the compiled tier with every
-            // helper pre-resolved: no registry lock on the per-SYN path.
+            // The grouped program must be *proven* onto the compiled tier
+            // (validator certificate) with every helper pre-resolved: no
+            // registry lock on the per-SYN path.
             assert_eq!(
                 group.tier(),
                 ExecTier::Compiled,
                 "grouped dispatch program failed verification:\n{}",
                 group.analysis().render(group.program())
+            );
+            assert!(
+                group.validation().blocks_proven() > 0,
+                "grouped compiled dispatch admitted without a translation proof"
             );
             assert_eq!(
                 group

@@ -70,13 +70,18 @@ impl HermesState {
                 dispatcher,
                 ebpf: use_ebpf.then(|| {
                     let e = GroupedReuseportGroup::new(g, group_size);
-                    // The grouped program must reach the compiled tier with
-                    // every map fd pre-resolved (lock-free banks) before
-                    // the simulator trusts it.
+                    // The grouped program must be proven onto the compiled
+                    // tier (validator certificate) with every map fd
+                    // pre-resolved (lock-free banks) before the simulator
+                    // trusts it.
                     assert_eq!(
                         e.tier(),
                         ExecTier::Compiled,
                         "grouped dispatch program failed verification"
+                    );
+                    assert!(
+                        e.validation().blocks_proven() > 0,
+                        "grouped compiled dispatch admitted without a proof"
                     );
                     e
                 }),
@@ -93,12 +98,17 @@ impl HermesState {
             ebpf: (use_ebpf && sharded.is_none()).then(|| {
                 let g = ReuseportGroup::new(workers);
                 // The bytecode twin must be admitted by the static analysis
-                // with zero warnings — and therefore reach the compiled
-                // tier — before the simulator trusts it.
+                // with zero warnings — and *proven* onto the compiled tier
+                // by the translation validator — before the simulator
+                // trusts it.
                 assert_eq!(
                     g.tier(),
                     ExecTier::Compiled,
                     "dispatch program failed verification"
+                );
+                assert!(
+                    g.validation().blocks_proven() > 0,
+                    "compiled dispatch admitted without a proof"
                 );
                 g
             }),

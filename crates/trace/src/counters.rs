@@ -60,11 +60,17 @@ pub enum CounterId {
     /// Grouped workers that could not be assigned a trace lane (lane
     /// space is 64 wide; a 256-worker deployment overflows it).
     TraceLaneOverflows = 23,
+    /// Basic blocks proven equivalent by the translation validator.
+    ValidatorBlocksProven = 24,
+    /// Symbolic machine steps executed by the translation validator.
+    ValidatorSymbolicSteps = 25,
+    /// Validation certificates issued (compiled-tier admissions proven).
+    ValidatorCertsIssued = 26,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     /// Every counter, in registry order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -92,6 +98,9 @@ impl CounterId {
         CounterId::BitmapSyncSkips,
         CounterId::GroupDispatches,
         CounterId::TraceLaneOverflows,
+        CounterId::ValidatorBlocksProven,
+        CounterId::ValidatorSymbolicSteps,
+        CounterId::ValidatorCertsIssued,
     ];
 
     /// Stable dotted name used in exports.
@@ -121,6 +130,9 @@ impl CounterId {
             CounterId::BitmapSyncSkips => "bitmap.sync_skips",
             CounterId::GroupDispatches => "dispatch.grouped",
             CounterId::TraceLaneOverflows => "trace.lane_overflows",
+            CounterId::ValidatorBlocksProven => "validate.blocks_proven",
+            CounterId::ValidatorSymbolicSteps => "validate.symbolic_steps",
+            CounterId::ValidatorCertsIssued => "validate.certs_issued",
         }
     }
 }

@@ -33,6 +33,7 @@ mod counters;
 mod export;
 mod record;
 mod ring;
+mod sync;
 mod tracer;
 
 pub use counters::{CounterId, CounterRegistry};
@@ -46,7 +47,11 @@ pub use tracer::{
 /// Compile-time master switch. `true` iff this crate was built with the
 /// `trace` cargo feature. The macros below branch on this constant, so with
 /// the feature off every instrumentation site compiles to nothing.
-pub const ENABLED: bool = cfg!(feature = "trace");
+///
+/// Forced off under `--cfg loom` so model-checked structures (the SPSC ring,
+/// `hermes-core`'s `SelMap`) never drag the global recorder's non-loom
+/// atomics into a loom model.
+pub const ENABLED: bool = cfg!(feature = "trace") && !cfg!(loom);
 
 /// Record one event on the global recorder.
 #[inline]
@@ -154,7 +159,7 @@ mod tests {
 
     #[test]
     fn enabled_tracks_the_cargo_feature() {
-        assert_eq!(ENABLED, cfg!(feature = "trace"));
+        assert_eq!(ENABLED, cfg!(feature = "trace") && !cfg!(loom));
     }
 
     #[test]

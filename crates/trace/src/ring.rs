@@ -13,9 +13,8 @@
 //! torn record, which the decoder tolerates via [`EventKind::Unknown`],
 //! never undefined behaviour.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use crate::record::TraceRecord;
+use crate::sync::{AtomicU64, Ordering};
 
 /// Default per-lane capacity in records (32 KiB per lane).
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
@@ -140,7 +139,87 @@ impl std::fmt::Debug for TraceRing {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, loom))]
+mod loom_tests {
+    //! Exhaustive interleaving checks for the SPSC protocol. These run only
+    //! under `RUSTFLAGS="--cfg loom"` (see the loom lane in scripts/ci.sh);
+    //! keep rings tiny (capacity 2) and op counts small so the state space
+    //! stays tractable.
+    use super::*;
+    use crate::record::EventKind;
+    use loom::sync::Arc;
+    use loom::thread;
+
+    fn rec(ts: u64) -> TraceRecord {
+        TraceRecord {
+            ts,
+            kind: EventKind::Dispatch,
+            worker: 7,
+            a: ts * 2,
+            b: ts * 3,
+        }
+    }
+
+    /// Every interleaving of one producer pushing three records against a
+    /// concurrently draining consumer: no record is ever torn (payload
+    /// words always match the timestamp they were written with), accepted
+    /// records drain in push order, and push + drop accounting is exact.
+    #[test]
+    fn spsc_push_drain_never_tears_and_loses_nothing() {
+        loom::model(|| {
+            let ring = Arc::new(TraceRing::with_capacity(2));
+            let producer = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    let mut pushed = 0u64;
+                    for i in 1..=3u64 {
+                        if ring.push(rec(i)) {
+                            pushed += 1;
+                        }
+                    }
+                    pushed
+                })
+            };
+            let mut got = Vec::new();
+            ring.drain_into(&mut got);
+            let pushed = producer.join().unwrap();
+            ring.drain_into(&mut got);
+            for r in &got {
+                assert!((1..=3).contains(&r.ts), "phantom record ts={}", r.ts);
+                assert_eq!(r.a, r.ts * 2, "torn payload a for ts={}", r.ts);
+                assert_eq!(r.b, r.ts * 3, "torn payload b for ts={}", r.ts);
+            }
+            for w in got.windows(2) {
+                assert!(w[0].ts < w[1].ts, "records drained out of order");
+            }
+            assert_eq!(got.len() as u64, pushed, "accepted records must drain");
+            assert_eq!(pushed + ring.dropped(), 3, "push/drop accounting");
+        });
+    }
+
+    /// A full capacity-2 ring drops rather than blocks in every
+    /// interleaving, and the drop counter never double-counts.
+    #[test]
+    fn full_ring_drop_accounting_is_exact_under_races() {
+        loom::model(|| {
+            let ring = Arc::new(TraceRing::with_capacity(2));
+            assert!(ring.push(rec(1)));
+            assert!(ring.push(rec(2)));
+            let producer = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.push(rec(3)) as u64)
+            };
+            let mut got = Vec::new();
+            ring.drain_into(&mut got);
+            let pushed = 2 + producer.join().unwrap();
+            ring.drain_into(&mut got);
+            assert_eq!(got.len() as u64, pushed);
+            assert_eq!(pushed + ring.dropped(), 3);
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crate::record::EventKind;

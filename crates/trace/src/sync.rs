@@ -1,0 +1,14 @@
+//! Atomics facade for the model-checked structures in this crate.
+//!
+//! Normal builds re-export `std::sync::atomic`; building with
+//! `RUSTFLAGS="--cfg loom"` swaps in loom's model-checked atomics so the
+//! `loom_tests` modules can exhaustively explore interleavings of the SPSC
+//! ring. Loom is deliberately **not** a listed dependency (the workspace
+//! builds offline); the loom lane in `scripts/ci.sh` documents how to wire
+//! it up locally. Everything here is `pub(crate)` so the facade never leaks
+//! into the public API.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
