@@ -1,13 +1,15 @@
-//! The three execution tiers vs the native oracle.
+//! The four execution tiers vs the native oracle.
 //!
 //! The verifier/compiler ladder's payoff on the per-connection critical
 //! path: the same Algorithm 2 bytecode executed by (a) the checked
 //! interpreter with pc/stack/div/shift guards on every step, (b) the
-//! unchecked fast path the analysis proofs admit, and (c) the load-time
+//! unchecked fast path the analysis proofs admit, (c) the load-time
 //! compiled basic-block program with fused SWAR popcounts and direct
-//! helper calls — against the native `ConnDispatcher` oracle as the
-//! floor. Batched variants amortize the map-registry resolution and
-//! bitmap load over a 64-connection burst. Also measures the two-level
+//! helper calls, and (d) the jit tier — the validated compiled stream
+//! lowered to native x86-64 with map addresses baked in — against the
+//! native `ConnDispatcher` oracle as the floor. Batched variants
+//! amortize the map-registry resolution and bitmap load over a
+//! 64-connection burst. Also measures the two-level
 //! (grouped, dynamic-fd) program and the analysis itself (a load-time,
 //! not per-connection, cost).
 
@@ -59,14 +61,25 @@ fn bench_tiers(c: &mut Criterion) {
     });
 
     let vm = Vm::load_analyzed(prog.insns().to_vec(), &ctx).expect("program analyzes");
-    assert_eq!(vm.tier(), ExecTier::Compiled);
-    for tier in [ExecTier::Checked, ExecTier::Fast, ExecTier::Compiled] {
+    vm.prepare_jit(&maps);
+    assert_eq!(vm.tier(), ExecTier::native_ceiling());
+    for tier in [
+        ExecTier::Checked,
+        ExecTier::Fast,
+        ExecTier::Compiled,
+        ExecTier::Jit,
+    ] {
+        if tier > vm.tier() {
+            continue;
+        }
         g.bench_function(format!("{tier}_tier"), |b| {
             b.iter(|| black_box(vm.run_tier(tier, black_box(0x1234_5678), &maps, 0).unwrap()))
         });
     }
 
     // Whole-burst dispatch: one registry resolution for 64 connections.
+    // On x86-64 `run_batch` dispatches through the jit; the row keeps its
+    // historical name so baselines stay comparable.
     let mut out = Vec::with_capacity(BURST);
     g.bench_function("compiled_batch64", |b| {
         b.iter(|| {
@@ -76,6 +89,18 @@ fn bench_tiers(c: &mut Criterion) {
             black_box(out.len())
         })
     });
+
+    // Load-time cost of native emission (mmap + lower + seal), isolated
+    // from analysis/compilation by reusing the already-proven artifact.
+    if vm.tier() == ExecTier::Jit {
+        let cp = vm.compiled().expect("compiled tier earned");
+        let cert = vm.validation().expect("certificate issued");
+        g.bench_function("jit_emit_dispatch_program", |b| {
+            b.iter(|| {
+                black_box(hermes_ebpf::JitProgram::emit(cp, cert, &maps).expect("jit emission"))
+            })
+        });
+    }
 
     // Load-time cost of the proof + compilation (amortized over every
     // connection the program then serves).
@@ -98,7 +123,7 @@ fn bench_tiers(c: &mut Criterion) {
     for grp in 0..4 {
         grouped.sync_group_bitmap(grp, WorkerBitmap(0xA5A5));
     }
-    assert_eq!(grouped.tier(), ExecTier::Compiled);
+    assert_eq!(grouped.tier(), ExecTier::native_ceiling());
     g.bench_function("grouped_compiled", |b| {
         b.iter(|| black_box(grouped.dispatch(black_box(0x1234_5678))))
     });

@@ -4,11 +4,13 @@
 //!
 //! Runs both Algorithm 2 programs — the flat single-group program and the
 //! two-level grouped (dynamic-fd) program — through every execution tier
-//! over the same hash stream and reports ns/dispatch and dispatches/sec
-//! for each, plus the speedups the compilation tier and batching buy. The
-//! tiers are decision-identical by construction (differentially fuzzed in
+//! (including the jit tier on x86-64 Linux) over the same hash stream and
+//! reports ns/dispatch and dispatches/sec for each, plus the speedups the
+//! compilation tier, native emission, and batching buy. The tiers are
+//! decision-identical by construction (differentially fuzzed in
 //! `crates/ebpf/tests/soundness.rs`), so the wall-clock ratios isolate
-//! execution cost.
+//! execution cost. The `batch64` row measures the public `run_batch`
+//! API, which rides the highest earned tier — jit where present.
 //!
 //! Flags:
 //!   --smoke            fewer dispatches (CI gate)
@@ -16,8 +18,10 @@
 //!   --baseline PATH    compare against a checked-in baseline; exit 1 if
 //!                      flat compiled dispatches/sec regresses more than
 //!                      20%, if compiled fails to beat checked by >= 2x on
-//!                      either program, or if the 64-burst batch fails to
-//!                      beat single-shot compiled dispatch
+//!                      either program, if the jit (when earned) fails to
+//!                      beat compiled by >= 2x, or if the 64-burst batch
+//!                      falls behind single-shot ceiling-tier dispatch by
+//!                      more than the resolve-cache tolerance
 //!   --no-write         measure and check only, leave the baseline file
 //!   --workers N        reuseport group size (default 64)
 //!
@@ -45,10 +49,16 @@ const REGRESSION_FRAC: f64 = 0.20;
 /// Acceptance floor: the compiled tier must beat the checked interpreter
 /// by at least this factor on both programs.
 const COMPILED_OVER_CHECKED_FLOOR: f64 = 2.0;
-/// The 64-burst batch must strictly beat single-shot compiled dispatch
-/// (the win is amortized map resolution, not algorithmic, so the floor is
-/// just "faster").
-const BATCH_OVER_SINGLE_FLOOR: f64 = 1.0;
+/// Acceptance floor: the jit tier (when earned) must beat the compiled
+/// tier by at least this factor on both programs.
+const JIT_OVER_COMPILED_FLOOR: f64 = 2.0;
+/// The 64-burst batch must stay within noise of single-shot dispatch on
+/// the same (ceiling) tier. Historically the floor was 1.0 — batching won
+/// by amortizing per-run map resolution — but the frozen-registry resolve
+/// cache (see EXPERIMENTS.md, grouped-batch investigation) collapsed the
+/// single-shot resolve to one refcount bump, so batch ≈ single is now the
+/// *expected* result and only a real regression drops below 0.95.
+const BATCH_OVER_SINGLE_FLOOR: f64 = 0.95;
 
 #[derive(Clone, Copy, Debug)]
 struct VariantResult {
@@ -101,19 +111,31 @@ fn flat_registry(workers: usize) -> MapRegistry {
     registry
 }
 
-/// Tier + batch sweep over one loaded program.
+/// Tier + batch sweep over one loaded program. `jit` is `None` on
+/// platforms where native emission is unavailable; `batch` measures the
+/// public `run_batch` API on whatever ceiling tier it rides.
 struct ProgramResults {
     checked: VariantResult,
     fast: VariantResult,
     compiled: VariantResult,
-    compiled_batch: VariantResult,
+    jit: Option<VariantResult>,
+    batch: VariantResult,
+}
+
+impl ProgramResults {
+    /// Single-shot throughput of the tier `run_batch` actually uses —
+    /// the honest denominator for the batch-over-single ratio.
+    fn ceiling_single(&self) -> &VariantResult {
+        self.jit.as_ref().unwrap_or(&self.compiled)
+    }
 }
 
 fn measure_program(vm: &Vm, maps: &MapRegistry, hashes: &[u32], runs: usize) -> ProgramResults {
+    vm.prepare_jit(maps);
     assert_eq!(
         vm.tier(),
-        ExecTier::Compiled,
-        "program must reach the top tier"
+        ExecTier::native_ceiling(),
+        "program must reach the platform ceiling tier"
     );
     let tier_pass = |tier: ExecTier| {
         move |hs: &[u32]| {
@@ -138,7 +160,9 @@ fn measure_program(vm: &Vm, maps: &MapRegistry, hashes: &[u32], runs: usize) -> 
         checked: measure(hashes, runs, tier_pass(ExecTier::Checked)),
         fast: measure(hashes, runs, tier_pass(ExecTier::Fast)),
         compiled: measure(hashes, runs, tier_pass(ExecTier::Compiled)),
-        compiled_batch: measure(hashes, runs, batch_pass),
+        jit: (vm.tier() == ExecTier::Jit)
+            .then(|| measure(hashes, runs, tier_pass(ExecTier::Jit))),
+        batch: measure(hashes, runs, batch_pass),
     }
 }
 
@@ -150,13 +174,18 @@ fn json_block(r: &VariantResult) -> String {
 }
 
 fn program_json(p: &ProgramResults) -> String {
+    let jit = match &p.jit {
+        Some(j) => format!("\n      \"jit\": {},", json_block(j)),
+        None => String::new(),
+    };
     format!
     (
-        "{{\n      \"checked\": {},\n      \"fast\": {},\n      \"compiled\": {},\n      \"compiled_batch64\": {}\n    }}",
+        "{{\n      \"checked\": {},\n      \"fast\": {},\n      \"compiled\": {},{}\n      \"batch64\": {}\n    }}",
         json_block(&p.checked),
         json_block(&p.fast),
         json_block(&p.compiled),
-        json_block(&p.compiled_batch)
+        jit,
+        json_block(&p.batch)
     )
 }
 
@@ -167,15 +196,24 @@ fn render_json(
     flat: &ProgramResults,
     grouped: &ProgramResults,
 ) -> String {
+    let jit_speedups = match (&flat.jit, &grouped.jit) {
+        (Some(fj), Some(gj)) => format!(
+            "\n  \"speedup_jit_over_compiled_flat\": {:.2},\n  \"speedup_jit_over_compiled_grouped\": {:.2},",
+            fj.dispatches_per_sec / flat.compiled.dispatches_per_sec,
+            gj.dispatches_per_sec / grouped.compiled.dispatches_per_sec,
+        ),
+        _ => String::new(),
+    };
     format!(
-        "{{\n  \"benchmark\": \"dispatch_throughput\",\n  \"scenario\": \"Algorithm 2 / {workers} workers / bitmap {BITMAP:#018x}\",\n  \"smoke\": {smoke},\n  \"native_oracle\": {},\n  \"programs\": {{\n    \"flat\": {},\n    \"grouped\": {}\n  }},\n  \"speedup_compiled_over_checked_flat\": {:.2},\n  \"speedup_compiled_over_checked_grouped\": {:.2},\n  \"speedup_batch64_over_single_flat\": {:.2},\n  \"speedup_batch64_over_single_grouped\": {:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"dispatch_throughput\",\n  \"scenario\": \"Algorithm 2 / {workers} workers / bitmap {BITMAP:#018x}\",\n  \"smoke\": {smoke},\n  \"native_oracle\": {},\n  \"programs\": {{\n    \"flat\": {},\n    \"grouped\": {}\n  }},\n  \"speedup_compiled_over_checked_flat\": {:.2},\n  \"speedup_compiled_over_checked_grouped\": {:.2},{}\n  \"speedup_batch64_over_single_flat\": {:.2},\n  \"speedup_batch64_over_single_grouped\": {:.2}\n}}\n",
         json_block(native),
         program_json(flat),
         program_json(grouped),
         flat.compiled.dispatches_per_sec / flat.checked.dispatches_per_sec,
         grouped.compiled.dispatches_per_sec / grouped.checked.dispatches_per_sec,
-        flat.compiled_batch.dispatches_per_sec / flat.compiled.dispatches_per_sec,
-        grouped.compiled_batch.dispatches_per_sec / grouped.compiled.dispatches_per_sec,
+        jit_speedups,
+        flat.batch.dispatches_per_sec / flat.ceiling_single().dispatches_per_sec,
+        grouped.batch.dispatches_per_sec / grouped.ceiling_single().dispatches_per_sec,
     )
 }
 
@@ -208,7 +246,10 @@ fn print_program(label: &str, p: &ProgramResults) {
     print_variant("checked", &p.checked);
     print_variant("fast", &p.fast);
     print_variant("compiled", &p.compiled);
-    print_variant("compiled_batch64", &p.compiled_batch);
+    if let Some(jit) = &p.jit {
+        print_variant("jit", jit);
+    }
+    print_variant("batch64", &p.batch);
 }
 
 fn main() {
@@ -282,27 +323,51 @@ fn main() {
 
     let flat_speedup = flat.compiled.dispatches_per_sec / flat.checked.dispatches_per_sec;
     let grouped_speedup = grouped.compiled.dispatches_per_sec / grouped.checked.dispatches_per_sec;
-    let flat_batch = flat.compiled_batch.dispatches_per_sec / flat.compiled.dispatches_per_sec;
+    let flat_batch = flat.batch.dispatches_per_sec / flat.ceiling_single().dispatches_per_sec;
     let grouped_batch =
-        grouped.compiled_batch.dispatches_per_sec / grouped.compiled.dispatches_per_sec;
+        grouped.batch.dispatches_per_sec / grouped.ceiling_single().dispatches_per_sec;
     println!("  compiled over checked: flat {flat_speedup:.2}x, grouped {grouped_speedup:.2}x");
+    if let (Some(fj), Some(gj)) = (&flat.jit, &grouped.jit) {
+        println!(
+            "  jit over compiled:     flat {:.2}x, grouped {:.2}x",
+            fj.dispatches_per_sec / flat.compiled.dispatches_per_sec,
+            gj.dispatches_per_sec / grouped.compiled.dispatches_per_sec
+        );
+    }
     println!("  batch64 over single:   flat {flat_batch:.2}x, grouped {grouped_batch:.2}x");
 
     let mut failed = false;
     if baseline.is_some() {
-        for (what, ratio, floor) in [
+        let mut gates = vec![
             (
-                "flat compiled/checked",
+                "flat compiled/checked".to_string(),
                 flat_speedup,
                 COMPILED_OVER_CHECKED_FLOOR,
             ),
             (
-                "grouped compiled/checked",
+                "grouped compiled/checked".to_string(),
                 grouped_speedup,
                 COMPILED_OVER_CHECKED_FLOOR,
             ),
-            ("flat batch64/single", flat_batch, BATCH_OVER_SINGLE_FLOOR),
-        ] {
+            (
+                "flat batch64/single".to_string(),
+                flat_batch,
+                BATCH_OVER_SINGLE_FLOOR,
+            ),
+        ];
+        if let (Some(fj), Some(gj)) = (&flat.jit, &grouped.jit) {
+            gates.push((
+                "flat jit/compiled".to_string(),
+                fj.dispatches_per_sec / flat.compiled.dispatches_per_sec,
+                JIT_OVER_COMPILED_FLOOR,
+            ));
+            gates.push((
+                "grouped jit/compiled".to_string(),
+                gj.dispatches_per_sec / grouped.compiled.dispatches_per_sec,
+                JIT_OVER_COMPILED_FLOOR,
+            ));
+        }
+        for (what, ratio, floor) in gates {
             if ratio < floor {
                 eprintln!("REGRESSION: {what} speedup {ratio:.2}x is below the {floor:.2}x floor");
                 failed = true;
@@ -376,18 +441,43 @@ mod tests {
             checked: variant(100.0),
             fast: variant(300.0),
             compiled: variant(700.0),
-            compiled_batch: variant(800.0),
+            jit: Some(variant(2000.0)),
+            batch: variant(2100.0),
         };
         let grouped = ProgramResults {
             checked: variant(90.0),
             fast: variant(250.0),
             compiled: variant(600.0),
-            compiled_batch: variant(650.0),
+            jit: Some(variant(1800.0)),
+            batch: variant(1900.0),
         };
         let json = render_json(64, false, &native, &flat, &grouped);
         // Must pick the flat program's single-shot compiled figure — not
-        // the batch figure, the grouped program's, or the oracle's.
+        // the batch, jit, or grouped figures, and not the oracle's.
         assert_eq!(baseline_flat_compiled_dps(&json), Some(700.0));
         assert_eq!(baseline_flat_compiled_dps("not json"), None);
+    }
+
+    #[test]
+    fn baseline_parse_survives_a_jitless_baseline() {
+        // A baseline written on a non-x86-64 host has no jit rows; the
+        // parser must still find the flat compiled block.
+        let native = variant(900.0);
+        let flat = ProgramResults {
+            checked: variant(100.0),
+            fast: variant(300.0),
+            compiled: variant(700.0),
+            jit: None,
+            batch: variant(800.0),
+        };
+        let grouped = ProgramResults {
+            checked: variant(90.0),
+            fast: variant(250.0),
+            compiled: variant(600.0),
+            jit: None,
+            batch: variant(650.0),
+        };
+        let json = render_json(64, false, &native, &flat, &grouped);
+        assert_eq!(baseline_flat_compiled_dps(&json), Some(700.0));
     }
 }

@@ -205,6 +205,13 @@ pub struct CompiledProgram {
     /// check cannot alias a recycled allocation; a different frozen
     /// registry gets a fresh, uncached resolution.
     pub(crate) bank_cache: BankCache,
+    /// Whole-resolution cache, keyed the same way as `bank_cache`: once
+    /// the registry freezes, the per-run [`ResolvedMaps`] (slot `Arc`
+    /// clones + bank attach) collapses to one refcount bump. This is what
+    /// makes the *single*-dispatch compiled/jit path as cheap as the
+    /// batched one — see the grouped-batch investigation in
+    /// EXPERIMENTS.md.
+    pub(crate) slot_cache: SlotCache,
     pub(crate) fused_popcounts: usize,
 }
 
@@ -212,15 +219,21 @@ pub struct CompiledProgram {
 /// (the identity key) plus the banks resolved from it.
 pub(crate) type BankCache = OnceLock<(Arc<[MapRef]>, Arc<[ResolvedBank]>)>;
 
+/// One cached full resolution: frozen fd table identity plus the shared
+/// [`ResolvedMaps`] built against it.
+pub(crate) type SlotCache = OnceLock<(Arc<[MapRef]>, Arc<ResolvedMaps>)>;
+
 /// Per-run (or per-batch) resolution of the constant-fd slots: the Arc
 /// clones replace one registry lock per helper call with one per slot per
 /// run. Banked programs additionally carry their pre-resolved fd banks —
 /// one refcount bump per run once the cache is warm.
+#[derive(Debug)]
 pub(crate) struct ResolvedMaps {
     slots: [ResolvedSlot; MAX_CONST_SLOTS],
     banks: Option<Arc<[ResolvedBank]>>,
 }
 
+#[derive(Debug)]
 enum ResolvedSlot {
     Missing,
     Array(Arc<ArrayMap>),
@@ -490,6 +503,7 @@ impl CompiledProgram {
             const_fds: const_fds.into_boxed_slice(),
             banks: banks.into_boxed_slice(),
             bank_cache: OnceLock::new(),
+            slot_cache: OnceLock::new(),
             fused_popcounts,
         }
     }
@@ -609,10 +623,30 @@ impl CompiledProgram {
 
     /// Resolve the constant-fd slots against `maps`. Called once per run
     /// by [`crate::vm::Vm::run`], and once per *batch* by
-    /// [`crate::vm::Vm::run_batch`] — the point of the exercise. Banked
-    /// programs also attach their pre-resolved fd banks, cached against
-    /// the registry's frozen table.
-    pub(crate) fn resolve(&self, maps: &MapRegistry) -> ResolvedMaps {
+    /// [`crate::vm::Vm::run_batch`]. Once the registry is frozen (the
+    /// steady state for every dispatch plane), the whole resolution is
+    /// cached against the frozen table's identity and a run costs one
+    /// `Arc` refcount bump; an unfrozen or mismatched registry falls back
+    /// to a fresh build, exactly as before.
+    pub(crate) fn resolve(&self, maps: &MapRegistry) -> Arc<ResolvedMaps> {
+        if maps.is_frozen() {
+            let table = Arc::clone(maps.frozen_table());
+            let (cached_table, cached) = self
+                .slot_cache
+                .get_or_init(|| (table.clone(), Arc::new(self.resolve_fresh(maps))));
+            if Arc::ptr_eq(cached_table, &table) {
+                return Arc::clone(cached);
+            }
+        }
+        Arc::new(self.resolve_fresh(maps))
+    }
+
+    /// Build a [`ResolvedMaps`] from scratch: one registry access per
+    /// constant-fd slot plus the bank attach. The flight-recorder counter
+    /// proves cache behavior: a warm frozen-registry dispatch loop holds
+    /// `vm.resolve_builds` at one build total, not one per run.
+    fn resolve_fresh(&self, maps: &MapRegistry) -> ResolvedMaps {
+        hermes_trace::trace_count!(hermes_trace::CounterId::VmResolveBuilds);
         let mut slots: [ResolvedSlot; MAX_CONST_SLOTS] =
             std::array::from_fn(|_| ResolvedSlot::Missing);
         for (i, &(fd, kind)) in self.const_fds.iter().enumerate() {
@@ -635,7 +669,7 @@ impl CompiledProgram {
     /// resolution when `maps` is frozen and matches the cache. A banked
     /// program forces the freeze: banks exist precisely so the hot path
     /// never consults the locked registry.
-    fn resolve_banks(&self, maps: &MapRegistry) -> Arc<[ResolvedBank]> {
+    pub(crate) fn resolve_banks(&self, maps: &MapRegistry) -> Arc<[ResolvedBank]> {
         let build = || -> Arc<[ResolvedBank]> {
             self.banks
                 .iter()

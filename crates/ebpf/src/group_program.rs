@@ -89,17 +89,21 @@ impl GroupedReuseportGroup {
         // snapshot.
         let ctx = AnalysisCtx::from_registry(&registry);
         let vm = Vm::load_analyzed(prog, &ctx).expect("grouped dispatch program must analyze");
-        assert_eq!(
-            vm.tier(),
-            ExecTier::Compiled,
-            "grouped dispatch program must be proven clean for the compiled tier"
-        );
         // Reaching the tier is not enough: the translation validator must
         // have certified the compiled artifact against checked semantics.
         assert!(
             vm.validation().is_some(),
             "grouped compiled dispatch must carry a validation certificate: {:?}",
             vm.validation_error()
+        );
+        // Eagerly lower to native code where the platform supports it —
+        // the banked fd lookups are baked into the emitted code, so the
+        // grouped per-connection path is registry-free on the jit tier too.
+        vm.prepare_jit(&registry);
+        assert_eq!(
+            vm.tier(),
+            ExecTier::native_ceiling(),
+            "grouped dispatch program must reach the platform execution ceiling"
         );
         let compiled = vm.compiled().expect("compiled tier present");
         assert_eq!(
@@ -213,11 +217,13 @@ impl GroupedReuseportGroup {
         self.vm.is_fast_path()
     }
 
-    /// Execution tier the attached program runs on — [`ExecTier::Compiled`]
-    /// always, by construction. The grouped program computes its map fds at
-    /// run time, but analysis bounds each helper's fd to a contiguous
-    /// registered bank, so every call compiles to a lock-free pre-resolved
-    /// bank step (`dyn_helper_calls()` is zero by the construction assert).
+    /// Execution tier the attached program runs on —
+    /// [`ExecTier::native_ceiling`] always, by construction. The grouped
+    /// program computes its map fds at run time, but analysis bounds each
+    /// helper's fd to a contiguous registered bank, so every call compiles
+    /// to a lock-free pre-resolved bank step (`dyn_helper_calls()` is zero
+    /// by the construction assert) — and the jit bakes each bank's
+    /// pointer table straight into the emitted code.
     pub fn tier(&self) -> ExecTier {
         self.vm.tier()
     }
@@ -268,12 +274,19 @@ impl GroupedReuseportGroup {
     /// decisions (identical to per-hash [`dispatch`](Self::dispatch)) to
     /// `out` in order.
     pub fn dispatch_batch(&self, hashes: &[u32], out: &mut Vec<GroupedOutcome>) {
+        out.reserve(hashes.len());
+        if let Some(jit) = self.vm.prepare_jit(&self.registry) {
+            hermes_trace::trace_count!(hermes_trace::CounterId::VmRunsJit, hashes.len());
+            for &hash in hashes {
+                out.push(self.outcome(hash, jit.run(hash, 0)));
+            }
+            return;
+        }
         let compiled = self
             .vm
             .compiled()
             .expect("constructed on the compiled tier");
         let resolved = compiled.resolve(&self.registry);
-        out.reserve(hashes.len());
         for &hash in hashes {
             let result = compiled.exec(hash, &self.registry, 0, &resolved);
             out.push(self.outcome(hash, result));
@@ -316,9 +329,9 @@ mod tests {
     }
 
     #[test]
-    fn grouped_program_runs_on_the_compiled_tier() {
+    fn grouped_program_runs_on_the_native_ceiling_tier() {
         let g = GroupedReuseportGroup::new(4, 16);
-        assert_eq!(g.tier(), ExecTier::Compiled);
+        assert_eq!(g.tier(), ExecTier::native_ceiling());
         assert!(g.analysis().is_clean());
     }
 

@@ -35,6 +35,10 @@
 //!   [`compile::CompiledProgram`] is proven bit-exactly equivalent to the
 //!   checked interpreter's semantics, block by block, before [`vm::Vm`]
 //!   will execute it.
+//! * [`jit`] + [`execmem`] — the top tier on x86-64 Linux: the validated
+//!   compiled stream lowered to native machine code in W^X pages, with
+//!   map addresses baked in and helpers inlined — the userspace analogue
+//!   of the kernel's eBPF JIT.
 //!
 //! The bytecode program is property-tested for exact equivalence with the
 //! native oracle `hermes_core::ConnDispatcher` over all bitmaps and hashes.
@@ -52,9 +56,11 @@ pub mod analysis;
 pub mod asm;
 pub mod compile;
 pub mod disasm;
+pub mod execmem;
 pub mod group_program;
 pub mod helpers;
 pub mod insn;
+pub mod jit;
 pub mod maps;
 pub mod program;
 pub mod validate;
@@ -66,6 +72,7 @@ pub use asm::{parse_listing, Assembler, ParseError};
 pub use compile::CompiledProgram;
 pub use group_program::{GroupedOutcome, GroupedReuseportGroup};
 pub use insn::{Insn, Op, Reg};
+pub use jit::{JitError, JitMutation, JitProgram};
 pub use maps::{ArrayMap, MapKind, MapRegistry, SockArrayMap};
 pub use program::{DispatchProgram, ReuseportGroup};
 pub use validate::{validate, ValidationCert, ValidationError};

@@ -52,6 +52,16 @@ impl ArrayMap {
         self.elems[key].load(Ordering::Acquire)
     }
 
+    /// Raw base pointer of the element buffer, for the JIT to bake into
+    /// emitted code as an immediate. The buffer address is stable for the
+    /// life of the map (`Box<[AtomicU64]>` never reallocates), and the
+    /// JIT'd program keeps the owning `Arc<ArrayMap>` alive, so baked
+    /// addresses never dangle.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    pub(crate) fn elems_ptr(&self) -> *const AtomicU64 {
+        self.elems.as_ptr()
+    }
+
     /// `bpf_map_update_elem` from userspace: store `value` at `key`.
     /// Returns false when the key is out of range.
     #[inline]
@@ -66,8 +76,9 @@ impl ArrayMap {
     }
 }
 
-/// Sentinel for an empty sockarray slot.
-const NO_SOCK: usize = usize::MAX;
+/// Sentinel for an empty sockarray slot. `pub(crate)` so the JIT can
+/// compare against it in emitted code.
+pub(crate) const NO_SOCK: usize = usize::MAX;
 
 /// `BPF_MAP_TYPE_REUSEPORT_SOCKARRAY`: worker index → socket handle.
 #[derive(Debug)]
@@ -112,6 +123,14 @@ impl SockArrayMap {
         if let Some(s) = self.slots.get(key) {
             s.store(NO_SOCK, Ordering::Release);
         }
+    }
+
+    /// Raw base pointer of the slot buffer, for the JIT to bake into
+    /// emitted code as an immediate. Same stability argument as
+    /// [`ArrayMap::elems_ptr`].
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    pub(crate) fn slots_ptr(&self) -> *const AtomicUsize {
+        self.slots.as_ptr()
     }
 
     /// Socket handle at `key`, `None` when empty or out of range.

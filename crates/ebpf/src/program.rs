@@ -241,17 +241,21 @@ impl ReuseportGroup {
         // path for every connection.
         let ctx = AnalysisCtx::from_registry(&registry);
         let vm = Vm::load_analyzed(prog.insns, &ctx).expect("dispatch program must analyze");
-        assert_eq!(
-            vm.tier(),
-            ExecTier::Compiled,
-            "dispatch program must be proven clean for the compiled tier"
-        );
         // Reaching the tier is not enough: the translation validator must
         // have certified the compiled artifact against checked semantics.
         assert!(
             vm.validation().is_some(),
             "compiled dispatch must carry a validation certificate: {:?}",
             vm.validation_error()
+        );
+        // Eagerly lower to native code where the platform supports it, so
+        // the first connection does not pay the emission cost and `tier()`
+        // reports the tier dispatch will actually run on.
+        vm.prepare_jit(&registry);
+        assert_eq!(
+            vm.tier(),
+            ExecTier::native_ceiling(),
+            "dispatch program must reach the platform execution ceiling"
         );
         Self {
             registry,
@@ -278,8 +282,9 @@ impl ReuseportGroup {
         self.vm.is_fast_path()
     }
 
-    /// Execution tier the attached program runs on — [`ExecTier::Compiled`]
-    /// always, by construction.
+    /// Execution tier the attached program runs on —
+    /// [`ExecTier::native_ceiling`] always, by construction: the jit tier
+    /// on x86-64 Linux, the compiled tier elsewhere.
     pub fn tier(&self) -> ExecTier {
         self.vm.tier()
     }
@@ -349,14 +354,21 @@ impl ReuseportGroup {
     /// execution from the same atomic element, and userspace sync is
     /// already asynchronous with respect to arrivals.
     pub fn dispatch_batch(&self, hashes: &[u32], out: &mut Vec<DispatchOutcome>) {
+        out.reserve(hashes.len());
+        hermes_trace::trace_count!(hermes_trace::CounterId::DispatchBatches);
+        hermes_trace::trace_count!(hermes_trace::CounterId::BatchedFlows, hashes.len());
+        if let Some(jit) = self.vm.prepare_jit(&self.registry) {
+            hermes_trace::trace_count!(hermes_trace::CounterId::VmRunsJit, hashes.len());
+            for &hash in hashes {
+                out.push(self.outcome(hash, jit.run(hash, 0)));
+            }
+            return;
+        }
         let compiled = self
             .vm
             .compiled()
             .expect("constructed on the compiled tier");
         let resolved = compiled.resolve(&self.registry);
-        out.reserve(hashes.len());
-        hermes_trace::trace_count!(hermes_trace::CounterId::DispatchBatches);
-        hermes_trace::trace_count!(hermes_trace::CounterId::BatchedFlows, hashes.len());
         hermes_trace::trace_count!(hermes_trace::CounterId::VmRunsCompiled, hashes.len());
         for &hash in hashes {
             let result = compiled.exec(hash, &self.registry, 0, &resolved);
@@ -452,11 +464,11 @@ mod tests {
     }
 
     #[test]
-    fn group_runs_on_the_compiled_tier() {
+    fn group_runs_on_the_native_ceiling_tier() {
         use crate::vm::ExecTier;
         for workers in [1usize, 2, 64] {
             let g = ReuseportGroup::new(workers);
-            assert_eq!(g.tier(), ExecTier::Compiled, "workers={workers}");
+            assert_eq!(g.tier(), ExecTier::native_ceiling(), "workers={workers}");
             assert!(g.analysis().is_clean());
         }
     }

@@ -1337,6 +1337,7 @@ pub fn mutate(p: &CompiledProgram, m: Mutation) -> Option<CompiledProgram> {
         const_fds: p.const_fds.clone(),
         banks: p.banks.clone(),
         bank_cache: std::sync::OnceLock::new(),
+        slot_cache: std::sync::OnceLock::new(),
         fused_popcounts: p.fused_popcounts,
     })
 }

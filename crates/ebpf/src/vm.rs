@@ -24,9 +24,11 @@ use crate::compile::CompiledProgram;
 use crate::disasm::disasm_insn;
 use crate::helpers::{call_helper, call_helper_fast, HelperCtx};
 use crate::insn::{Alu, Cond, Insn, Op, Reg, Src, NUM_REGS, STACK_SIZE};
+use crate::jit::JitProgram;
 use crate::maps::MapRegistry;
 use crate::validate::{validate, ValidationCert, ValidationError};
 use crate::verifier::{verify, VerifyError};
+use std::sync::{Arc, OnceLock};
 
 /// Execution tier a program qualifies for — the ladder the analysis pays
 /// for at load time. [`Vm::run`] always uses the highest available tier.
@@ -42,6 +44,12 @@ pub enum ExecTier {
     /// fetch/decode, fused popcounts, helper calls resolved to direct code
     /// with constant-fd maps bound once per run (or batch).
     Compiled,
+    /// Native x86-64 machine code ([`crate::jit`]): the compiled stream
+    /// lowered to an emitted function with map addresses baked in and
+    /// helpers inlined. Only available on x86-64 Linux, only for
+    /// translation-validated programs, and only after
+    /// [`Vm::prepare_jit`] baked the code against a frozen registry.
+    Jit,
 }
 
 impl ExecTier {
@@ -52,6 +60,20 @@ impl ExecTier {
             ExecTier::Checked => 0,
             ExecTier::Fast => 1,
             ExecTier::Compiled => 2,
+            ExecTier::Jit => 3,
+        }
+    }
+
+    /// The highest tier a certified dispatch program can reach on this
+    /// build target: [`ExecTier::Jit`] where the emitter exists, else
+    /// [`ExecTier::Compiled`]. Construction asserts in the runtime
+    /// driver, lb server, and simnet use this so the same check is
+    /// strict on x86-64 Linux and portable elsewhere.
+    pub fn native_ceiling() -> ExecTier {
+        if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+            ExecTier::Jit
+        } else {
+            ExecTier::Compiled
         }
     }
 
@@ -61,6 +83,7 @@ impl ExecTier {
             ExecTier::Checked => hermes_trace::CounterId::VmRunsChecked,
             ExecTier::Fast => hermes_trace::CounterId::VmRunsFast,
             ExecTier::Compiled => hermes_trace::CounterId::VmRunsCompiled,
+            ExecTier::Jit => hermes_trace::CounterId::VmRunsJit,
         }
     }
 }
@@ -71,6 +94,7 @@ impl std::fmt::Display for ExecTier {
             ExecTier::Checked => write!(f, "checked"),
             ExecTier::Fast => write!(f, "fast"),
             ExecTier::Compiled => write!(f, "compiled"),
+            ExecTier::Jit => write!(f, "jit"),
         }
     }
 }
@@ -248,6 +272,12 @@ pub struct Vm {
     validation_error: Option<ValidationError>,
     /// Analysis report, present when loaded via [`Vm::load_analyzed`].
     report: Option<AnalysisReport>,
+    /// Lazily-built native code ([`Vm::prepare_jit`]): `None` inside the
+    /// `OnceLock` records that emission was attempted and declined (wrong
+    /// target, dynamic helpers, unresolved fds), so the decision is made
+    /// once. Only a compiled-tier program — cert in hand — ever attempts
+    /// emission, extending the cert gate to the jit tier.
+    jit: OnceLock<Option<Arc<JitProgram>>>,
 }
 
 impl Vm {
@@ -262,6 +292,7 @@ impl Vm {
             compiled: None,
             validation_error: None,
             report: None,
+            jit: OnceLock::new(),
         };
         vm.trace_load();
         Ok(vm)
@@ -299,6 +330,7 @@ impl Vm {
             compiled,
             validation_error,
             report: Some(report),
+            jit: OnceLock::new(),
         };
         vm.trace_load();
         Ok(vm)
@@ -334,15 +366,51 @@ impl Vm {
 
     /// Highest execution tier this program qualified for. [`Vm::load`]
     /// yields [`ExecTier::Checked`]; [`Vm::load_analyzed`] with a clean
-    /// report yields [`ExecTier::Compiled`].
+    /// report yields [`ExecTier::Compiled`]; a successful
+    /// [`Vm::prepare_jit`] lifts that to [`ExecTier::Jit`].
     pub fn tier(&self) -> ExecTier {
-        if self.compiled.is_some() {
+        if matches!(self.jit.get(), Some(Some(_))) {
+            ExecTier::Jit
+        } else if self.compiled.is_some() {
             ExecTier::Compiled
         } else if self.fast.is_some() {
             ExecTier::Fast
         } else {
             ExecTier::Checked
         }
+    }
+
+    /// Lower the certified compiled stream to native code against `maps`
+    /// (freezing it if needed — this is load time, the `BPF_PROG_LOAD`
+    /// moment), or return the already-emitted code. Returns `None` when
+    /// the program lacks a [`ValidationCert`] (the jit inherits the
+    /// compiled tier's admission gate), when the target has no emitter,
+    /// when the program needs dynamic helpers, or when the code was baked
+    /// against a *different* frozen registry than `maps` — all clean
+    /// fallbacks to the compiled tier.
+    #[inline]
+    pub fn prepare_jit(&self, maps: &MapRegistry) -> Option<&JitProgram> {
+        let (cp, cert) = self.compiled.as_ref()?;
+        let jit = self.jit.get_or_init(|| match JitProgram::emit(cp, cert, maps) {
+            Ok(j) => {
+                hermes_trace::trace_event!(
+                    0u64,
+                    hermes_trace::EventKind::JitLoad,
+                    hermes_trace::KERNEL_LANE,
+                    j.code_len(),
+                    j.block_count()
+                );
+                Some(Arc::new(j))
+            }
+            Err(_) => None,
+        });
+        let jit = jit.as_ref()?;
+        jit.table_matches(maps).then(|| &**jit)
+    }
+
+    /// The emitted native program, when [`Vm::prepare_jit`] succeeded.
+    pub fn jit(&self) -> Option<&JitProgram> {
+        self.jit.get()?.as_deref()
     }
 
     /// The compiled top-tier program, when the analysis earned it *and*
@@ -376,22 +444,38 @@ impl Vm {
 
     /// Run the program with `ctx_hash` in R1 (the kernel-precomputed
     /// 4-tuple hash — our simplified `sk_reuseport_md`). Dispatches to the
-    /// highest tier the analysis earned.
+    /// highest tier the analysis earned: native code when the registry is
+    /// frozen and [`Vm::prepare_jit`] succeeds (the frozen-registry gate
+    /// keeps a bare `run` from freezing `maps` as a side effect), else
+    /// compiled → fast → checked. The tier counter records the path
+    /// actually taken.
     pub fn run(
         &self,
         ctx_hash: u32,
         maps: &MapRegistry,
         now_ns: u64,
     ) -> Result<ExecResult, ExecError> {
-        hermes_trace::trace_count!(self.tier().run_counter());
+        if maps.is_frozen() {
+            if let Some(jit) = self.prepare_jit(maps) {
+                hermes_trace::trace_count!(ExecTier::Jit.run_counter());
+                return Ok(jit.run(ctx_hash, now_ns));
+            }
+        }
         // Destructuring the pair is the admission check: the compiled
         // stream is only reachable alongside its ValidationCert.
         if let Some((compiled, _cert)) = &self.compiled {
+            hermes_trace::trace_count!(ExecTier::Compiled.run_counter());
             return Ok(compiled.run(ctx_hash, maps, now_ns));
         }
         match &self.fast {
-            Some(fast) => Ok(Self::run_fast(fast, ctx_hash, maps, now_ns)),
-            None => self.run_checked(ctx_hash, maps, now_ns),
+            Some(fast) => {
+                hermes_trace::trace_count!(ExecTier::Fast.run_counter());
+                Ok(Self::run_fast(fast, ctx_hash, maps, now_ns))
+            }
+            None => {
+                hermes_trace::trace_count!(ExecTier::Checked.run_counter());
+                self.run_checked(ctx_hash, maps, now_ns)
+            }
         }
     }
 
@@ -422,6 +506,12 @@ impl Vm {
                     .expect("program did not earn the compiled tier");
                 Ok(compiled.run(ctx_hash, maps, now_ns))
             }
+            ExecTier::Jit => {
+                let jit = self
+                    .prepare_jit(maps)
+                    .expect("program did not earn the jit tier");
+                Ok(jit.run(ctx_hash, now_ns))
+            }
         }
     }
 
@@ -438,6 +528,15 @@ impl Vm {
         out: &mut Vec<ExecResult>,
     ) -> Result<(), ExecError> {
         out.reserve(hashes.len());
+        if maps.is_frozen() {
+            if let Some(jit) = self.prepare_jit(maps) {
+                hermes_trace::trace_count!(hermes_trace::CounterId::VmRunsJit, hashes.len());
+                for &hash in hashes {
+                    out.push(jit.run(hash, now_ns));
+                }
+                return Ok(());
+            }
+        }
         if let Some((compiled, _cert)) = &self.compiled {
             hermes_trace::trace_count!(hermes_trace::CounterId::VmRunsCompiled, hashes.len());
             let resolved = compiled.resolve(maps);
@@ -861,6 +960,8 @@ mod tests {
         assert_eq!(compiled.tier(), ExecTier::Compiled);
         assert!(compiled.is_fast_path());
         assert!(ExecTier::Checked < ExecTier::Fast && ExecTier::Fast < ExecTier::Compiled);
+        assert!(ExecTier::Compiled < ExecTier::Jit);
+        assert!(ExecTier::native_ceiling() >= ExecTier::Compiled);
     }
 
     #[test]
@@ -973,6 +1074,7 @@ mod tests {
             compiled: None,
             validation_error: None,
             report: None,
+            jit: OnceLock::new(),
         };
         let err = vm
             .run(0, &MapRegistry::new(), 0)

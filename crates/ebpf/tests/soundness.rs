@@ -247,13 +247,22 @@ fn check_soundness(seed: &[u8], hashes: &[u32], vals: &[u64; ARRAY_SIZE], regist
     };
     let checked = Vm::load(prog.clone()).expect("analysis acceptance implies verification");
     let registry = test_registry(vals, registered);
+    // Attempt native lowering: compiled-tier programs with constant map
+    // fds earn the jit tier on x86-64 Linux; everything else keeps its
+    // tier and the loop below skips the rungs it did not earn.
+    analyzed.prepare_jit(&registry);
     let earned = analyzed.tier();
     let mut singles = Vec::with_capacity(hashes.len());
     for &hash in hashes {
         let c = checked
             .run(hash, &registry, 0)
             .unwrap_or_else(|e| panic!("accepted program trapped (checked): {e}"));
-        for tier in [ExecTier::Checked, ExecTier::Fast, ExecTier::Compiled] {
+        for tier in [
+            ExecTier::Checked,
+            ExecTier::Fast,
+            ExecTier::Compiled,
+            ExecTier::Jit,
+        ] {
             if tier > earned {
                 continue;
             }
@@ -362,8 +371,9 @@ proptest! {
         check_soundness(&seed, &hashes, &vals, registered);
     }
 
-    /// The shipped dispatch program under the fuzz harness: all three
-    /// execution tiers agree for every bitmap, hash, and registration set.
+    /// The shipped dispatch program under the fuzz harness: every earned
+    /// execution tier (jit included on x86-64) agrees for every bitmap,
+    /// hash, and registration set.
     #[test]
     fn dispatch_program_tiers_match_checked(bits: u64, hash: u32, workers in 1usize..=64) {
         check_dispatch_tiers(bits, hash, workers);
@@ -398,7 +408,7 @@ fn check_dispatch_tiers(bits: u64, hash: u32, workers: usize) {
     assert_eq!(
         analyzed.tier(),
         ExecTier::Compiled,
-        "Algorithm 2 must reach the top tier"
+        "Algorithm 2 must reach the top proven tier"
     );
     let checked = Vm::load(prog.insns().to_vec()).unwrap();
     let registry = MapRegistry::new();
@@ -410,8 +420,22 @@ fn check_dispatch_tiers(bits: u64, hash: u32, workers: usize) {
         socks.register(w, w);
     }
     registry.register(MapRef::SockArray(socks));
+    analyzed.prepare_jit(&registry);
+    assert_eq!(
+        analyzed.tier(),
+        ExecTier::native_ceiling(),
+        "Algorithm 2 must reach the platform ceiling"
+    );
     let c = checked.run(hash, &registry, 0).unwrap();
-    for tier in [ExecTier::Checked, ExecTier::Fast, ExecTier::Compiled] {
+    for tier in [
+        ExecTier::Checked,
+        ExecTier::Fast,
+        ExecTier::Compiled,
+        ExecTier::Jit,
+    ] {
+        if tier > analyzed.tier() {
+            continue;
+        }
         let r = analyzed.run_tier(tier, hash, &registry, 0).unwrap();
         assert_eq!(r, c, "{tier} diverged on bits {bits:#x} hash {hash:#x}");
     }
@@ -440,7 +464,7 @@ fn dispatch_programs_are_tier_identical() {
     // batched runs must equal single-shot runs on every tier's oracle.
     let grouped = hermes_ebpf::GroupedReuseportGroup::new(4, 16);
     let vm = grouped.vm();
-    assert_eq!(vm.tier(), ExecTier::Compiled);
+    assert_eq!(vm.tier(), ExecTier::native_ceiling());
     let hashes: Vec<u32> = (0..128u64).map(|_| lcg() as u32).collect();
     let singles: Vec<_> = hashes
         .iter()
@@ -448,7 +472,10 @@ fn dispatch_programs_are_tier_identical() {
             let c = vm
                 .run_tier(ExecTier::Checked, h, grouped.registry(), 0)
                 .unwrap();
-            for tier in [ExecTier::Fast, ExecTier::Compiled] {
+            for tier in [ExecTier::Fast, ExecTier::Compiled, ExecTier::Jit] {
+                if tier > vm.tier() {
+                    continue;
+                }
                 let r = vm.run_tier(tier, h, grouped.registry(), 0).unwrap();
                 assert_eq!(r, c, "grouped {tier} diverged on hash {h:#x}");
             }
@@ -464,8 +491,9 @@ fn dispatch_programs_are_tier_identical() {
 /// Grouped-dispatch differential oracle. Loads `bitmaps[g]` into group
 /// `g`'s selection map on both planes, then asserts for every hash:
 ///
-/// * the checked interpreter, the unchecked fast path, and the compiled
-///   (pre-resolved bank) tier return byte-identical `ExecResult`s;
+/// * the checked interpreter, the unchecked fast path, the compiled
+///   (pre-resolved bank) tier, and the jit (where earned) return
+///   byte-identical `ExecResult`s;
 /// * `run_batch` over the compiled tier equals the single-shot runs;
 /// * the bytecode decision (group, local worker, directed flag, global
 ///   flattening) equals the native [`GroupedConnDispatcher`] — the §7
@@ -491,7 +519,7 @@ fn check_grouped_dispatch(groups: usize, group_size: usize, bitmaps: &[u64], has
     let vm = g.vm();
     assert_eq!(
         vm.tier(),
-        ExecTier::Compiled,
+        ExecTier::native_ceiling(),
         "grouped program lost its tier"
     );
     let mut singles = Vec::with_capacity(hashes.len());
@@ -499,7 +527,10 @@ fn check_grouped_dispatch(groups: usize, group_size: usize, bitmaps: &[u64], has
         let c = vm
             .run_tier(ExecTier::Checked, h, g.registry(), 0)
             .expect("interpreted grouped run trapped");
-        for tier in [ExecTier::Fast, ExecTier::Compiled] {
+        for tier in [ExecTier::Fast, ExecTier::Compiled, ExecTier::Jit] {
+            if tier > vm.tier() {
+                continue;
+            }
             let r = vm.run_tier(tier, h, g.registry(), 0).unwrap();
             assert_eq!(r, c, "grouped {tier} diverged on hash {h:#x}");
         }

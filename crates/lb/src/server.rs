@@ -90,7 +90,7 @@ impl TcpLb {
         // artifact bit-exact against checked semantics.
         assert_eq!(
             group.tier(),
-            ExecTier::Compiled,
+            ExecTier::native_ceiling(),
             "dispatch program failed static verification:\n{}",
             group.analysis().render(group.program())
         );
@@ -169,7 +169,7 @@ impl TcpLb {
         // semantics.
         assert_eq!(
             group.tier(),
-            ExecTier::Compiled,
+            ExecTier::native_ceiling(),
             "grouped dispatch program failed static verification:\n{}",
             group.analysis().render(group.program())
         );

@@ -165,12 +165,13 @@ impl LbRuntime {
         let kernel = Arc::new(if config.use_ebpf {
             let group = ReuseportGroup::new(config.workers);
             // The attached Algorithm 2 program must be statically proven
-            // safe (zero analysis warnings) and *proven* onto the top
-            // execution tier — the translation validator must have certified
-            // the compiled artifact — before the runtime serves on it.
+            // safe (zero analysis warnings) and *proven* onto the platform
+            // execution ceiling — the translation validator must have
+            // certified the compiled artifact (and the jit, where present,
+            // lowered it) — before the runtime serves on it.
             assert_eq!(
                 group.tier(),
-                ExecTier::Compiled,
+                ExecTier::native_ceiling(),
                 "dispatch program failed verification:\n{}",
                 group.analysis().render(group.program())
             );
@@ -241,12 +242,12 @@ impl LbRuntime {
         let clock = Clock::new();
         let kernel = Arc::new(if config.use_ebpf {
             let group = GroupedReuseportGroup::new(groups, group_size);
-            // The grouped program must be *proven* onto the compiled tier
-            // (validator certificate) with every helper pre-resolved: no
-            // registry lock on the per-SYN path.
+            // The grouped program must be *proven* onto the platform
+            // execution ceiling (validator certificate) with every helper
+            // pre-resolved: no registry lock on the per-SYN path.
             assert_eq!(
                 group.tier(),
-                ExecTier::Compiled,
+                ExecTier::native_ceiling(),
                 "grouped dispatch program failed verification:\n{}",
                 group.analysis().render(group.program())
             );

@@ -76,7 +76,7 @@ impl HermesState {
                     // trusts it.
                     assert_eq!(
                         e.tier(),
-                        ExecTier::Compiled,
+                        ExecTier::native_ceiling(),
                         "grouped dispatch program failed verification"
                     );
                     assert!(
@@ -103,7 +103,7 @@ impl HermesState {
                 // trusts it.
                 assert_eq!(
                     g.tier(),
-                    ExecTier::Compiled,
+                    ExecTier::native_ceiling(),
                     "dispatch program failed verification"
                 );
                 assert!(

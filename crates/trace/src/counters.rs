@@ -66,11 +66,16 @@ pub enum CounterId {
     ValidatorSymbolicSteps = 25,
     /// Validation certificates issued (compiled-tier admissions proven).
     ValidatorCertsIssued = 26,
+    /// VM executions on the jit (native x86-64) tier.
+    VmRunsJit = 27,
+    /// Constant-fd slot resolutions built from the registry (cache
+    /// misses); a warm frozen-registry dispatch loop holds this at one.
+    VmResolveBuilds = 28,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 29;
 
     /// Every counter, in registry order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -101,6 +106,8 @@ impl CounterId {
         CounterId::ValidatorBlocksProven,
         CounterId::ValidatorSymbolicSteps,
         CounterId::ValidatorCertsIssued,
+        CounterId::VmRunsJit,
+        CounterId::VmResolveBuilds,
     ];
 
     /// Stable dotted name used in exports.
@@ -133,6 +140,8 @@ impl CounterId {
             CounterId::ValidatorBlocksProven => "validate.blocks_proven",
             CounterId::ValidatorSymbolicSteps => "validate.symbolic_steps",
             CounterId::ValidatorCertsIssued => "validate.certs_issued",
+            CounterId::VmRunsJit => "vm.runs_jit",
+            CounterId::VmResolveBuilds => "vm.resolve_builds",
         }
     }
 }

@@ -25,7 +25,8 @@ pub enum EventKind {
     /// `a` = bitmap, `b` = WST epoch at publish.
     BitmapPublish = 3,
     /// A dispatch program was loaded/verified. `a` = exec tier code
-    /// (0 = Checked, 1 = Fast, 2 = Compiled), `b` = instruction count.
+    /// (0 = Checked, 1 = Fast, 2 = Compiled, 3 = Jit), `b` = instruction
+    /// count.
     VmLoad = 4,
     /// A batch of flows went through `dispatch_batch`.
     /// `a` = batch length, `b` = directed (non-fallback) count.
@@ -54,12 +55,15 @@ pub enum EventKind {
     /// Grouped (two-level) dispatch decision.
     /// `a` = flow hash, `b` = `group << 32 | global_worker`.
     GroupDispatch = 15,
+    /// A certified program was lowered to native code by the JIT.
+    /// `a` = emitted code size in bytes, `b` = basic blocks lowered.
+    JitLoad = 16,
 }
 
 impl EventKind {
     /// Every kind the decoder knows, in discriminant order (excluding
     /// [`EventKind::Unknown`]). Drives the per-kind summary table.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::SchedStage,
         EventKind::SchedDecision,
         EventKind::BitmapPublish,
@@ -75,6 +79,7 @@ impl EventKind {
         EventKind::SimWake,
         EventKind::SimDispatch,
         EventKind::GroupDispatch,
+        EventKind::JitLoad,
     ];
 
     /// Decode a wire discriminant, mapping unknown values to
@@ -96,6 +101,7 @@ impl EventKind {
             13 => EventKind::SimWake,
             14 => EventKind::SimDispatch,
             15 => EventKind::GroupDispatch,
+            16 => EventKind::JitLoad,
             _ => EventKind::Unknown,
         }
     }
@@ -119,6 +125,7 @@ impl EventKind {
             EventKind::SimWake => "sim.wake",
             EventKind::SimDispatch => "sim.dispatch",
             EventKind::GroupDispatch => "dispatch.group",
+            EventKind::JitLoad => "vm.jit_load",
         }
     }
 }

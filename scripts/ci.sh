@@ -20,11 +20,21 @@ cargo build --workspace --release --features trace
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> ebpf soundness differential suite (checked vs fast vs compiled)"
+echo "==> ebpf soundness differential suite (checked vs fast vs compiled vs jit)"
 # The tier ladder's safety argument: accepted programs never trap, and
-# every earned execution tier returns the checked interpreter's exact
-# result, single-shot and batched.
+# every earned execution tier — including emitted x86-64 machine code —
+# returns the checked interpreter's exact result, single-shot and batched.
 cargo test --release -q -p hermes-ebpf --test soundness
+
+echo "==> jit-soundness (mutation kills, W^X lifecycle, resolve-cache proof)"
+# The jit tier's trust argument beyond the differential: seeded
+# single-defect emitters must be caught (by the emit-time jump audit or
+# the sweep), executable memory is never writable+executable and unmaps
+# on drop, and a warm frozen-registry dispatch loop performs zero map
+# re-resolutions. The mutants/lifecycle files self-skip off x86-64 Linux.
+cargo test --release -q -p hermes-ebpf --test jit_mutants
+cargo test --release -q -p hermes-ebpf --test execmem_lifecycle
+cargo test --release -q -p hermes-ebpf --features trace --test slot_cache
 
 echo "==> simnet_throughput --smoke (event-engine regression gate)"
 # Fails if wheel events/sec drops >20% below the checked-in baseline.
@@ -36,10 +46,11 @@ cargo run --release -p hermes-bench --bin simnet_throughput -- \
 echo "==> dispatch_throughput --smoke (dispatch-tier regression gate)"
 # Fails if flat compiled dispatches/sec drops >20% below the checked-in
 # baseline, if the compiled tier stops beating the checked interpreter by
-# >= 2x on either Algorithm 2 program, or if the 64-burst batch stops
-# beating single-shot compiled dispatch. Regenerate
-# results/BENCH_dispatch.json with a full (non-smoke) run when the
-# dispatch path legitimately changes speed.
+# >= 2x on either Algorithm 2 program, if the jit tier (when earned)
+# stops beating the compiled tier by >= 2x, or if the 64-burst batch
+# falls more than 5% behind single-shot ceiling-tier dispatch.
+# Regenerate results/BENCH_dispatch.json with a full (non-smoke) run when
+# the dispatch path legitimately changes speed.
 cargo run --release -p hermes-bench --bin dispatch_throughput -- \
   --smoke --baseline results/BENCH_dispatch.json --no-write
 
@@ -74,12 +85,23 @@ cargo run --release -p hermes-bench --features trace --bin trace_overhead -- \
 cargo run --release -p hermes-bench --bin trace_overhead -- \
   --smoke --gate --no-write
 
+echo "==> aarch64 cross-check (jit portable-fallback lane)"
+# The jit tier is x86-64-only behind cfg; this lane proves the portable
+# fallback (compiled-tier ceiling, stub JitProgram) still typechecks on a
+# 64-bit non-x86 target so a cfg regression cannot hide on x86 hosts.
+if rustup target list --installed 2>/dev/null | grep -q '^aarch64-unknown-linux-gnu$'; then
+  cargo check --target aarch64-unknown-linux-gnu -p hermes-ebpf
+else
+  echo "SKIP: aarch64-unknown-linux-gnu target absent (install: rustup target add aarch64-unknown-linux-gnu)"
+fi
+
 echo "==> undocumented-unsafe grep gate"
 # Every `unsafe` block must carry a `// SAFETY:` comment within the three
-# lines above it. The workspace has zero unsafe blocks today, so this is a
-# pure ratchet: new unsafe arrives justified or not at all. (Clippy's
-# undocumented_unsafe_blocks deny backs this up once code exists; the grep
-# also catches cfg'd-out blocks clippy never expands.)
+# lines above it. The jit tier introduced the workspace's first real
+# unsafe (mmap/mprotect FFI, the sealed-buffer entry call), so this is no
+# longer a pure ratchet — it actively audits execmem.rs/jit.rs. (Clippy's
+# undocumented_unsafe_blocks deny backs this up; the grep also catches
+# cfg'd-out blocks clippy never expands.)
 bad=0
 while IFS=: read -r file line _; do
   start=$((line > 3 ? line - 3 : 1))
