@@ -3,33 +3,51 @@
 //!
 //! The paper samples a 363-device region (Region2 mix) and reports two
 //! representative devices — the one with the largest max/min core gap —
-//! plus the fleet average. We simulate a scaled-down fleet of devices with
-//! distinct traffic seeds under epoll exclusive and report the same rows.
+//! plus the fleet average. We simulate the *full* 363-device fleet over
+//! the cluster work pool (each device draws its own Region2 traffic from
+//! a device-indexed seed, generated on the claiming pool thread and
+//! dropped after the run) under epoll exclusive and report the same rows.
+//!
+//! Flags:
+//!   --devices N   fleet size (default 363, the paper's region)
 
 use hermes_bench::{banner, fmt, DURATION_NS, WORKERS};
 use hermes_metrics::table::Table;
-use hermes_simnet::{Mode, SimConfig};
+use hermes_simnet::{run_fleet_with, Mode, SimConfig};
 use hermes_workload::regions::Region;
-use hermes_workload::scenario::region_mix;
+use hermes_workload::scenario::fleet_device_mix;
 use hermes_workload::CaseLoad;
+
+const FLEET_SEED: u64 = 7_000;
 
 fn main() {
     banner(
         "Table 2",
         "§2.3 'CPU utilization imbalance ... 363 L7 LB devices'",
     );
+    let mut devices = 363usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--devices" => {
+                devices = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--devices needs a count")
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let region = &Region::all()[1]; // Region2, as in the paper
-    let devices = 12;
+    let fleet = run_fleet_with(devices, threads, |d| {
+        let wl = fleet_device_mix(region, WORKERS, CaseLoad::Light, DURATION_NS, FLEET_SEED, d);
+        (SimConfig::new(WORKERS, Mode::ExclusiveLifo), wl)
+    });
     let mut per_device: Vec<(usize, f64, f64, f64)> = Vec::new(); // (id, max, min, avg)
-    for d in 0..devices {
-        let wl = region_mix(
-            region,
-            WORKERS,
-            CaseLoad::Light,
-            DURATION_NS,
-            7_000 + d as u64,
-        );
-        let r = hermes_simnet::run(&wl, SimConfig::new(WORKERS, Mode::ExclusiveLifo));
+    for (d, r) in fleet.devices.iter().enumerate() {
         let utils = r.cpu_utilizations();
         let max = utils.iter().cloned().fold(f64::MIN, f64::max) * 100.0;
         let min = utils.iter().cloned().fold(f64::MAX, f64::min) * 100.0;

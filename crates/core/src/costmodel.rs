@@ -43,6 +43,31 @@ impl CostModel {
         }
     }
 
+    /// Before/after pair *calibrated to a measured fleet*: `vm_capacity`
+    /// is set so carrying `traffic` at the pre-Hermes 30 % threshold
+    /// takes exactly `devices` VMs — i.e. month 0 of the Fig. 12 series
+    /// reproduces the region as deployed (363 devices in the paper, the
+    /// measured fleet RPS from `BENCH_fleet.json` in our reproduction).
+    pub fn calibrated_pair(traffic: f64, devices: u32) -> (Self, Self) {
+        assert!(
+            traffic > 0.0 && traffic.is_finite(),
+            "traffic must be positive and finite"
+        );
+        assert!(devices >= 1, "need at least one device");
+        // The 1e-9 relative nudge keeps `ceil` from landing on devices+1
+        // when the division round-trips a hair above the exact quotient.
+        let before = Self {
+            vm_capacity: traffic / (devices as f64 * 0.30) * (1.0 + 1e-9),
+            ..Self::before_hermes()
+        };
+        let after = Self {
+            safety_threshold: 0.40,
+            ..before
+        };
+        debug_assert_eq!(before.vms_required(traffic), devices.max(before.min_vms));
+        (before, after)
+    }
+
     /// VMs required to carry `traffic` while keeping average CPU at or
     /// below the safety threshold.
     pub fn vms_required(&self, traffic: f64) -> u32 {
@@ -152,5 +177,25 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan_traffic() {
         CostModel::after_hermes().vms_required(f64::NAN);
+    }
+
+    #[test]
+    fn calibrated_pair_reproduces_the_deployed_fleet_at_month_zero() {
+        // The paper's region: 363 devices. Whatever traffic the fleet
+        // measured, the pre-Hermes model must provision exactly 363 VMs
+        // for it, and the post-Hermes model 30/40 = 75% of that.
+        for traffic in [1_000.0, 224_102.0, 900_000.0] {
+            let (before, after) = CostModel::calibrated_pair(traffic, 363);
+            assert_eq!(before.vms_required(traffic), 363);
+            let a = after.vms_required(traffic);
+            assert!((272..=273).contains(&a), "after {a}");
+            assert!(after.unit_cost(traffic) < before.unit_cost(traffic));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn calibrated_pair_rejects_zero_traffic() {
+        CostModel::calibrated_pair(0.0, 363);
     }
 }

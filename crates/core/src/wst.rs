@@ -51,15 +51,6 @@ impl Wst {
         &self.slots[id]
     }
 
-    /// Snapshot every worker's metrics into a fresh `Vec`. Allocates per
-    /// call — production paths use [`Wst::snapshot_into`] or
-    /// [`Wst::snapshot_cached`]; this remains only as a test convenience.
-    #[deprecated(note = "allocates per call; use snapshot_into (reusable buffer) or \
-                snapshot_cached (epoch-skipping) on non-test paths")]
-    pub fn snapshot(&self) -> Vec<WorkerSnapshot> {
-        self.slots.iter().map(WorkerStatus::snapshot).collect()
-    }
-
     /// Snapshot into a caller-provided buffer, avoiding allocation on the
     /// scheduling fast path. The buffer is cleared first. Reads are
     /// lock-free; cross-worker and cross-field skew is possible and
@@ -130,9 +121,6 @@ impl SnapshotCache {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated allocating `snapshot()` stays exercised as a test
-    // helper — that is exactly its remaining supported use.
-    #![allow(deprecated)]
     use super::*;
     use std::sync::Arc;
 
@@ -159,7 +147,8 @@ mod tests {
         let wst = Wst::new(3);
         wst.worker(0).conn_delta(5);
         wst.worker(2).add_pending(7);
-        let snap = wst.snapshot();
+        let mut snap = Vec::new();
+        wst.snapshot_into(&mut snap);
         assert_eq!(snap[0].connections, 5);
         assert_eq!(snap[1].connections, 0);
         assert_eq!(snap[2].pending_events, 7);
@@ -221,8 +210,9 @@ mod tests {
         wst.worker(0).enter_loop(9);
         wst.worker(1).conn_delta(3);
         wst.reset();
-        assert!(wst
-            .snapshot()
+        let mut snap = Vec::new();
+        wst.snapshot_into(&mut snap);
+        assert!(snap
             .iter()
             .all(|s| s.loop_enter_ns == 0 && s.pending_events == 0 && s.connections == 0));
     }
@@ -250,8 +240,9 @@ mod tests {
         let reader = {
             let t = Arc::clone(&wst);
             std::thread::spawn(move || {
+                let mut snap = Vec::new();
                 for _ in 0..2_000 {
-                    let snap = t.snapshot();
+                    t.snapshot_into(&mut snap);
                     assert_eq!(snap.len(), 8);
                 }
             })

@@ -167,6 +167,13 @@ pub struct SimConfig {
     /// every sampling point; Hermes mode only (the policy reschedules via
     /// the bitmap dispatch).
     pub degrade: Option<hermes_core::degrade::DegradeConfig>,
+    /// Fleet position of this device, when it is one of many run by the
+    /// cluster layer. Routes the device's trace events to a stable lane
+    /// derived from the device index (`hermes_trace::device_lane`) instead
+    /// of per-worker lanes, so fleet traces stay deterministic regardless
+    /// of which pool thread runs the device. `None` (single-device runs)
+    /// keeps the per-worker lane mapping.
+    pub device_index: Option<u32>,
 }
 
 impl SimConfig {
@@ -190,6 +197,7 @@ impl SimConfig {
             probe_interval_ns: None,
             probe_service_ns: 10_000,
             degrade: None,
+            device_index: None,
         }
     }
 

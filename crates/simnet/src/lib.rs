@@ -40,7 +40,7 @@ pub mod ports;
 pub mod sim;
 pub mod state;
 
-pub use cluster::{run_cluster, ClusterReport};
+pub use cluster::{run_cluster, run_cluster_threaded, run_fleet_with, ClusterReport};
 pub use config::{CostParams, Fault, Mode, SimConfig};
 pub use event_queue::{Engine, EventQueue, HeapQueue, TimerWheel};
 pub use metrics::{DeviceReport, WorkerReport};

@@ -135,6 +135,10 @@ pub struct DeviceReport {
     /// Connections RST-rescheduled by the degradation policy (Appendix C
     /// exception case 1); 0 when degradation is disabled.
     pub rst_reschedules: u64,
+    /// Bytes the device's SoA connection table occupies (capacities of all
+    /// parallel arrays plus the pooled waiting-list nodes). The per-device
+    /// memory budget reported by `fleet_throughput` and gated in CI.
+    pub conn_table_bytes: u64,
 }
 
 /// Per-port time series for the Fig. 3 lag-effect plot.
@@ -215,6 +219,15 @@ impl DeviceReport {
     pub fn unanswered_probes(&self) -> u64 {
         self.probes_sent.saturating_sub(self.probe_latency.count())
     }
+
+    /// Connections still established at the horizon (sum of per-worker
+    /// live-connection gauges). The fleet "live connections" figure.
+    pub fn live_connections(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.final_connections.max(0) as u64)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +252,7 @@ mod tests {
             port_trace: None,
             nic_queue_packets: Vec::new(),
             rst_reschedules: 0,
+            conn_table_bytes: 0,
         }
     }
 

@@ -26,7 +26,7 @@ use crate::metrics::{BalanceStats, DeviceReport, PortTrace, WorkerReport};
 use crate::modes::Dispatcher;
 use crate::nic::NicRss;
 use crate::ports::PortTable;
-use crate::state::{ConnId, ConnState, IoEvent, Phase, WorkerState};
+use crate::state::{ConnId, ConnTable, IoEvent, Phase, WorkerState};
 use hermes_metrics::Histogram;
 use hermes_workload::Workload;
 
@@ -58,8 +58,12 @@ pub struct Simulator<'w> {
     queue: EventQueue<Ev>,
     now: u64,
     workers: Vec<WorkerState>,
-    conns: Vec<ConnState>,
+    conns: ConnTable,
     dispatcher: Dispatcher,
+    /// Flight-recorder lane override for fleet runs: a stable lane derived
+    /// from the device index, so trace routing depends on fleet topology,
+    /// never on which pool thread happens to run this device.
+    device_lane: Option<u32>,
     /// Dense port table, shared accept queues, and the kernel-style ready
     /// list (draining is O(1) per accepted connection, not O(#ports)).
     ports: PortTable,
@@ -109,11 +113,7 @@ impl<'w> Simulator<'w> {
             .iter()
             .map(|c| ports.index_of(c.port).expect("registered port") as u32)
             .collect();
-        let conns: Vec<ConnState> = wl
-            .conns
-            .iter()
-            .map(|c| ConnState::new(c.requests.iter().map(|r| r.events)))
-            .collect();
+        let conns = ConnTable::new(wl.conns.iter().map(|c| c.requests.iter().map(|r| r.events)));
         let port_trace = cfg
             .trace_port
             .map(|p| PortTrace::new(p, cfg.sample_interval_ns));
@@ -124,6 +124,7 @@ impl<'w> Simulator<'w> {
             busy_at_last_sample: vec![0; n],
             conns,
             dispatcher,
+            device_lane: cfg.device_index.map(|d| hermes_trace::device_lane(d as usize)),
             ports,
             conn_port,
             queue: EventQueue::new(cfg.engine),
@@ -160,6 +161,19 @@ impl<'w> Simulator<'w> {
     #[inline]
     fn push(&mut self, t: u64, ev: Ev) {
         self.queue.push(t, ev);
+    }
+
+    /// Flight-recorder lane for worker `w`'s events: the worker id on a
+    /// standalone device, the stable device lane in a fleet run.
+    #[inline]
+    fn worker_lane(&self, w: usize) -> u32 {
+        self.device_lane.unwrap_or(w as u32)
+    }
+
+    /// Flight-recorder lane for kernel-side events (SYN bursts, dispatch).
+    #[inline]
+    fn kernel_lane(&self) -> u32 {
+        self.device_lane.unwrap_or(hermes_trace::KERNEL_LANE)
     }
 
     /// Seed the queue: arrivals, request readiness, worker boot, sampling,
@@ -261,11 +275,11 @@ impl<'w> Simulator<'w> {
             // SYN + ACK + one packet per scripted event.
             self.nic.record(&spec.flow, 2 + spec.requests.len() as u64);
         }
-        self.conns[c].enqueue_ns = self.now;
+        self.conns.set_enqueue_ns(c, self.now);
         hermes_trace::trace_event!(
             self.now,
             hermes_trace::EventKind::SimSyn,
-            hermes_trace::KERNEL_LANE,
+            self.kernel_lane(),
             c,
             spec.flow.hash()
         );
@@ -278,11 +292,11 @@ impl<'w> Simulator<'w> {
                 .dispatcher
                 .assign_at_syn(&spec.flow, &self.counts_buf)
                 .expect("per-socket modes always assign");
-            self.conns[c].worker = Some(w);
+            self.conns.set_worker(c, w);
             hermes_trace::trace_event!(
                 self.now,
                 hermes_trace::EventKind::SimDispatch,
-                w,
+                self.worker_lane(w),
                 spec.flow.hash(),
                 c
             );
@@ -291,7 +305,7 @@ impl<'w> Simulator<'w> {
                 hermes_trace::trace_event!(
                     self.now,
                     hermes_trace::EventKind::GroupDispatch,
-                    hermes_trace::KERNEL_LANE,
+                    self.kernel_lane(),
                     spec.flow.hash(),
                     ((g as u64) << 32) | w as u64
                 );
@@ -335,7 +349,7 @@ impl<'w> Simulator<'w> {
             if self.nic.enabled() {
                 self.nic.record(&spec.flow, 2 + spec.requests.len() as u64);
             }
-            self.conns[c].enqueue_ns = self.now;
+            self.conns.set_enqueue_ns(c, self.now);
             self.syn_hash_buf.push(spec.flow.hash());
         }
         let mut workers = std::mem::take(&mut self.syn_worker_buf);
@@ -346,19 +360,19 @@ impl<'w> Simulator<'w> {
         hermes_trace::trace_event!(
             self.now,
             hermes_trace::EventKind::SimSynBurst,
-            hermes_trace::KERNEL_LANE,
+            self.kernel_lane(),
             burst.len(),
             burst[0]
         );
         hermes_trace::trace_count!(hermes_trace::CounterId::SimSyns, burst.len());
         for (&c, &w) in burst.iter().zip(&workers) {
-            self.conns[c].worker = Some(w);
+            self.conns.set_worker(c, w);
             self.workers[w].pending.push_back(IoEvent::Accept(c));
             self.notify(w);
             hermes_trace::trace_event!(
                 self.now,
                 hermes_trace::EventKind::SimDispatch,
-                w,
+                self.worker_lane(w),
                 self.wl.conns[c].flow.hash(),
                 c
             );
@@ -367,7 +381,7 @@ impl<'w> Simulator<'w> {
                 hermes_trace::trace_event!(
                     self.now,
                     hermes_trace::EventKind::GroupDispatch,
-                    hermes_trace::KERNEL_LANE,
+                    self.kernel_lane(),
                     self.wl.conns[c].flow.hash(),
                     ((g as u64) << 32) | w as u64
                 );
@@ -378,11 +392,11 @@ impl<'w> Simulator<'w> {
 
     fn on_request_ready(&mut self, conn: ConnId, req: usize) {
         let ready = self.now;
-        if self.conns[conn].closed {
+        if self.conns.closed(conn) {
             return;
         }
-        if !self.conns[conn].accepted {
-            self.conns[conn].waiting.push((req, ready));
+        if !self.conns.accepted(conn) {
+            self.conns.push_waiting(conn, req, ready);
             return;
         }
         self.deliver_request(conn, req);
@@ -390,7 +404,7 @@ impl<'w> Simulator<'w> {
 
     /// Push a ready request's events onto the owning epoll instance.
     fn deliver_request(&mut self, conn: ConnId, req: usize) {
-        let owner = self.conns[conn].worker.expect("accepted conn has owner");
+        let owner = self.conns.worker(conn).expect("accepted conn has owner");
         // In userspace-dispatcher mode all epoll events flow through the
         // dispatcher first.
         let target = if matches!(self.dispatcher, Dispatcher::Userspace) {
@@ -458,7 +472,7 @@ impl<'w> Simulator<'w> {
         hermes_trace::trace_event!(
             self.now,
             hermes_trace::EventKind::SimWake,
-            w,
+            self.worker_lane(w),
             self.workers[w].pending.len(),
             blocked
         );
@@ -559,7 +573,7 @@ impl<'w> Simulator<'w> {
                         // Forwarding stub: dispatcher pays redistribution
                         // cost and the backend gets the real event.
                         t += costs.dispatch_us_ns;
-                        let backend = self.conns[conn].worker.expect("owned");
+                        let backend = self.conns.worker(conn).expect("owned");
                         self.workers[backend].pending.push_back(IoEvent::Request {
                             conn,
                             req,
@@ -595,15 +609,14 @@ impl<'w> Simulator<'w> {
 
     /// Execute `accept()` bookkeeping for connection `c` on worker `w`.
     fn do_accept(&mut self, w: usize, c: ConnId) {
-        let conn = &mut self.conns[c];
-        if conn.closed || conn.accepted {
+        if self.conns.closed(c) || self.conns.accepted(c) {
             return; // raced: another worker drained it first
         }
-        conn.accepted = true;
-        if conn.worker.is_none() {
-            conn.worker = Some(w);
+        self.conns.set_accepted(c);
+        if self.conns.worker(c).is_none() {
+            self.conns.set_worker(c, w);
         }
-        let owner = conn.worker.expect("assigned");
+        let owner = self.conns.worker(c).expect("assigned");
         self.workers[owner].connections += 1;
         self.workers[owner].accepted_total += 1;
         self.accepted_connections += 1;
@@ -618,19 +631,19 @@ impl<'w> Simulator<'w> {
             }
         }
         // Requests that arrived while the connection waited in the accept
-        // queue become deliverable now. The list is walked through a
-        // scratch buffer (swapped in and out) so nothing is allocated or
-        // freed here; `waiting` never refills after accept.
+        // queue become deliverable now. The list is drained through a
+        // scratch buffer and its pooled nodes recycle onto the table's
+        // free list; `waiting` never refills after accept.
         debug_assert!(self.waiting_buf.is_empty());
-        std::mem::swap(&mut self.waiting_buf, &mut self.conns[c].waiting);
-        for i in 0..self.waiting_buf.len() {
-            let (req, _ready) = self.waiting_buf[i];
+        let mut waiting = std::mem::take(&mut self.waiting_buf);
+        self.conns.take_waiting(c, &mut waiting);
+        for &(req, _ready) in &waiting {
             self.deliver_request(c, req);
         }
-        self.waiting_buf.clear();
-        std::mem::swap(&mut self.waiting_buf, &mut self.conns[c].waiting);
+        waiting.clear();
+        self.waiting_buf = waiting;
         // A connection with no scripted requests closes after linger.
-        if self.conns[c].remaining_requests == 0 {
+        if self.conns.remaining_requests(c) == 0 {
             let linger = self.wl.conns[c].linger_ns.unwrap_or(0);
             self.push(self.now + linger, Ev::Close(c));
         }
@@ -638,12 +651,10 @@ impl<'w> Simulator<'w> {
 
     /// One of a request's events finished at `t`.
     fn complete_request_event(&mut self, conn: ConnId, req: usize, t: u64) {
-        let c = &mut self.conns[conn];
-        if c.closed {
+        if self.conns.closed(conn) {
             return;
         }
-        c.remaining_events[req] = c.remaining_events[req].saturating_sub(1);
-        if c.remaining_events[req] > 0 {
+        if self.conns.dec_event(conn, req) > 0 {
             return;
         }
         // Request complete: latency from readiness to final event.
@@ -661,9 +672,7 @@ impl<'w> Simulator<'w> {
                 tr.requests.record(t.min(self.wl.duration_ns), 1.0);
             }
         }
-        let c = &mut self.conns[conn];
-        c.remaining_requests -= 1;
-        if c.remaining_requests == 0 {
+        if self.conns.complete_request(conn) == 0 {
             let linger = spec.linger_ns.unwrap_or(0);
             self.push(t + linger, Ev::Close(conn));
         }
@@ -705,13 +714,12 @@ impl<'w> Simulator<'w> {
     }
 
     fn on_close(&mut self, c: ConnId) {
-        let conn = &mut self.conns[c];
-        if conn.closed {
+        if self.conns.closed(c) {
             return;
         }
-        conn.closed = true;
-        if conn.accepted {
-            let owner = conn.worker.expect("accepted conn has owner");
+        self.conns.set_closed(c);
+        if self.conns.accepted(c) {
+            let owner = self.conns.worker(c).expect("accepted conn has owner");
             self.workers[owner].connections -= 1;
             if let Some(h) = self.dispatcher.hermes() {
                 h.worker(owner).conn_delta(-1);
@@ -778,11 +786,10 @@ impl<'w> Simulator<'w> {
                 if shed >= count {
                     break;
                 }
-                let st = &self.conns[c];
-                if !st.accepted
-                    || st.closed
-                    || st.worker != Some(victim)
-                    || st.remaining_requests == 0
+                if !self.conns.accepted(c)
+                    || self.conns.closed(c)
+                    || self.conns.worker(c) != Some(victim)
+                    || self.conns.remaining_requests(c) == 0
                 {
                     continue;
                 }
@@ -791,7 +798,7 @@ impl<'w> Simulator<'w> {
                 if new_owner == victim {
                     continue; // fallback hashed straight back: skip
                 }
-                self.conns[c].worker = Some(new_owner);
+                self.conns.set_worker(c, new_owner);
                 self.workers[victim].connections -= 1;
                 self.workers[new_owner].connections += 1;
                 if let Some(h) = self.dispatcher.hermes() {
@@ -841,12 +848,12 @@ impl<'w> Simulator<'w> {
         let horizon = self.wl.duration_ns;
         let mut incomplete = 0u64;
         let mut unaccepted = 0u64;
-        for (c, st) in self.conns.iter().enumerate() {
+        for c in 0..self.conns.len() {
             if self.wl.conns[c].arrival_ns <= horizon {
-                if !st.accepted {
+                if !self.conns.accepted(c) {
                     unaccepted += 1;
                 }
-                incomplete += st.remaining_requests as u64;
+                incomplete += self.conns.remaining_requests(c) as u64;
             }
         }
         for (w, ws) in self.workers.iter().enumerate() {
@@ -879,6 +886,7 @@ impl<'w> Simulator<'w> {
             port_trace: self.port_trace,
             nic_queue_packets: self.nic.counts().to_vec(),
             rst_reschedules: self.rst_reschedules,
+            conn_table_bytes: self.conns.memory_bytes(),
         }
     }
 }

@@ -1,9 +1,23 @@
 //! Runtime state of simulated entities.
+//!
+//! Connection state is a struct-of-arrays arena ([`ConnTable`]) addressed
+//! by `u32` handles — the Concury-style compact index-addressed layout that
+//! lets one machine hold the fleet: 363 devices × thousands of connections
+//! fit because a connection costs a handful of parallel-array slots instead
+//! of a heap-allocated struct with two owned `Vec`s. Per-request event
+//! counters are flattened into one shared array (the workload is sealed up
+//! front, so per-connection extents are known at construction), and the
+//! pre-accept waiting lists live in a pooled linked-node arena with a free
+//! list — nodes recycle at accept time, so the pool's high-water mark is
+//! the peak number of simultaneously-parked requests, not the total.
 
 use std::collections::VecDeque;
 
 /// Index of a connection in the workload.
 pub type ConnId = usize;
+
+/// Sentinel handle: no worker assigned / end of a waiting list.
+const NIL: u32 = u32::MAX;
 
 /// One queued I/O event awaiting a worker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,43 +120,260 @@ impl Default for WorkerState {
     }
 }
 
-/// Per-connection runtime state.
-#[derive(Clone, Debug)]
-pub struct ConnState {
-    /// Worker that owns the connection. For reuseport-style modes this is
-    /// assigned at SYN (socket choice); for shared-queue modes at accept.
-    pub worker: Option<usize>,
-    /// Whether a worker has accepted the connection.
-    pub accepted: bool,
-    /// Requests that became ready before the connection was accepted; they
-    /// flush into the owner's epoll as soon as `accept()` runs.
-    pub waiting: Vec<(usize, u64)>,
-    /// Per-request count of events still unprocessed (completion fires at
-    /// zero).
-    pub remaining_events: Vec<u32>,
-    /// Requests not yet completed.
-    pub remaining_requests: usize,
-    /// Whether the connection has closed.
-    pub closed: bool,
-    /// When the connection became ready in an accept queue (for
-    /// accept-latency accounting).
-    pub enqueue_ns: u64,
+/// A pre-accept parked request: requests that became ready before the
+/// connection was accepted chain through these pooled nodes.
+#[derive(Clone, Copy, Debug)]
+struct WaitNode {
+    /// Request index within the connection.
+    req: u32,
+    /// Next node handle, or [`NIL`].
+    next: u32,
+    /// When the request became ready.
+    ready_ns: u64,
 }
 
-impl ConnState {
-    /// Initialize from a spec's request list.
-    pub fn new(events_per_request: impl Iterator<Item = u32>) -> Self {
-        let remaining_events: Vec<u32> = events_per_request.map(|e| e.max(1)).collect();
-        let remaining_requests = remaining_events.len();
-        Self {
-            worker: None,
-            accepted: false,
-            waiting: Vec::new(),
-            remaining_events,
-            remaining_requests,
-            closed: false,
-            enqueue_ns: 0,
+/// Struct-of-arrays connection-state arena.
+///
+/// Hot per-connection scalars live in parallel arrays indexed by the
+/// connection id; per-request remaining-event counters are flattened into
+/// one shared array sliced by precomputed offsets; pre-accept waiting
+/// lists are intrusive singly-linked lists through a node pool with a free
+/// list. Everything is `u32`-addressed: a device's connection population
+/// and total scripted request count both fit comfortably.
+#[derive(Debug, Default)]
+pub struct ConnTable {
+    /// Owning worker, or [`NIL`]. For reuseport-style modes assigned at
+    /// SYN (socket choice); for shared-queue modes at accept.
+    worker: Vec<u32>,
+    /// Packed flags: bit 0 accepted, bit 1 closed.
+    flags: Vec<u8>,
+    /// Requests not yet completed.
+    remaining_requests: Vec<u32>,
+    /// When the connection became ready in an accept queue (accept-latency
+    /// accounting).
+    enqueue_ns: Vec<u64>,
+    /// Head of the pre-accept waiting list ([`NIL`] when empty).
+    waiting_head: Vec<u32>,
+    /// Tail of the waiting list (FIFO append).
+    waiting_tail: Vec<u32>,
+    /// `remaining_events[req_offset[c] + r]` = events still unprocessed for
+    /// connection `c`'s request `r` (completion fires at zero).
+    remaining_events: Vec<u32>,
+    /// Flattened-extent table: connection `c`'s requests occupy
+    /// `req_offset[c]..req_offset[c + 1]`.
+    req_offset: Vec<u32>,
+    /// Pooled waiting-list nodes.
+    nodes: Vec<WaitNode>,
+    /// Free-list head into `nodes` ([`NIL`] when exhausted).
+    free_head: u32,
+}
+
+const ACCEPTED: u8 = 1;
+const CLOSED: u8 = 2;
+
+impl ConnTable {
+    /// Build the arena from per-connection request-event iterators (the
+    /// sealed workload's `requests[r].events`, zero clamped to 1).
+    pub fn new<I, J>(conns: I) -> Self
+    where
+        I: IntoIterator<Item = J>,
+        J: IntoIterator<Item = u32>,
+    {
+        let mut t = ConnTable {
+            free_head: NIL,
+            ..ConnTable::default()
+        };
+        t.req_offset.push(0);
+        for events in conns {
+            for e in events {
+                t.remaining_events.push(e.max(1));
+            }
+            let end = u32::try_from(t.remaining_events.len()).expect("u32 request handles");
+            let start = *t.req_offset.last().expect("offset table seeded");
+            t.req_offset.push(end);
+            t.remaining_requests.push(end - start);
+            t.worker.push(NIL);
+            t.flags.push(0);
+            t.enqueue_ns.push(0);
+            t.waiting_head.push(NIL);
+            t.waiting_tail.push(NIL);
         }
+        assert!(
+            t.worker.len() < NIL as usize,
+            "u32 connection handles: at most {} connections per device",
+            NIL
+        );
+        // The columns never grow after construction; push-doubling can
+        // leave up to 2x slack, which `memory_bytes()` (capacity-based)
+        // would charge against the per-device budget.
+        t.worker.shrink_to_fit();
+        t.flags.shrink_to_fit();
+        t.remaining_requests.shrink_to_fit();
+        t.enqueue_ns.shrink_to_fit();
+        t.waiting_head.shrink_to_fit();
+        t.waiting_tail.shrink_to_fit();
+        t.remaining_events.shrink_to_fit();
+        t.req_offset.shrink_to_fit();
+        t
+    }
+
+    /// Number of connections in the arena.
+    pub fn len(&self) -> usize {
+        self.worker.len()
+    }
+
+    /// Whether the arena holds no connections.
+    pub fn is_empty(&self) -> bool {
+        self.worker.is_empty()
+    }
+
+    /// Owning worker of connection `c`, if assigned.
+    #[inline]
+    pub fn worker(&self, c: ConnId) -> Option<usize> {
+        let w = self.worker[c];
+        (w != NIL).then_some(w as usize)
+    }
+
+    /// Assign (or re-home) connection `c` to worker `w`.
+    #[inline]
+    pub fn set_worker(&mut self, c: ConnId, w: usize) {
+        self.worker[c] = u32::try_from(w).expect("worker id fits u32");
+    }
+
+    /// Whether a worker has accepted the connection.
+    #[inline]
+    pub fn accepted(&self, c: ConnId) -> bool {
+        self.flags[c] & ACCEPTED != 0
+    }
+
+    /// Mark the connection accepted.
+    #[inline]
+    pub fn set_accepted(&mut self, c: ConnId) {
+        self.flags[c] |= ACCEPTED;
+    }
+
+    /// Whether the connection has closed.
+    #[inline]
+    pub fn closed(&self, c: ConnId) -> bool {
+        self.flags[c] & CLOSED != 0
+    }
+
+    /// Mark the connection closed.
+    #[inline]
+    pub fn set_closed(&mut self, c: ConnId) {
+        self.flags[c] |= CLOSED;
+    }
+
+    /// Record when the connection entered an accept queue.
+    #[inline]
+    pub fn set_enqueue_ns(&mut self, c: ConnId, at: u64) {
+        self.enqueue_ns[c] = at;
+    }
+
+    /// When the connection entered an accept queue.
+    #[inline]
+    pub fn enqueue_ns(&self, c: ConnId) -> u64 {
+        self.enqueue_ns[c]
+    }
+
+    /// Requests of connection `c` not yet completed.
+    #[inline]
+    pub fn remaining_requests(&self, c: ConnId) -> u32 {
+        self.remaining_requests[c]
+    }
+
+    /// Count one request of `c` complete; returns the new remaining count.
+    #[inline]
+    pub fn complete_request(&mut self, c: ConnId) -> u32 {
+        self.remaining_requests[c] -= 1;
+        self.remaining_requests[c]
+    }
+
+    /// Decrement the remaining-event counter of request `req` (saturating),
+    /// returning the new value — the request completes at zero.
+    #[inline]
+    pub fn dec_event(&mut self, c: ConnId, req: usize) -> u32 {
+        let at = self.req_offset[c] as usize + req;
+        let left = self.remaining_events[at].saturating_sub(1);
+        self.remaining_events[at] = left;
+        left
+    }
+
+    /// Remaining events of request `req` of connection `c`.
+    #[inline]
+    pub fn events_left(&self, c: ConnId, req: usize) -> u32 {
+        self.remaining_events[self.req_offset[c] as usize + req]
+    }
+
+    /// Park request `req` (ready at `ready_ns`) until `c` is accepted.
+    pub fn push_waiting(&mut self, c: ConnId, req: usize, ready_ns: u64) {
+        let node = WaitNode {
+            req: u32::try_from(req).expect("request index fits u32"),
+            next: NIL,
+            ready_ns,
+        };
+        let handle = if self.free_head != NIL {
+            let h = self.free_head;
+            self.free_head = self.nodes[h as usize].next;
+            self.nodes[h as usize] = node;
+            h
+        } else {
+            let h = u32::try_from(self.nodes.len()).expect("u32 node handles");
+            self.nodes.push(node);
+            h
+        };
+        let tail = self.waiting_tail[c];
+        if tail == NIL {
+            self.waiting_head[c] = handle;
+        } else {
+            self.nodes[tail as usize].next = handle;
+        }
+        self.waiting_tail[c] = handle;
+    }
+
+    /// Drain `c`'s waiting list in FIFO order into `out`, recycling the
+    /// nodes onto the free list. `waiting` never refills after accept, so
+    /// the high-water mark of the pool is the peak of simultaneously
+    /// parked requests across all connections.
+    pub fn take_waiting(&mut self, c: ConnId, out: &mut Vec<(usize, u64)>) {
+        let mut h = self.waiting_head[c];
+        while h != NIL {
+            let node = self.nodes[h as usize];
+            out.push((node.req as usize, node.ready_ns));
+            self.nodes[h as usize].next = self.free_head;
+            self.free_head = h;
+            h = node.next;
+        }
+        self.waiting_head[c] = NIL;
+        self.waiting_tail[c] = NIL;
+    }
+
+    /// Whether `c` has parked pre-accept requests.
+    pub fn has_waiting(&self, c: ConnId) -> bool {
+        self.waiting_head[c] != NIL
+    }
+
+    /// Resident bytes of the arena: the per-device memory budget reported
+    /// in `DeviceReport`. Counts allocated capacity (what the process
+    /// actually holds), not just live length; capacities are a
+    /// deterministic function of the construction/run sequence, so the
+    /// figure is stable across repeat runs and thread counts.
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.worker.capacity() * size_of::<u32>()
+            + self.flags.capacity()
+            + self.remaining_requests.capacity() * size_of::<u32>()
+            + self.enqueue_ns.capacity() * size_of::<u64>()
+            + self.waiting_head.capacity() * size_of::<u32>()
+            + self.waiting_tail.capacity() * size_of::<u32>()
+            + self.remaining_events.capacity() * size_of::<u32>()
+            + self.req_offset.capacity() * size_of::<u32>()
+            + self.nodes.capacity() * size_of::<WaitNode>()) as u64
+    }
+
+    /// Waiting-list nodes ever allocated (pool high-water mark).
+    pub fn waiting_pool_size(&self) -> usize {
+        self.nodes.len()
     }
 }
 
@@ -160,10 +391,71 @@ mod tests {
     }
 
     #[test]
-    fn conn_state_tracks_remaining() {
-        let c = ConnState::new([2u32, 0, 3].into_iter());
-        assert_eq!(c.remaining_events, vec![2, 1, 3]); // zero clamps to 1
-        assert_eq!(c.remaining_requests, 3);
-        assert!(!c.accepted);
+    fn conn_table_tracks_remaining() {
+        let mut t = ConnTable::new([vec![2u32, 0, 3], vec![1]]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remaining_requests(0), 3);
+        assert_eq!(t.events_left(0, 1), 1); // zero clamps to 1
+        assert_eq!(t.events_left(0, 2), 3);
+        assert!(!t.accepted(0));
+        assert_eq!(t.worker(0), None);
+        t.set_worker(0, 5);
+        assert_eq!(t.worker(0), Some(5));
+        // Second connection's requests live past the first's extent.
+        assert_eq!(t.events_left(1, 0), 1);
+        assert_eq!(t.dec_event(1, 0), 0);
+        assert_eq!(t.dec_event(1, 0), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn waiting_list_is_fifo_and_recycles_nodes() {
+        let mut t = ConnTable::new([vec![1u32; 4], vec![1u32; 4]]);
+        t.push_waiting(0, 2, 100);
+        t.push_waiting(0, 0, 200);
+        t.push_waiting(1, 3, 150);
+        assert!(t.has_waiting(0));
+        let mut out = Vec::new();
+        t.take_waiting(0, &mut out);
+        assert_eq!(out, vec![(2, 100), (0, 200)]);
+        assert!(!t.has_waiting(0));
+        // Drained nodes return to the pool: parking two more requests must
+        // not grow it.
+        let pool = t.waiting_pool_size();
+        t.push_waiting(0, 1, 300);
+        t.push_waiting(0, 3, 400);
+        assert_eq!(t.waiting_pool_size(), pool);
+        out.clear();
+        t.take_waiting(1, &mut out);
+        assert_eq!(out, vec![(3, 150)]);
+        out.clear();
+        t.take_waiting(0, &mut out);
+        assert_eq!(out, vec![(1, 300), (3, 400)]);
+    }
+
+    #[test]
+    fn flags_pack_accept_and_close_independently() {
+        let mut t = ConnTable::new([vec![1u32]]);
+        t.set_accepted(0);
+        assert!(t.accepted(0) && !t.closed(0));
+        t.set_closed(0);
+        assert!(t.accepted(0) && t.closed(0));
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_population() {
+        let small = ConnTable::new(std::iter::repeat_n(vec![1u32; 2], 10));
+        let large = ConnTable::new(std::iter::repeat_n(vec![1u32; 2], 10_000));
+        assert!(small.memory_bytes() > 0);
+        assert!(large.memory_bytes() > 100 * small.memory_bytes());
+        // ~29 bytes of fixed per-conn state + 4 per scripted request.
+        let per_conn = large.memory_bytes() as f64 / 10_000.0;
+        assert!(per_conn < 128.0, "per-conn bytes {per_conn}");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = ConnTable::new(std::iter::empty::<Vec<u32>>());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
     }
 }

@@ -41,7 +41,7 @@ pub use export::{chrome_json, summary};
 pub use record::{EventKind, TraceRecord};
 pub use ring::{TraceRing, DEFAULT_RING_CAPACITY};
 pub use tracer::{
-    global, grouped_lane, Tracer, CONTROL_LANE, KERNEL_LANE, LANES, MAX_WORKER_LANES,
+    device_lane, global, grouped_lane, Tracer, CONTROL_LANE, KERNEL_LANE, LANES, MAX_WORKER_LANES,
 };
 
 /// Compile-time master switch. `true` iff this crate was built with the

@@ -170,6 +170,25 @@ pub fn grouped_lane(group: usize, group_size: usize, local: usize) -> u32 {
     }
 }
 
+/// Map a fleet device onto a stable flight-recorder lane derived from the
+/// *device index*, never the OS thread that happens to run the device. Under
+/// the cluster work pool, devices migrate across pool threads between runs;
+/// keying lanes by thread id would shuffle every device's events across
+/// lanes from run to run (and alias devices sharing a thread). Keying by
+/// device index keeps the trace layout deterministic at any thread count.
+/// Fleets wider than [`MAX_WORKER_LANES`] devices clamp to [`CONTROL_LANE`]
+/// and bump [`CounterId::TraceLaneOverflows`], the same overflow policy as
+/// [`grouped_lane`].
+#[inline]
+pub fn device_lane(device: usize) -> u32 {
+    if device < MAX_WORKER_LANES {
+        device as u32
+    } else {
+        crate::trace_count!(CounterId::TraceLaneOverflows);
+        CONTROL_LANE
+    }
+}
+
 static GLOBAL: OnceLock<Tracer> = OnceLock::new();
 
 /// The process-wide recorder, created on first use.
@@ -189,6 +208,35 @@ mod tests {
         assert_eq!(recs.len(), 1);
         // The original lane id is preserved in the record even when clamped.
         assert_eq!(recs[0].worker, 9999);
+    }
+
+    #[test]
+    fn device_lane_is_stable_across_threads() {
+        // The lane must be a pure function of the device index: two
+        // different OS threads asking for the same device get the same
+        // lane, and distinct in-range devices never alias.
+        let main_lanes: Vec<u32> = (0..MAX_WORKER_LANES).map(device_lane).collect();
+        let other_lanes = std::thread::spawn(|| {
+            (0..MAX_WORKER_LANES)
+                .map(device_lane)
+                .collect::<Vec<u32>>()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(main_lanes, other_lanes);
+        for (d, &lane) in main_lanes.iter().enumerate() {
+            assert_eq!(lane, d as u32);
+        }
+        let mut sorted = main_lanes.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), MAX_WORKER_LANES, "in-range lanes alias");
+    }
+
+    #[test]
+    fn device_lane_overflow_clamps_to_control() {
+        assert_eq!(device_lane(MAX_WORKER_LANES), CONTROL_LANE);
+        assert_eq!(device_lane(362), CONTROL_LANE);
+        assert_eq!(device_lane(usize::MAX), CONTROL_LANE);
     }
 
     #[test]

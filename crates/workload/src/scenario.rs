@@ -213,9 +213,96 @@ pub fn region_mix(
     w.seal()
 }
 
+/// Per-device seed for fleet-scale runs: a splitmix64-style scramble of
+/// the fleet seed by device index. Pure function of `(fleet_seed,
+/// device)`, so fleet workload generation can happen on any pool thread
+/// (or be re-generated for a single device) without changing the stream.
+pub fn fleet_device_seed(fleet_seed: u64, device: usize) -> u64 {
+    let mut z = fleet_seed ^ (device as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Device `device`'s slice of a fleet-wide [`region_mix`] deployment:
+/// every device sees statistically identical production traffic (the L4
+/// LB splits flows evenly), so each draws an *independent* region-mix
+/// stream from its scrambled seed instead of hash-splitting one giant
+/// workload — generation stays O(one device) per call, which is what
+/// lets the 363-device Table 2 sweep build each device's workload inside
+/// the pool worker and drop it after the run.
+pub fn fleet_device_mix(
+    region: &Region,
+    workers: usize,
+    load: CaseLoad,
+    duration_ns: u64,
+    fleet_seed: u64,
+    device: usize,
+) -> Workload {
+    region_mix(
+        region,
+        workers,
+        load,
+        duration_ns,
+        fleet_device_seed(fleet_seed, device),
+    )
+}
+
+/// Device `device`'s slice of a fleet-wide single-case deployment (the
+/// `fleet_throughput` bench drives Case 3 through this).
+pub fn fleet_device_case(
+    case: Case,
+    load: CaseLoad,
+    workers: usize,
+    duration_ns: u64,
+    fleet_seed: u64,
+    device: usize,
+) -> Workload {
+    case.workload(
+        load,
+        workers,
+        duration_ns,
+        fleet_device_seed(fleet_seed, device),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_device_streams_are_stable_and_independent() {
+        // Pure function of (seed, device): re-generation is identical.
+        assert_eq!(fleet_device_seed(42, 7), fleet_device_seed(42, 7));
+        // Neighbouring devices get well-separated seeds.
+        assert_ne!(fleet_device_seed(42, 0), fleet_device_seed(42, 1));
+        assert_ne!(fleet_device_seed(42, 1), fleet_device_seed(43, 1));
+
+        let region = &crate::regions::Region::all()[1];
+        let a = fleet_device_mix(region, 4, CaseLoad::Light, NANOS_PER_SEC, 7, 3);
+        let b = fleet_device_mix(region, 4, CaseLoad::Light, NANOS_PER_SEC, 7, 3);
+        assert_eq!(a.connection_count(), b.connection_count());
+        assert!(a.connection_count() > 0);
+        for (x, y) in a.conns.iter().zip(&b.conns).take(20) {
+            assert_eq!(x.arrival_ns, y.arrival_ns);
+            assert_eq!(x.flow, y.flow);
+        }
+        // A different device position draws a different stream.
+        let c = fleet_device_mix(region, 4, CaseLoad::Light, NANOS_PER_SEC, 7, 4);
+        let same = a
+            .conns
+            .iter()
+            .zip(&c.conns)
+            .take(20)
+            .filter(|(x, y)| x.arrival_ns == y.arrival_ns)
+            .count();
+        assert!(same < 20, "device 3 and 4 streams identical");
+
+        let d = fleet_device_case(Case::Case3, CaseLoad::Medium, 4, NANOS_PER_SEC, 7, 0);
+        let e = fleet_device_case(Case::Case3, CaseLoad::Medium, 4, NANOS_PER_SEC, 7, 0);
+        assert_eq!(d.connection_count(), e.connection_count());
+        assert!(d.connection_count() > 0);
+    }
 
     #[test]
     fn surge_has_three_phases() {

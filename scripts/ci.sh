@@ -70,6 +70,26 @@ echo "==> scale_throughput --smoke (sharded-plane scaling gate)"
 cargo run --release -p hermes-bench --bin scale_throughput -- \
   --smoke --baseline results/BENCH_scale.json --no-write
 
+echo "==> fleet-determinism (merge-order independence of the device pool)"
+# The fleet parallelism safety argument: the same seed at threads ∈
+# {1, 2, 8} yields byte-identical cluster reports for every dispatch
+# mode, mixed-mode clusters, fault schedules, pool-side workload
+# generation, and oversubscribed pools. Device count, not thread count,
+# determines the output bytes.
+cargo test --release -q -p hermes-simnet --test fleet_determinism
+
+echo "==> fleet_throughput --smoke (fleet scaling + memory gate)"
+# Fails if any device's connection-table arena exceeds the 8 MiB budget,
+# if the fleet fingerprint differs across thread counts (determinism is
+# re-checked at bench scale), or if threads=1 events/sec regresses >20%
+# below the checked-in baseline. The >= 2x scaling-at-4-threads sub-gate
+# self-SKIPs (with a printed notice) on hosts with < 4 cores — the
+# single-core CI box cannot exhibit parallel speedup. Regenerate
+# results/BENCH_fleet.json with a full (non-smoke) 363-device run when
+# the fleet path legitimately changes speed.
+cargo run --release -p hermes-bench --bin fleet_throughput -- \
+  --smoke --baseline results/BENCH_fleet.json --no-write
+
 echo "==> trace determinism (simulation byte-identical with recorder on/off)"
 # Tracing is an observer, never an actor: the simnet report must not
 # change when the flight recorder runs, and the recorded stream must be
