@@ -1,0 +1,150 @@
+//! Keep-alive connection-pool models for the §7 deployment experiences.
+//!
+//! Hermes' spreading surfaced **reduced backend connection reuse**:
+//! spreading requests across all workers fragments per-worker backend
+//! connection pools; a shared pool restores the reuse rate
+//! ([`PoolModel`]).
+
+/// Backend connection pooling arrangement (§7 deployment issue 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolModel {
+    /// Each worker keeps its own idle-connection pool.
+    PerWorker,
+    /// All workers share one pool (the paper's proposed remedy).
+    Shared,
+}
+
+/// Idle-connection pool simulation with keep-alive expiry: an idle
+/// upstream connection can be reused only within `ttl_steps` of its last
+/// use (backends close idle connections after a keep-alive timeout).
+/// This is what makes pool *fragmentation* costly: spreading requests
+/// over per-worker pools multiplies the inter-arrival gap per
+/// (pool, server) pair past the keep-alive window, so handshakes —
+/// expensive over the Internet to on-prem IDCs — recur (§7 issue 2).
+#[derive(Debug)]
+pub struct PoolSim {
+    model: PoolModel,
+    /// Last-use step per `[pool][server]` (`u64::MAX` = never used).
+    last_use: Vec<Vec<u64>>,
+    /// Keep-alive window in request steps.
+    ttl_steps: u64,
+    /// Monotone request counter.
+    step: u64,
+    /// Hits (reused an idle connection).
+    pub reused: u64,
+    /// Misses (new TCP/TLS handshake to the backend).
+    pub handshakes: u64,
+}
+
+impl PoolSim {
+    /// Build a pool simulation with the given keep-alive window.
+    pub fn new(model: PoolModel, workers: usize, servers: usize, ttl_steps: u64) -> Self {
+        let pools = match model {
+            PoolModel::PerWorker => workers,
+            PoolModel::Shared => 1,
+        };
+        Self {
+            model,
+            last_use: vec![vec![u64::MAX; servers]; pools],
+            ttl_steps,
+            step: 0,
+            reused: 0,
+            handshakes: 0,
+        }
+    }
+
+    fn pool_of(&self, worker: usize) -> usize {
+        match self.model {
+            PoolModel::PerWorker => worker,
+            PoolModel::Shared => 0,
+        }
+    }
+
+    /// Worker `w` sends one upstream request to `server`, then returns the
+    /// connection to the pool.
+    pub fn request(&mut self, w: usize, server: usize) {
+        self.step += 1;
+        let p = self.pool_of(w);
+        let last = self.last_use[p][server];
+        if last != u64::MAX && self.step.saturating_sub(last) <= self.ttl_steps {
+            self.reused += 1;
+        } else {
+            self.handshakes += 1;
+        }
+        self.last_use[p][server] = self.step;
+    }
+
+    /// Fraction of upstream requests served from the pool.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.reused + self.handshakes;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pseudo-random server pick (SplitMix-ish), no rand dependency.
+    fn server_for(i: usize, servers: usize) -> usize {
+        let mut x = i as u64 ^ 0x2545_F491_4F6C_DD1D;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        (x % servers as u64) as usize
+    }
+
+    #[test]
+    fn shared_pool_beats_per_worker_reuse() {
+        // §7 issue 2: the same request stream, spread evenly over workers
+        // (the Hermes effect), reuses far fewer connections with
+        // per-worker pools: the per-(pool,server) inter-arrival gap
+        // exceeds the keep-alive window.
+        let workers = 8;
+        let servers = 50;
+        let ttl = 100;
+        let run = |model| {
+            let mut sim = PoolSim::new(model, workers, servers, ttl);
+            for i in 0..50_000usize {
+                sim.request(i % workers, server_for(i, servers));
+            }
+            sim.reuse_rate()
+        };
+        let per_worker = run(PoolModel::PerWorker);
+        let shared = run(PoolModel::Shared);
+        assert!(shared > 0.8, "shared pool reuse {shared} should be high");
+        assert!(
+            per_worker < 0.4,
+            "per-worker reuse {per_worker} should collapse under spreading"
+        );
+    }
+
+    #[test]
+    fn concentrated_traffic_hides_the_pool_problem() {
+        // Under exclusive, one worker carries everything, so per-worker
+        // pooling reuses nearly as well as shared — which is why the
+        // issue only appeared when Hermes spread the traffic.
+        let mut sim = PoolSim::new(PoolModel::PerWorker, 8, 50, 100);
+        for i in 0..50_000usize {
+            sim.request(0, server_for(i, 50)); // all traffic on worker 0
+        }
+        assert!(sim.reuse_rate() > 0.8, "rate {}", sim.reuse_rate());
+    }
+
+    #[test]
+    fn pool_expires_idle_connections() {
+        let mut sim = PoolSim::new(PoolModel::Shared, 1, 1, 5);
+        sim.request(0, 0); // handshake
+        sim.request(0, 0); // reuse (1 step gap)
+        for _ in 0..10 {
+            sim.step += 1; // quiet period beyond the keep-alive window
+        }
+        sim.request(0, 0); // expired: handshake again
+        assert_eq!(sim.handshakes, 2);
+        assert_eq!(sim.reused, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Round-robin restart models for the §7 deployment experiences.
+//!
+//! Replacing epoll exclusive with Hermes surfaced a *backend* effect:
+//! **synchronized round-robin restarts**. When a tenant's server list
+//! updates, every worker restarts its round-robin cursor at the first
+//! server. Under exclusive one worker carried most requests, so its
+//! round-robin wrapped many times and stayed fair; under Hermes each
+//! worker carries few requests, and the synchronized restarts pile
+//! traffic onto the first few servers. Fix: randomize each worker's
+//! starting offset after list updates ([`RestartPolicy::Randomized`]).
+
+/// How a worker's round-robin cursor restarts after a server-list update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Restart at the first server (the pre-fix behaviour).
+    FirstServer,
+    /// Restart at a per-worker pseudo-random offset (the deployed fix).
+    Randomized {
+        /// Seed mixed with the worker id to derive the offset.
+        seed: u64,
+    },
+}
+
+/// One worker's round-robin distributor over a tenant's backend servers.
+#[derive(Clone, Debug)]
+pub struct RoundRobin {
+    servers: usize,
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A distributor over `servers` backends, cursor at 0.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers >= 1, "need at least one backend server");
+        Self { servers, cursor: 0 }
+    }
+
+    /// Number of servers in the current list.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Pick the next server.
+    pub fn next_server(&mut self) -> usize {
+        let s = self.cursor;
+        self.cursor = (self.cursor + 1) % self.servers;
+        s
+    }
+
+    /// Apply a server-list update: install the new list length and
+    /// restart the cursor per policy (§7's root cause lives here).
+    pub fn update_list(&mut self, worker: usize, servers: usize, policy: RestartPolicy) {
+        assert!(servers >= 1, "need at least one backend server");
+        self.servers = servers;
+        self.cursor = match policy {
+            RestartPolicy::FirstServer => 0,
+            RestartPolicy::Randomized { seed } => {
+                // SplitMix64 over (seed, worker): deterministic, distinct
+                // per worker — no RNG dependency in the hot path.
+                let mut x = seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                (x % servers as u64) as usize
+            }
+        };
+    }
+}
+
+/// Simulate a fleet of workers distributing `requests_per_worker` requests
+/// each, immediately after a synchronized list update. Returns per-server
+/// request counts — the §7 imbalance measurement.
+pub fn fleet_distribution(
+    workers: usize,
+    requests_per_worker: usize,
+    servers: usize,
+    policy: RestartPolicy,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; servers];
+    for w in 0..workers {
+        let mut rr = RoundRobin::new(servers);
+        rr.update_list(w, servers, policy);
+        for _ in 0..requests_per_worker {
+            counts[rr.next_server()] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny local stddev to avoid a dev-dependency cycle with
+    /// hermes-metrics (this crate must stay foundational).
+    fn stddev_of(v: &[f64]) -> f64 {
+        if v.len() < 2 {
+            return 0.0;
+        }
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new(3);
+        assert_eq!(
+            (0..7).map(|_| rr.next_server()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn synchronized_restarts_overload_first_servers() {
+        // §7: 16 workers, 100 servers, only 30 requests each after the
+        // list update ⇒ first ~30 servers get 16 requests, the rest 0.
+        let counts = fleet_distribution(16, 30, 100, RestartPolicy::FirstServer);
+        assert_eq!(counts[0], 16);
+        assert_eq!(counts[29], 16);
+        assert_eq!(counts[30], 0);
+        // "certain servers receiving 2-3x the traffic of others" —
+        // here the extreme version: some servers get everything.
+    }
+
+    #[test]
+    fn randomized_offsets_restore_fairness() {
+        let sync = fleet_distribution(16, 30, 100, RestartPolicy::FirstServer);
+        let rand = fleet_distribution(16, 30, 100, RestartPolicy::Randomized { seed: 7 });
+        let sd = |c: &[u64]| stddev_of(&c.iter().map(|&x| x as f64).collect::<Vec<_>>());
+        assert!(
+            sd(&rand) < sd(&sync) / 3.0,
+            "randomized SD {} vs synchronized SD {}",
+            sd(&rand),
+            sd(&sync)
+        );
+        // Every request still lands somewhere.
+        assert_eq!(rand.iter().sum::<u64>(), 16 * 30);
+    }
+
+    #[test]
+    fn randomized_offsets_differ_across_workers() {
+        let mut offsets = std::collections::HashSet::new();
+        for w in 0..16 {
+            let mut rr = RoundRobin::new(1_000);
+            rr.update_list(w, 1_000, RestartPolicy::Randomized { seed: 1 });
+            offsets.insert(rr.next_server());
+        }
+        assert!(offsets.len() >= 14, "offsets collide too much: {offsets:?}");
+    }
+
+    #[test]
+    fn update_list_resizes() {
+        let mut rr = RoundRobin::new(5);
+        rr.next_server();
+        rr.update_list(0, 2, RestartPolicy::FirstServer);
+        assert_eq!(rr.servers(), 2);
+        assert_eq!(rr.next_server(), 0);
+        assert_eq!(rr.next_server(), 1);
+        assert_eq!(rr.next_server(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn zero_servers_rejected() {
+        RoundRobin::new(0);
+    }
+}

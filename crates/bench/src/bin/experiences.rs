@@ -9,7 +9,7 @@
 //!    (why the multi-port workaround of §7 does not work).
 
 use hermes_bench::banner;
-use hermes_core::backend::{fleet_distribution, PoolModel, PoolSim, RestartPolicy};
+use hermes_backend::{fleet_distribution, PoolModel, PoolSim, RestartPolicy};
 use hermes_core::canary::DrainModel;
 use hermes_metrics::ascii::line_plot;
 use hermes_metrics::table::Table;

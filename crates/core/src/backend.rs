@@ -1,317 +1,12 @@
-//! Backend-side models for the §7 deployment experiences.
+//! Backend-side models — re-exported from `hermes-backend`.
 //!
-//! Replacing epoll exclusive with Hermes surfaced two *backend* effects:
-//!
-//! 1. **Synchronized round-robin restarts.** When a tenant's server list
-//!    updates, every worker restarts its round-robin cursor at the first
-//!    server. Under exclusive one worker carried most requests, so its
-//!    round-robin wrapped many times and stayed fair; under Hermes each
-//!    worker carries few requests, and the synchronized restarts pile
-//!    traffic onto the first few servers. Fix: randomize each worker's
-//!    starting offset after list updates ([`RestartPolicy::Randomized`]).
-//! 2. **Reduced backend connection reuse.** Spreading requests across all
-//!    workers fragments per-worker backend connection pools; a shared
-//!    pool restores the reuse rate ([`PoolModel`]).
+//! The §7 deployment-experience models ([`RoundRobin`], [`PoolSim`]) and
+//! the real backend data plane (versioned pools, O(1) consistent
+//! selection) now live in the `hermes-backend` crate; this module
+//! re-exports the lot so existing `hermes_core::backend::*` callers keep
+//! compiling while new code depends on `hermes-backend` directly.
 
-use crate::WorkerId;
-
-/// How a worker's round-robin cursor restarts after a server-list update.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RestartPolicy {
-    /// Restart at the first server (the pre-fix behaviour).
-    FirstServer,
-    /// Restart at a per-worker pseudo-random offset (the deployed fix).
-    Randomized {
-        /// Seed mixed with the worker id to derive the offset.
-        seed: u64,
-    },
-}
-
-/// One worker's round-robin distributor over a tenant's backend servers.
-#[derive(Clone, Debug)]
-pub struct RoundRobin {
-    servers: usize,
-    cursor: usize,
-}
-
-impl RoundRobin {
-    /// A distributor over `servers` backends, cursor at 0.
-    pub fn new(servers: usize) -> Self {
-        assert!(servers >= 1, "need at least one backend server");
-        Self { servers, cursor: 0 }
-    }
-
-    /// Number of servers in the current list.
-    pub fn servers(&self) -> usize {
-        self.servers
-    }
-
-    /// Pick the next server.
-    pub fn next_server(&mut self) -> usize {
-        let s = self.cursor;
-        self.cursor = (self.cursor + 1) % self.servers;
-        s
-    }
-
-    /// Apply a server-list update: install the new list length and
-    /// restart the cursor per policy (§7's root cause lives here).
-    pub fn update_list(&mut self, worker: WorkerId, servers: usize, policy: RestartPolicy) {
-        assert!(servers >= 1, "need at least one backend server");
-        self.servers = servers;
-        self.cursor = match policy {
-            RestartPolicy::FirstServer => 0,
-            RestartPolicy::Randomized { seed } => {
-                // SplitMix64 over (seed, worker): deterministic, distinct
-                // per worker — no RNG dependency in the hot path.
-                let mut x = seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                x ^= x >> 30;
-                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                x ^= x >> 27;
-                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-                x ^= x >> 31;
-                (x % servers as u64) as usize
-            }
-        };
-    }
-}
-
-/// Simulate a fleet of workers distributing `requests_per_worker` requests
-/// each, immediately after a synchronized list update. Returns per-server
-/// request counts — the §7 imbalance measurement.
-pub fn fleet_distribution(
-    workers: usize,
-    requests_per_worker: usize,
-    servers: usize,
-    policy: RestartPolicy,
-) -> Vec<u64> {
-    let mut counts = vec![0u64; servers];
-    for w in 0..workers {
-        let mut rr = RoundRobin::new(servers);
-        rr.update_list(w, servers, policy);
-        for _ in 0..requests_per_worker {
-            counts[rr.next_server()] += 1;
-        }
-    }
-    counts
-}
-
-/// Backend connection pooling arrangement (§7 deployment issue 2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PoolModel {
-    /// Each worker keeps its own idle-connection pool.
-    PerWorker,
-    /// All workers share one pool (the paper's proposed remedy).
-    Shared,
-}
-
-/// Idle-connection pool simulation with keep-alive expiry: an idle
-/// upstream connection can be reused only within `ttl_steps` of its last
-/// use (backends close idle connections after a keep-alive timeout).
-/// This is what makes pool *fragmentation* costly: spreading requests
-/// over per-worker pools multiplies the inter-arrival gap per
-/// (pool, server) pair past the keep-alive window, so handshakes —
-/// expensive over the Internet to on-prem IDCs — recur (§7 issue 2).
-#[derive(Debug)]
-pub struct PoolSim {
-    model: PoolModel,
-    /// Last-use step per `[pool][server]` (`u64::MAX` = never used).
-    last_use: Vec<Vec<u64>>,
-    /// Keep-alive window in request steps.
-    ttl_steps: u64,
-    /// Monotone request counter.
-    step: u64,
-    /// Hits (reused an idle connection).
-    pub reused: u64,
-    /// Misses (new TCP/TLS handshake to the backend).
-    pub handshakes: u64,
-}
-
-impl PoolSim {
-    /// Build a pool simulation with the given keep-alive window.
-    pub fn new(model: PoolModel, workers: usize, servers: usize, ttl_steps: u64) -> Self {
-        let pools = match model {
-            PoolModel::PerWorker => workers,
-            PoolModel::Shared => 1,
-        };
-        Self {
-            model,
-            last_use: vec![vec![u64::MAX; servers]; pools],
-            ttl_steps,
-            step: 0,
-            reused: 0,
-            handshakes: 0,
-        }
-    }
-
-    fn pool_of(&self, worker: WorkerId) -> usize {
-        match self.model {
-            PoolModel::PerWorker => worker,
-            PoolModel::Shared => 0,
-        }
-    }
-
-    /// Worker `w` sends one upstream request to `server`, then returns the
-    /// connection to the pool.
-    pub fn request(&mut self, w: WorkerId, server: usize) {
-        self.step += 1;
-        let p = self.pool_of(w);
-        let last = self.last_use[p][server];
-        if last != u64::MAX && self.step.saturating_sub(last) <= self.ttl_steps {
-            self.reused += 1;
-        } else {
-            self.handshakes += 1;
-        }
-        self.last_use[p][server] = self.step;
-    }
-
-    /// Fraction of upstream requests served from the pool.
-    pub fn reuse_rate(&self) -> f64 {
-        let total = self.reused + self.handshakes;
-        if total == 0 {
-            0.0
-        } else {
-            self.reused as f64 / total as f64
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use hermes_metrics_stub::stddev_of;
-
-    /// Tiny local stddev to avoid a dev-dependency cycle with
-    /// hermes-metrics (core must stay foundational).
-    mod hermes_metrics_stub {
-        pub fn stddev_of(v: &[f64]) -> f64 {
-            if v.len() < 2 {
-                return 0.0;
-            }
-            let m = v.iter().sum::<f64>() / v.len() as f64;
-            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
-        }
-    }
-
-    #[test]
-    fn round_robin_cycles() {
-        let mut rr = RoundRobin::new(3);
-        assert_eq!(
-            (0..7).map(|_| rr.next_server()).collect::<Vec<_>>(),
-            vec![0, 1, 2, 0, 1, 2, 0]
-        );
-    }
-
-    #[test]
-    fn synchronized_restarts_overload_first_servers() {
-        // §7: 16 workers, 100 servers, only 30 requests each after the
-        // list update ⇒ first ~30 servers get 16 requests, the rest 0.
-        let counts = fleet_distribution(16, 30, 100, RestartPolicy::FirstServer);
-        assert_eq!(counts[0], 16);
-        assert_eq!(counts[29], 16);
-        assert_eq!(counts[30], 0);
-        // "certain servers receiving 2-3x the traffic of others" —
-        // here the extreme version: some servers get everything.
-    }
-
-    #[test]
-    fn randomized_offsets_restore_fairness() {
-        let sync = fleet_distribution(16, 30, 100, RestartPolicy::FirstServer);
-        let rand = fleet_distribution(16, 30, 100, RestartPolicy::Randomized { seed: 7 });
-        let sd = |c: &[u64]| stddev_of(&c.iter().map(|&x| x as f64).collect::<Vec<_>>());
-        assert!(
-            sd(&rand) < sd(&sync) / 3.0,
-            "randomized SD {} vs synchronized SD {}",
-            sd(&rand),
-            sd(&sync)
-        );
-        // Every request still lands somewhere.
-        assert_eq!(rand.iter().sum::<u64>(), 16 * 30);
-    }
-
-    #[test]
-    fn randomized_offsets_differ_across_workers() {
-        let mut offsets = std::collections::HashSet::new();
-        for w in 0..16 {
-            let mut rr = RoundRobin::new(1_000);
-            rr.update_list(w, 1_000, RestartPolicy::Randomized { seed: 1 });
-            offsets.insert(rr.next_server());
-        }
-        assert!(offsets.len() >= 14, "offsets collide too much: {offsets:?}");
-    }
-
-    #[test]
-    fn update_list_resizes() {
-        let mut rr = RoundRobin::new(5);
-        rr.next_server();
-        rr.update_list(0, 2, RestartPolicy::FirstServer);
-        assert_eq!(rr.servers(), 2);
-        assert_eq!(rr.next_server(), 0);
-        assert_eq!(rr.next_server(), 1);
-        assert_eq!(rr.next_server(), 0);
-    }
-
-    /// Pseudo-random server pick (SplitMix-ish), no rand dependency.
-    fn server_for(i: usize, servers: usize) -> usize {
-        let mut x = i as u64 ^ 0x2545_F491_4F6C_DD1D;
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        x ^= x >> 33;
-        (x % servers as u64) as usize
-    }
-
-    #[test]
-    fn shared_pool_beats_per_worker_reuse() {
-        // §7 issue 2: the same request stream, spread evenly over workers
-        // (the Hermes effect), reuses far fewer connections with
-        // per-worker pools: the per-(pool,server) inter-arrival gap
-        // exceeds the keep-alive window.
-        let workers = 8;
-        let servers = 50;
-        let ttl = 100;
-        let run = |model| {
-            let mut sim = PoolSim::new(model, workers, servers, ttl);
-            for i in 0..50_000usize {
-                sim.request(i % workers, server_for(i, servers));
-            }
-            sim.reuse_rate()
-        };
-        let per_worker = run(PoolModel::PerWorker);
-        let shared = run(PoolModel::Shared);
-        assert!(shared > 0.8, "shared pool reuse {shared} should be high");
-        assert!(
-            per_worker < 0.4,
-            "per-worker reuse {per_worker} should collapse under spreading"
-        );
-    }
-
-    #[test]
-    fn concentrated_traffic_hides_the_pool_problem() {
-        // Under exclusive, one worker carries everything, so per-worker
-        // pooling reuses nearly as well as shared — which is why the
-        // issue only appeared when Hermes spread the traffic.
-        let mut sim = PoolSim::new(PoolModel::PerWorker, 8, 50, 100);
-        for i in 0..50_000usize {
-            sim.request(0, server_for(i, 50)); // all traffic on worker 0
-        }
-        assert!(sim.reuse_rate() > 0.8, "rate {}", sim.reuse_rate());
-    }
-
-    #[test]
-    fn pool_expires_idle_connections() {
-        let mut sim = PoolSim::new(PoolModel::Shared, 1, 1, 5);
-        sim.request(0, 0); // handshake
-        sim.request(0, 0); // reuse (1 step gap)
-        for _ in 0..10 {
-            sim.step += 1; // quiet period beyond the keep-alive window
-        }
-        sim.request(0, 0); // expired: handshake again
-        assert_eq!(sim.handshakes, 2);
-        assert_eq!(sim.reused, 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one backend")]
-    fn zero_servers_rejected() {
-        RoundRobin::new(0);
-    }
-}
+pub use hermes_backend::{
+    fleet_distribution, Admission, BackendId, BackendPool, BackendTable, HealthCells, HealthState,
+    PoolModel, PoolSim, Resolution, RestartPolicy, RoundRobin, TableCache,
+};

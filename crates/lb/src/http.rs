@@ -341,6 +341,118 @@ mod tests {
         assert!(s.contains("content-length: 5\r\n\r\nhello"));
     }
 
+    /// Feed `wire` split at one boundary, parsing after each chunk, and
+    /// return every request produced. Mirrors what a socket delivers: the
+    /// parser must give identical results no matter where reads land.
+    fn parse_split(wire: &[u8], split: usize) -> Vec<Request> {
+        let mut b = BytesMut::new();
+        let mut out = Vec::new();
+        for chunk in [&wire[..split], &wire[split..]] {
+            b.extend_from_slice(chunk);
+            while let Some(req) = parse_request(&mut b).expect("valid wire bytes") {
+                out.push(req);
+            }
+        }
+        assert!(b.is_empty(), "residue after split at {split}");
+        out
+    }
+
+    #[test]
+    fn framing_survives_every_read_boundary() {
+        // Two pipelined POSTs with bodies in one stream: any TCP segmentation
+        // — including splits inside "\r\n\r\n" and mid-body — must produce
+        // the same two requests.
+        let wire = b"POST /a HTTP/1.1\r\nHost: h\r\nContent-Length: 7\r\n\r\nalpha!!\
+POST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz";
+        for split in 0..=wire.len() {
+            let reqs = parse_split(wire, split);
+            assert_eq!(reqs.len(), 2, "split at {split}");
+            assert_eq!(reqs[0].target, "/a");
+            assert_eq!(&reqs[0].body[..], b"alpha!!");
+            assert_eq!(reqs[1].target, "/b");
+            assert_eq!(&reqs[1].body[..], b"xyz");
+        }
+    }
+
+    #[test]
+    fn framing_survives_byte_trickle() {
+        // Slow-loris shape: one byte per read. The parser must keep asking
+        // for more without consuming, then frame both requests exactly.
+        let wire = b"GET /x?q=1 HTTP/1.1\r\nHost: t\r\n\r\nPOST /y HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let mut b = BytesMut::new();
+        let mut out = Vec::new();
+        for &byte in wire.iter() {
+            b.extend_from_slice(&[byte]);
+            while let Some(req) = parse_request(&mut b).expect("valid wire bytes") {
+                out.push(req);
+            }
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].target, "/x?q=1");
+        assert!(out[0].body.is_empty());
+        assert_eq!(&out[1].body[..], b"ok");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn three_pipelined_requests_in_one_buffer_keep_order_and_bodies() {
+        let mut b = buf(
+            b"POST /1 HTTP/1.1\r\nContent-Length: 4\r\n\r\naaaa\
+GET /2 HTTP/1.1\r\nHost: h\r\n\r\n\
+POST /3 HTTP/1.1\r\nContent-Length: 1\r\n\r\nz",
+        );
+        let mut got = Vec::new();
+        while let Some(req) = parse_request(&mut b).unwrap() {
+            got.push(req);
+        }
+        assert_eq!(
+            got.iter().map(|r| r.target.as_str()).collect::<Vec<_>>(),
+            ["/1", "/2", "/3"]
+        );
+        assert_eq!(&got[0].body[..], b"aaaa");
+        assert!(got[1].body.is_empty());
+        assert_eq!(&got[2].body[..], b"z");
+    }
+
+    #[test]
+    fn pipelined_garbage_after_a_valid_request_errors_without_losing_it() {
+        // The valid request frames and is consumed; the trailing garbage
+        // then errors on the next call (connection close, request served).
+        let mut b = buf(b"GET /ok HTTP/1.1\r\n\r\nNOT HTTP AT ALL\r\n\r\n");
+        let ok = parse_request(&mut b).unwrap().unwrap();
+        assert_eq!(ok.target, "/ok");
+        assert!(parse_request(&mut b).is_err());
+    }
+
+    #[test]
+    fn oversized_head_boundary_is_exact() {
+        // A head whose terminator lands exactly at MAX_HEAD_BYTES parses;
+        // one byte more is rejected — and an unterminated head is rejected
+        // as soon as the buffer exceeds the limit, not at some later read.
+        let request_line = b"GET / HTTP/1.1\r\nx-pad: ";
+        let pad = MAX_HEAD_BYTES - request_line.len(); // head_end == MAX_HEAD_BYTES
+        let mut exact = BytesMut::new();
+        exact.extend_from_slice(request_line);
+        exact.extend_from_slice(&vec![b'p'; pad]);
+        exact.extend_from_slice(b"\r\n\r\n");
+        let req = parse_request(&mut exact).unwrap().unwrap();
+        assert_eq!(req.header("x-pad").unwrap().len(), pad);
+
+        let mut over = BytesMut::new();
+        over.extend_from_slice(request_line);
+        over.extend_from_slice(&vec![b'p'; pad + 1]);
+        over.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse_request(&mut over), Err(HttpError::HeadTooLarge));
+
+        let mut unterminated = BytesMut::new();
+        unterminated.extend_from_slice(request_line);
+        unterminated.extend_from_slice(&vec![b'p'; MAX_HEAD_BYTES]);
+        assert_eq!(
+            parse_request(&mut unterminated),
+            Err(HttpError::HeadTooLarge)
+        );
+    }
+
     #[test]
     fn status_codes_cover_proxy_paths() {
         assert_eq!(StatusCode::BadRequest.code(), 400);

@@ -17,6 +17,11 @@
 //!   accepted connections to worker threads through the Hermes closed
 //!   loop (shared WST, per-worker scheduling via the SDK, kernel-side
 //!   bitmap dispatch), each worker running the Fig. 9 event-loop shape.
+//! * [`relay`] — the backend data plane: the same front end, but instead
+//!   of answering in-process each connection is admitted against a
+//!   versioned [`hermes_backend::BackendPool`] snapshot, connected to a
+//!   real backend (retrying the admitted candidate order on failure), and
+//!   byte-relayed with half-close and backpressure handling.
 //!
 //! The substitution vs. production: the paper attaches dispatch at the
 //! kernel's reuseport hook so the *kernel* places each SYN; a portable
@@ -41,6 +46,7 @@
 
 pub mod http;
 pub mod proxy;
+pub mod relay;
 pub mod router;
 pub mod server;
 
@@ -48,6 +54,7 @@ pub mod server;
 pub mod prelude {
     pub use crate::http::{Request, Response, StatusCode};
     pub use crate::proxy::{EchoUpstream, Proxy, Upstream};
+    pub use crate::relay::{RelayLb, RelayStats};
     pub use crate::router::{Router, Rule};
     pub use crate::server::TcpLb;
 }

@@ -2,14 +2,14 @@
 //!
 //! Upstreams are pluggable ([`Upstream`]); within a pool the backend is
 //! chosen round-robin with the §7 randomized-restart fix from
-//! `hermes_core::backend`. Each worker thread owns its own `Proxy` clone
+//! `hermes_backend`. Each worker thread owns its own `Proxy` clone
 //! (workers share nothing but the WST), so `handle` needs `&mut self` and
 //! no locks — the run-to-completion shape of the paper's workers.
 
 use crate::http::{parse_request, HttpError, Request, Response, StatusCode};
 use crate::router::Router;
 use bytes::{Bytes, BytesMut};
-use hermes_core::backend::{RestartPolicy, RoundRobin};
+use hermes_backend::{RestartPolicy, RoundRobin};
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -1,0 +1,735 @@
+//! The backend data plane over real sockets: a client↔backend byte relay.
+//!
+//! Where [`crate::server`] terminates HTTP and answers from in-process
+//! upstreams, this module *forwards*: each accepted client connection is
+//! admitted against the current [`hermes_backend::BackendTable`] version,
+//! connected to the selected backend (walking the admitted table's
+//! deterministic candidate order on connect failure), and then pumped —
+//! bytes move client↔backend through one per-worker reused scratch buffer,
+//! a burst of connections per loop iteration, mirroring the 64-connection
+//! accept burst of the front end.
+//!
+//! Consistency: a connection resolves its backend *once*, at admission,
+//! against the table version current at accept time. Later churn (drain,
+//! flap, scale) publishes new versions for *new* connections; established
+//! relays keep their TCP peer until either side closes. That is exactly
+//! the frozen-snapshot contract the simnet churn suite proves at scale.
+//!
+//! Per-connection relay state handles the edges: half-close (EOF on one
+//! side propagates `shutdown(Write)` to the other once buffered bytes
+//! drain), strict backpressure (a side is read only when its forwarding
+//! buffer is empty), connect failure (retry the next candidate in the
+//! admitted table), and a hard per-connection deadline.
+
+use crate::server::{accept_loop, flow_hash, GroupSync, LbStats, ACCEPT_BURST};
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use hermes_backend::{BackendId, BackendPool, TableCache};
+use hermes_core::sched::SchedConfig;
+use hermes_core::sdk::{SyncTarget, WorkerSession};
+use hermes_core::wst::Wst;
+use hermes_ebpf::{ExecTier, ReuseportGroup};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Backend connect timeout: long enough for loopback/LAN, short enough
+/// that walking a few dead candidates stays well under a second.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Hard ceiling on one relay's lifetime: a stuck peer must not pin worker
+/// state forever (the relay analogue of the front end's slow-loris guard).
+const RELAY_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Scratch buffer size for byte moves (shared per worker across all of
+/// its relays).
+const SCRATCH_BYTES: usize = 16 * 1024;
+
+/// Cap on scratch-fulls moved per direction per pump, so one hot relay
+/// cannot starve its siblings on the same worker.
+const MOVES_PER_PUMP: usize = 4;
+
+/// Relay-specific counters (dispatch counters live in [`LbStats`]).
+#[derive(Debug, Default)]
+pub struct RelayStats {
+    /// Relay connections fully torn down.
+    pub relayed: AtomicU64,
+    /// Bytes moved client → backend.
+    pub bytes_up: AtomicU64,
+    /// Bytes moved backend → client.
+    pub bytes_down: AtomicU64,
+    /// Connect attempts beyond the pinned candidate (failure → next).
+    pub connect_retries: AtomicU64,
+    /// Client connections dropped because no admitted candidate accepted.
+    pub failed_connects: AtomicU64,
+    /// Relay connections established per backend.
+    pub per_backend: Vec<AtomicU64>,
+}
+
+/// A running TCP relay LB.
+pub struct RelayLb {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<LbStats>,
+    relay_stats: Arc<RelayStats>,
+    pool: Arc<BackendPool>,
+}
+
+impl RelayLb {
+    /// Bind `addr`, spawn `workers` relay workers over `backends`, and
+    /// start accepting. The pool starts with every backend `Healthy`;
+    /// drive churn through [`RelayLb::pool`].
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        backends: Vec<SocketAddr>,
+    ) -> std::io::Result<RelayLb> {
+        assert!((1..=64).contains(&workers), "1..=64 workers");
+        assert!(!backends.is_empty(), "relay needs at least one backend");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(LbStats {
+            accepted: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            ..LbStats::default()
+        });
+        let relay_stats = Arc::new(RelayStats {
+            per_backend: (0..backends.len()).map(|_| AtomicU64::new(0)).collect(),
+            ..RelayStats::default()
+        });
+        let pool = Arc::new(BackendPool::new(backends.len()));
+        let backends = Arc::new(backends);
+        let wst = Arc::new(Wst::new(workers));
+        let group = Arc::new(ReuseportGroup::new(workers));
+        // Same admission bar as the HTTP front end: statically verified
+        // and translation-validated dispatch only.
+        assert_eq!(
+            group.tier(),
+            ExecTier::native_ceiling(),
+            "dispatch program failed static verification:\n{}",
+            group.analysis().render(group.program())
+        );
+        assert!(
+            group.validation().blocks_proven() > 0,
+            "compiled dispatch admitted without a translation proof"
+        );
+
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let (tx, rx) = bounded::<TcpStream>(1024);
+            senders.push(tx);
+            let session = WorkerSession::new(
+                Arc::clone(&wst),
+                id,
+                SchedConfig::default(),
+                Arc::new(GroupSync(Arc::clone(&group))),
+            );
+            let stats = Arc::clone(&stats);
+            let relay_stats = Arc::clone(&relay_stats);
+            let shutdown = Arc::clone(&shutdown);
+            let pool = Arc::clone(&pool);
+            let backends = Arc::clone(&backends);
+            handles.push(std::thread::spawn(move || {
+                relay_worker_loop(
+                    id,
+                    rx,
+                    session,
+                    pool,
+                    backends,
+                    stats,
+                    relay_stats,
+                    shutdown,
+                )
+            }));
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                accept_loop(listener, senders, group, stats, shutdown);
+            })
+        };
+
+        Ok(RelayLb {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: handles,
+            stats,
+            relay_stats,
+            pool,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Dispatch counters (accepts, directed/fallback).
+    pub fn stats(&self) -> &Arc<LbStats> {
+        &self.stats
+    }
+
+    /// Relay counters (bytes, retries, per-backend spread).
+    pub fn relay_stats(&self) -> &Arc<RelayStats> {
+        &self.relay_stats
+    }
+
+    /// The versioned backend pool: drive health transitions (drain, down,
+    /// recover) here; each publishes a new frozen table for new admissions.
+    pub fn pool(&self) -> &Arc<BackendPool> {
+        &self.pool
+    }
+
+    /// Stop accepting, drain relays, join threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for RelayLb {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Outcome of one pump pass over a relay.
+enum Pump {
+    /// Still alive; `0` bytes moved means both sides would block.
+    Progress(u64),
+    /// Both directions saw EOF and every buffered byte was delivered.
+    Done,
+    /// A socket error (reset, deadline): tear down.
+    Dead,
+}
+
+/// One established relay: client socket, backend socket, and the
+/// in-flight byte buffers for each direction.
+struct RelayConn {
+    client: TcpStream,
+    backend: TcpStream,
+    backend_id: BackendId,
+    /// Table version this connection was admitted under (observability:
+    /// proves which snapshot the routing decision came from).
+    admitted_version: u64,
+    to_backend: BytesMut,
+    to_client: BytesMut,
+    client_eof: bool,
+    backend_eof: bool,
+    backend_shut: bool,
+    client_shut: bool,
+    bytes_up: u64,
+    bytes_down: u64,
+    deadline: Instant,
+}
+
+impl RelayConn {
+    fn new(client: TcpStream, backend: TcpStream, backend_id: BackendId, version: u64) -> Self {
+        Self {
+            client,
+            backend,
+            backend_id,
+            admitted_version: version,
+            to_backend: BytesMut::with_capacity(SCRATCH_BYTES),
+            to_client: BytesMut::with_capacity(SCRATCH_BYTES),
+            client_eof: false,
+            backend_eof: false,
+            backend_shut: false,
+            client_shut: false,
+            bytes_up: 0,
+            bytes_down: 0,
+            deadline: Instant::now() + RELAY_DEADLINE,
+        }
+    }
+
+    /// Move bytes in both directions until the sockets would block (or the
+    /// per-pump cap). Returns the relay's life status.
+    fn pump(&mut self, scratch: &mut [u8]) -> Pump {
+        if Instant::now() >= self.deadline {
+            return Pump::Dead;
+        }
+        let up = pump_direction(
+            &mut self.client,
+            &mut self.backend,
+            &mut self.to_backend,
+            &mut self.client_eof,
+            &mut self.backend_shut,
+            scratch,
+        );
+        let down = pump_direction(
+            &mut self.backend,
+            &mut self.client,
+            &mut self.to_client,
+            &mut self.backend_eof,
+            &mut self.client_shut,
+            scratch,
+        );
+        match (up, down) {
+            (Ok(u), Ok(d)) => {
+                self.bytes_up += u;
+                self.bytes_down += d;
+                let drained = self.to_backend.is_empty() && self.to_client.is_empty();
+                if self.client_eof && self.backend_eof && drained {
+                    Pump::Done
+                } else {
+                    Pump::Progress(u + d)
+                }
+            }
+            _ => Pump::Dead,
+        }
+    }
+}
+
+/// Pump one direction (`src` → `dst` through `buf`): flush what is
+/// buffered, read more only when the buffer is empty (strict
+/// backpressure), and propagate half-close once `src`'s EOF is fully
+/// flushed. Returns bytes written to `dst`.
+fn pump_direction(
+    src: &mut TcpStream,
+    dst: &mut TcpStream,
+    buf: &mut BytesMut,
+    src_eof: &mut bool,
+    dst_shut: &mut bool,
+    scratch: &mut [u8],
+) -> std::io::Result<u64> {
+    use std::io::ErrorKind;
+    let mut moved = 0u64;
+    'moves: for _ in 0..MOVES_PER_PUMP {
+        while !buf.is_empty() {
+            match dst.write(&buf[..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    let _ = buf.split_to(n);
+                    moved += n as u64;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break 'moves,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if *src_eof {
+            break;
+        }
+        match src.read(scratch) {
+            Ok(0) => {
+                *src_eof = true;
+                break;
+            }
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if *src_eof && buf.is_empty() && !*dst_shut {
+        // Half-close: the reader saw EOF and everything it buffered has
+        // been delivered — tell the other side no more bytes are coming,
+        // while its responses keep flowing the opposite way.
+        let _ = dst.shutdown(Shutdown::Write);
+        *dst_shut = true;
+    }
+    Ok(moved)
+}
+
+/// Admit a freshly dispatched client against the current table version and
+/// connect it to a backend, walking the admitted candidate order on
+/// connect failure. `None` drops the client (no candidate reachable).
+fn open_relay(
+    client: TcpStream,
+    pool: &BackendPool,
+    cache: &mut TableCache,
+    backends: &[SocketAddr],
+    rstats: &RelayStats,
+) -> Option<RelayConn> {
+    let hash = match (client.peer_addr(), client.local_addr()) {
+        (Ok(peer), Ok(local)) => flow_hash(&peer, &local),
+        _ => return None, // peer vanished between accept and hand-off
+    };
+    let table = pool.cached(cache);
+    let Some(adm) = table.admit(hash) else {
+        rstats.failed_connects.fetch_add(1, Ordering::Relaxed);
+        return None; // nothing admits new connections right now
+    };
+    let mut attempt = 0;
+    while let Some(b) = adm.candidate(attempt) {
+        if attempt > 0 {
+            rstats.connect_retries.fetch_add(1, Ordering::Relaxed);
+            hermes_trace::trace_count!(hermes_trace::CounterId::BackendRetries);
+        }
+        match TcpStream::connect_timeout(&backends[b], CONNECT_TIMEOUT) {
+            Ok(backend) => {
+                let _ = client.set_nonblocking(true);
+                let _ = client.set_nodelay(true);
+                let _ = backend.set_nonblocking(true);
+                let _ = backend.set_nodelay(true);
+                rstats.per_backend[b].fetch_add(1, Ordering::Relaxed);
+                return Some(RelayConn::new(client, backend, b, adm.version()));
+            }
+            Err(_) => attempt += 1,
+        }
+    }
+    rstats.failed_connects.fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+/// One relay worker: the Fig. 9 loop shape over a socket channel, with
+/// the "handle events" phase pumping every live relay once per iteration.
+#[allow(clippy::too_many_arguments)]
+fn relay_worker_loop<T: SyncTarget>(
+    id: usize,
+    rx: Receiver<TcpStream>,
+    mut session: WorkerSession<T>,
+    pool: Arc<BackendPool>,
+    backends: Arc<Vec<SocketAddr>>,
+    stats: Arc<LbStats>,
+    rstats: Arc<RelayStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let epoch = Instant::now();
+    let now_ns = move || epoch.elapsed().as_nanos() as u64;
+    let lane = id as u32;
+    let mut cache = TableCache::new();
+    let mut conns: Vec<RelayConn> = Vec::new();
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    loop {
+        session.loop_top(now_ns());
+        // Fetch a burst of newly dispatched connections. Block (the 5 ms
+        // epoll_wait stand-in) only when there is nothing to pump.
+        let mut fetched = 0usize;
+        if conns.is_empty() {
+            match rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(stream) => {
+                    admit(stream, &mut conns, id, lane, &now_ns, &mut session, &pool, &mut cache, &backends, &stats, &rstats);
+                    fetched += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+        while fetched < ACCEPT_BURST {
+            match rx.try_recv() {
+                Ok(stream) => {
+                    admit(stream, &mut conns, id, lane, &now_ns, &mut session, &pool, &mut cache, &backends, &stats, &rstats);
+                    fetched += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        session.events_fetched(fetched);
+        for _ in 0..fetched {
+            session.event_handled();
+        }
+
+        // Pump every live relay once through the shared scratch buffer.
+        let mut moved = 0u64;
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].pump(&mut scratch) {
+                Pump::Progress(n) => {
+                    moved += n;
+                    i += 1;
+                }
+                Pump::Done | Pump::Dead => {
+                    // Dropping the RelayConn closes both sockets; Dead
+                    // relays leave only the counters as residue.
+                    let c = conns.swap_remove(i);
+                    rstats.relayed.fetch_add(1, Ordering::Relaxed);
+                    rstats.bytes_up.fetch_add(c.bytes_up, Ordering::Relaxed);
+                    rstats.bytes_down.fetch_add(c.bytes_down, Ordering::Relaxed);
+                    session.conn_closed();
+                    hermes_trace::trace_event!(
+                        now_ns(),
+                        hermes_trace::EventKind::ConnClose,
+                        lane,
+                        c.backend_id,
+                        c.admitted_version
+                    );
+                }
+            }
+        }
+        if moved > 0 || fetched > 0 {
+            hermes_trace::trace_count!(hermes_trace::CounterId::RelayBursts);
+            hermes_trace::trace_count!(hermes_trace::CounterId::RelayBytes, moved);
+        } else if !conns.is_empty() {
+            // Everything would block: yield briefly instead of spinning.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let decision = session.schedule_only(now_ns());
+        session.sync_only(decision.bitmap);
+        if shutdown.load(Ordering::SeqCst) && rx.is_empty() && conns.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Accept-side bookkeeping for one dispatched client: WST + stats +
+/// trace, then admission and backend connect.
+#[allow(clippy::too_many_arguments)]
+fn admit<T: SyncTarget>(
+    stream: TcpStream,
+    conns: &mut Vec<RelayConn>,
+    id: usize,
+    lane: u32,
+    now_ns: &impl Fn() -> u64,
+    session: &mut WorkerSession<T>,
+    pool: &BackendPool,
+    cache: &mut TableCache,
+    backends: &[SocketAddr],
+    stats: &LbStats,
+    rstats: &RelayStats,
+) {
+    stats.accepted[id].fetch_add(1, Ordering::Relaxed);
+    if let Some(conn) = open_relay(stream, pool, cache, backends, rstats) {
+        session.conn_opened();
+        hermes_trace::trace_event!(
+            now_ns(),
+            hermes_trace::EventKind::ConnOpen,
+            lane,
+            conn.backend_id,
+            conn.admitted_version
+        );
+        conns.push(conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_backend::HealthState;
+    use std::io::{BufRead, BufReader};
+
+    /// A line-greeting echo backend: sends `hello-<id>\n` on connect, then
+    /// echoes every byte until client EOF, then closes.
+    fn spawn_echo_backend(id: usize) -> (SocketAddr, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind backend");
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((mut s, _)) => {
+                        std::thread::spawn(move || {
+                            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                            let _ = s.set_nodelay(true);
+                            if s.write_all(format!("hello-{id}\n").as_bytes()).is_err() {
+                                return;
+                            }
+                            let mut chunk = [0u8; 1024];
+                            loop {
+                                match s.read(&mut chunk) {
+                                    Ok(0) | Err(_) => break,
+                                    Ok(n) => {
+                                        if s.write_all(&chunk[..n]).is_err() {
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        (addr, stop)
+    }
+
+    /// Connect through the relay, read the greeting, exchange one echo
+    /// round-trip, half-close, and drain to EOF. Returns the backend id
+    /// that greeted.
+    fn relay_round_trip(addr: SocketAddr, payload: &str) -> usize {
+        let mut s = TcpStream::connect(addr).expect("connect relay");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.set_nodelay(true).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut greeting = String::new();
+        r.read_line(&mut greeting).expect("greeting");
+        let backend: usize = greeting
+            .trim()
+            .strip_prefix("hello-")
+            .unwrap_or_else(|| panic!("bad greeting {greeting:?}"))
+            .parse()
+            .unwrap();
+        write!(s, "{payload}\n").unwrap();
+        let mut echoed = String::new();
+        r.read_line(&mut echoed).expect("echo");
+        assert_eq!(echoed.trim(), payload);
+        s.shutdown(Shutdown::Write).unwrap();
+        let mut rest = String::new();
+        let _ = r.read_to_string(&mut rest);
+        assert!(rest.is_empty(), "unexpected trailing bytes {rest:?}");
+        backend
+    }
+
+    #[test]
+    fn relays_end_to_end_and_spreads_across_backends() {
+        let backends: Vec<_> = (0..4).map(spawn_echo_backend).collect();
+        let addrs: Vec<SocketAddr> = backends.iter().map(|(a, _)| *a).collect();
+        let lb = RelayLb::start("127.0.0.1:0", 4, addrs).expect("bind");
+        let addr = lb.local_addr();
+        std::thread::sleep(Duration::from_millis(15)); // first bitmaps
+        let mut used = std::collections::HashSet::new();
+        for i in 0..24 {
+            used.insert(relay_round_trip(addr, &format!("ping-{i}")));
+        }
+        let rstats = Arc::clone(lb.relay_stats());
+        lb.shutdown();
+        assert!(used.len() >= 2, "all relays landed on one backend: {used:?}");
+        let landed: u64 = rstats
+            .per_backend
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(landed, 24);
+        assert_eq!(rstats.relayed.load(Ordering::Relaxed), 24);
+        assert_eq!(rstats.failed_connects.load(Ordering::Relaxed), 0);
+        // Greeting + echo flowed down; payload flowed up.
+        assert!(rstats.bytes_down.load(Ordering::Relaxed) > rstats.bytes_up.load(Ordering::Relaxed));
+        for (_, stop) in backends {
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn draining_backend_keeps_existing_relay_but_takes_no_new_ones() {
+        let backends: Vec<_> = (0..2).map(spawn_echo_backend).collect();
+        let addrs: Vec<SocketAddr> = backends.iter().map(|(a, _)| *a).collect();
+        let lb = RelayLb::start("127.0.0.1:0", 2, addrs).expect("bind");
+        let addr = lb.local_addr();
+        std::thread::sleep(Duration::from_millis(15));
+
+        // Open a long-lived relay and learn its backend.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut greeting = String::new();
+        r.read_line(&mut greeting).unwrap();
+        let pinned: usize = greeting.trim().strip_prefix("hello-").unwrap().parse().unwrap();
+
+        // Drain that backend: new admissions must avoid it…
+        assert!(lb.pool().set_health(pinned, HealthState::Draining, 0));
+        let other = 1 - pinned;
+        for i in 0..8 {
+            assert_eq!(
+                relay_round_trip(addr, &format!("fresh-{i}")),
+                other,
+                "new connection landed on a draining backend"
+            );
+        }
+        // …while the established relay keeps serving through it.
+        write!(s, "still-here\n").unwrap();
+        let mut echoed = String::new();
+        r.read_line(&mut echoed).unwrap();
+        assert_eq!(echoed.trim(), "still-here");
+        s.shutdown(Shutdown::Write).unwrap();
+        let mut rest = String::new();
+        let _ = r.read_to_string(&mut rest);
+        lb.shutdown();
+        for (_, stop) in backends {
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn connect_failure_retries_next_candidate() {
+        // Backend 0 is a dead address (bound then dropped: connect refused);
+        // backend 1 is live. Every relay must end up on 1, with retries
+        // recorded for the clients whose pinned candidate was 0.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let (live_addr, stop) = spawn_echo_backend(1);
+        let lb = RelayLb::start("127.0.0.1:0", 2, vec![dead_addr, live_addr]).expect("bind");
+        let addr = lb.local_addr();
+        std::thread::sleep(Duration::from_millis(15));
+        for i in 0..16 {
+            assert_eq!(relay_round_trip(addr, &format!("retry-{i}")), 1);
+        }
+        let rstats = Arc::clone(lb.relay_stats());
+        lb.shutdown();
+        assert!(
+            rstats.connect_retries.load(Ordering::Relaxed) > 0,
+            "no client was pinned to the dead backend across 16 flows"
+        );
+        assert_eq!(rstats.failed_connects.load(Ordering::Relaxed), 0);
+        assert_eq!(rstats.per_backend[1].load(Ordering::Relaxed), 16);
+        assert_eq!(rstats.per_backend[0].load(Ordering::Relaxed), 0);
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn down_pool_refuses_new_relays() {
+        let (live_addr, stop) = spawn_echo_backend(0);
+        let lb = RelayLb::start("127.0.0.1:0", 1, vec![live_addr]).expect("bind");
+        let addr = lb.local_addr();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(lb.pool().set_health(0, HealthState::Down, 0));
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        // The relay drops the client without a backend: EOF, no greeting.
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.is_empty(), "got bytes from a fully-down pool: {out:?}");
+        let rstats = Arc::clone(lb.relay_stats());
+        lb.shutdown();
+        assert!(rstats.failed_connects.load(Ordering::Relaxed) >= 1);
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn half_close_with_large_payload_exercises_backpressure() {
+        // 64 KiB through a 16 KiB scratch buffer: the echo path must chunk
+        // through the relay's strict-backpressure buffers, and half-close
+        // must still deliver every byte after the client stops sending.
+        let (live_addr, stop) = spawn_echo_backend(0);
+        let lb = RelayLb::start("127.0.0.1:0", 1, vec![live_addr]).expect("bind");
+        let addr = lb.local_addr();
+        std::thread::sleep(Duration::from_millis(15));
+        let payload = vec![0xA5u8; 64 * 1024];
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = s.try_clone().unwrap();
+        let want = payload.len();
+        let collector = std::thread::spawn(move || {
+            let mut got = Vec::with_capacity(want + 16);
+            let mut chunk = [0u8; 4096];
+            loop {
+                match reader.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => got.extend_from_slice(&chunk[..n]),
+                }
+            }
+            got
+        });
+        s.write_all(&payload).unwrap();
+        s.shutdown(Shutdown::Write).unwrap();
+        let got = collector.join().unwrap();
+        lb.shutdown();
+        // greeting ("hello-0\n" = 8 bytes) + the full echoed payload.
+        assert_eq!(got.len(), 8 + payload.len(), "bytes lost in the relay");
+        assert_eq!(&got[..8], b"hello-0\n");
+        assert!(got[8..].iter().all(|&b| b == 0xA5), "payload corrupted");
+        stop.store(true, Ordering::SeqCst);
+    }
+}

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-struct GroupSync(Arc<ReuseportGroup>);
+pub(crate) struct GroupSync(pub(crate) Arc<ReuseportGroup>);
 
 impl SyncTarget for GroupSync {
     fn sync(&self, bitmap: hermes_core::WorkerBitmap) {
@@ -253,11 +253,12 @@ impl Drop for TcpLb {
 
 /// Largest accept burst dispatched through one batched program run — the
 /// workspace-wide batch geometry shared with the runtime driver.
-const ACCEPT_BURST: usize = hermes_core::DISPATCH_BATCH;
+pub(crate) const ACCEPT_BURST: usize = hermes_core::DISPATCH_BATCH;
 
 /// The "kernel": drain the accept backlog into a burst, hash, run the
-/// dispatch program once for the whole burst, hand off.
-fn accept_loop(
+/// dispatch program once for the whole burst, hand off. Shared by the
+/// HTTP front end and the byte relay ([`crate::relay`]).
+pub(crate) fn accept_loop(
     listener: TcpListener,
     senders: Vec<Sender<TcpStream>>,
     group: Arc<ReuseportGroup>,
@@ -389,7 +390,7 @@ fn accept_loop_sharded(
 }
 
 /// The kernel-precomputed 4-tuple hash, from the socket addresses.
-fn flow_hash(peer: &SocketAddr, local: &SocketAddr) -> u32 {
+pub(crate) fn flow_hash(peer: &SocketAddr, local: &SocketAddr) -> u32 {
     let ip_bits = |a: &SocketAddr| match a.ip() {
         std::net::IpAddr::V4(v4) => u32::from(v4),
         std::net::IpAddr::V6(v6) => {

@@ -174,6 +174,12 @@ pub struct SimConfig {
     /// of which pool thread runs the device. `None` (single-device runs)
     /// keeps the per-worker lane mapping.
     pub device_index: Option<u32>,
+    /// Backend plane: when set, every processed request is forwarded to a
+    /// backend chosen through the versioned-pool data plane of
+    /// `hermes_backend` and only completes when the response returns.
+    /// `None` (the default) keeps the LB-only model where processing a
+    /// request completes it.
+    pub backend: Option<crate::backend::BackendSimConfig>,
 }
 
 impl SimConfig {
@@ -198,6 +204,7 @@ impl SimConfig {
             probe_service_ns: 10_000,
             degrade: None,
             device_index: None,
+            backend: None,
         }
     }
 
@@ -225,6 +232,9 @@ impl SimConfig {
                 self.workers >= 2,
                 "userspace dispatcher needs a dispatcher plus >= 1 backend"
             );
+        }
+        if let Some(b) = &self.backend {
+            b.validate();
         }
     }
 }

@@ -30,6 +30,7 @@
 //! results, which is what lets Table 3 run the *same* captured traffic
 //! under each mode.
 
+pub mod backend;
 pub mod cluster;
 pub mod config;
 pub mod event_queue;
@@ -40,6 +41,7 @@ pub mod ports;
 pub mod sim;
 pub mod state;
 
+pub use backend::{BackendChurnEvent, BackendSimConfig};
 pub use cluster::{run_cluster, run_cluster_threaded, run_fleet_with, ClusterReport};
 pub use config::{CostParams, Fault, Mode, SimConfig};
 pub use event_queue::{Engine, EventQueue, HeapQueue, TimerWheel};

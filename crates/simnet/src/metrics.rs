@@ -92,6 +92,33 @@ pub struct BalanceStats {
     pub series: Vec<(u64, f64, f64)>,
 }
 
+/// Backend-plane routing counters (the churn-consistency evidence): how
+/// every request was routed relative to its connection's admitted table
+/// version. `misroutes` and `dropped_responses` are the invariants the
+/// versioned-table design guarantees are zero under drain and flap.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BackendReport {
+    /// Table versions published over the run (1 + churn transitions applied).
+    pub versions_published: u64,
+    /// Connections that captured an admission at accept time.
+    pub admitted: u64,
+    /// Requests served by their admitted backend.
+    pub pinned: u64,
+    /// Requests retried to a sibling in the *admitted* table because the
+    /// pinned backend stopped serving (flap), still version-consistent.
+    pub retried: u64,
+    /// Requests that fell back to the live table (admitted version fully
+    /// expired — every backend of that cohort down).
+    pub fell_back: u64,
+    /// Requests routed away from a pinned backend that was still serving.
+    /// Structurally impossible in the frozen-table design; asserted zero.
+    pub misroutes: u64,
+    /// Requests that found no serving backend at all (response lost).
+    pub dropped_responses: u64,
+    /// Responses returned per backend (service-share evidence).
+    pub per_backend_completed: Vec<u64>,
+}
+
 /// The complete result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct DeviceReport {
@@ -139,6 +166,9 @@ pub struct DeviceReport {
     /// parallel arrays plus the pooled waiting-list nodes). The per-device
     /// memory budget reported by `fleet_throughput` and gated in CI.
     pub conn_table_bytes: u64,
+    /// Backend-plane routing counters; `None` when the run had no backend
+    /// plane configured.
+    pub backend: Option<BackendReport>,
 }
 
 /// Per-port time series for the Fig. 3 lag-effect plot.
@@ -253,6 +283,7 @@ mod tests {
             nic_queue_packets: Vec::new(),
             rst_reschedules: 0,
             conn_table_bytes: 0,
+            backend: None,
         }
     }
 

@@ -49,6 +49,15 @@ enum Ev {
     FaultAt(usize),
     /// Per-worker health-probe injection tick (Fig. 11).
     ProbeTick,
+    /// Scripted backend health transition (index into the churn script).
+    BackendChurn(usize),
+    /// Backend finished serving request `req` of `conn`: the response
+    /// arrives back at the LB and the request completes.
+    BackendDone {
+        conn: ConnId,
+        req: usize,
+        backend: u32,
+    },
 }
 
 /// The simulator for one device run.
@@ -96,6 +105,8 @@ pub struct Simulator<'w> {
     /// Appendix C degradation: monitor + count of RST-rescheduled conns.
     degrade: Option<hermes_core::degrade::DegradeMonitor>,
     rst_reschedules: u64,
+    /// Backend plane: versioned-pool routing + service-time modeling.
+    backend: Option<crate::backend::BackendPlane>,
 }
 
 impl<'w> Simulator<'w> {
@@ -151,6 +162,10 @@ impl<'w> Simulator<'w> {
                 .degrade
                 .map(|d| hermes_core::degrade::DegradeMonitor::new(n, d)),
             rst_reschedules: 0,
+            backend: cfg
+                .backend
+                .as_ref()
+                .map(|b| crate::backend::BackendPlane::new(b, wl.conns.len())),
             cfg,
             wl,
         };
@@ -214,6 +229,10 @@ impl<'w> Simulator<'w> {
         if let Some(interval) = self.cfg.probe_interval_ns {
             self.push(interval, Ev::ProbeTick);
         }
+        for i in 0..self.backend.as_ref().map_or(0, |p| p.churn_len()) {
+            let at = self.backend.as_ref().expect("plane present").churn_at(i);
+            self.push(at, Ev::BackendChurn(i));
+        }
     }
 
     /// Run to the horizon and produce the report.
@@ -260,6 +279,10 @@ impl<'w> Simulator<'w> {
                 Ev::Sample => self.on_sample(),
                 Ev::FaultAt(i) => self.on_fault(i),
                 Ev::ProbeTick => self.on_probe_tick(),
+                Ev::BackendChurn(i) => self.on_backend_churn(i),
+                Ev::BackendDone { conn, req, backend } => {
+                    self.on_backend_done(conn, req, backend)
+                }
             }
         }
         self.finish()
@@ -630,6 +653,12 @@ impl<'w> Simulator<'w> {
                 tr.connections.record(self.now, live as f64);
             }
         }
+        // Backend plane: the connection captures an admission against the
+        // table version current *now* — every request it ever carries
+        // resolves against this frozen version, never a later one.
+        if let Some(plane) = &mut self.backend {
+            plane.admit(c, self.wl.conns[c].flow.hash());
+        }
         // Requests that arrived while the connection waited in the accept
         // queue become deliverable now. The list is drained through a
         // scratch buffer and its pooled nodes recycle onto the table's
@@ -649,7 +678,10 @@ impl<'w> Simulator<'w> {
         }
     }
 
-    /// One of a request's events finished at `t`.
+    /// One of a request's events finished at `t`. When the last event of a
+    /// request lands, the LB is done *processing* it: without a backend
+    /// plane the request completes here; with one it is forwarded upstream
+    /// and completes when the response returns ([`Ev::BackendDone`]).
     fn complete_request_event(&mut self, conn: ConnId, req: usize, t: u64) {
         if self.conns.closed(conn) {
             return;
@@ -657,6 +689,51 @@ impl<'w> Simulator<'w> {
         if self.conns.dec_event(conn, req) > 0 {
             return;
         }
+        if self.backend.is_some() {
+            self.forward_to_backend(conn, req, t);
+        } else {
+            self.finish_request(conn, req, t);
+        }
+    }
+
+    /// Forward a fully-processed request to its backend: route through the
+    /// connection's admitted table version and schedule the response. A
+    /// request that finds no serving backend is dropped (stays incomplete);
+    /// the churn-consistency suite asserts that never happens under drain
+    /// or flap.
+    fn forward_to_backend(&mut self, conn: ConnId, req: usize, t: u64) {
+        let hash = self.wl.conns[conn].flow.hash();
+        let plane = self.backend.as_mut().expect("plane present");
+        if let Some((backend, service_ns)) = plane.route(conn, hash, req) {
+            hermes_trace::trace_count!(
+                hermes_trace::CounterId::RelayBytes,
+                self.wl.conns[conn].requests[req].size_bytes
+            );
+            self.push(
+                t.saturating_add(service_ns),
+                Ev::BackendDone {
+                    conn,
+                    req,
+                    backend: backend as u32,
+                },
+            );
+        }
+    }
+
+    /// A backend response arrived: the request completes now.
+    fn on_backend_done(&mut self, conn: ConnId, req: usize, backend: u32) {
+        if self.conns.closed(conn) {
+            return;
+        }
+        if let Some(plane) = &mut self.backend {
+            plane.complete(backend as usize);
+        }
+        self.finish_request(conn, req, self.now);
+    }
+
+    /// Request `req` of `conn` fully completed at `t`: record end-to-end
+    /// latency and schedule teardown once the connection runs dry.
+    fn finish_request(&mut self, conn: ConnId, req: usize, t: u64) {
         // Request complete: latency from readiness to final event.
         let spec = &self.wl.conns[conn];
         let ready = spec.arrival_ns + spec.requests[req].start_offset_ns;
@@ -811,6 +888,15 @@ impl<'w> Simulator<'w> {
         }
     }
 
+    /// Apply scripted backend churn event `i` (health transition + new
+    /// table version).
+    fn on_backend_churn(&mut self, i: usize) {
+        let now = self.now;
+        if let Some(plane) = &mut self.backend {
+            plane.apply_churn(i, now);
+        }
+    }
+
     /// Inject one probe into every worker's event queue and re-arm.
     fn on_probe_tick(&mut self) {
         let now = self.now;
@@ -887,6 +973,7 @@ impl<'w> Simulator<'w> {
             nic_queue_packets: self.nic.counts().to_vec(),
             rst_reschedules: self.rst_reschedules,
             conn_table_bytes: self.conns.memory_bytes(),
+            backend: self.backend.as_ref().map(|p| p.report()),
         }
     }
 }
@@ -1122,6 +1209,54 @@ mod tests {
         let r = Simulator::new(cfg, &wl).run();
         let total: u64 = r.nic_queue_packets.iter().sum();
         assert_eq!(total, 100 * 3); // 2 + 1 scripted request each
+    }
+
+    #[test]
+    fn backend_plane_completes_requests_with_service_latency() {
+        use crate::backend::BackendSimConfig;
+        let wl = uniform_workload(500, 500_000, 20_000);
+        let mut plain_cfg = SimConfig::new(4, Mode::Hermes);
+        plain_cfg.backend = None;
+        let mut backend_cfg = SimConfig::new(4, Mode::Hermes);
+        backend_cfg.backend = Some(BackendSimConfig::steady(4, 300_000));
+        let plain = Simulator::new(plain_cfg, &wl).run();
+        let with_backend = Simulator::new(backend_cfg, &wl).run();
+        assert_eq!(with_backend.completed_requests, 500);
+        let b = with_backend.backend.as_ref().expect("plane report");
+        assert_eq!(b.admitted, 500);
+        assert_eq!(b.pinned, 500);
+        assert_eq!(b.misroutes, 0);
+        assert_eq!(b.dropped_responses, 0);
+        assert_eq!(b.per_backend_completed.iter().sum::<u64>(), 500);
+        assert!(plain.backend.is_none());
+        // End-to-end latency must now include the backend service time.
+        assert!(
+            with_backend.request_latency.mean() > plain.request_latency.mean() + 100_000.0,
+            "backend {} vs LB-only {}",
+            with_backend.request_latency.mean(),
+            plain.request_latency.mean()
+        );
+    }
+
+    #[test]
+    fn backend_flap_retries_but_never_misroutes() {
+        use crate::backend::BackendSimConfig;
+        let wl = uniform_workload(2_000, 200_000, 20_000);
+        let mut cfg = SimConfig::new(4, Mode::Hermes);
+        // Victim down over the middle of the arrival window.
+        cfg.backend = Some(BackendSimConfig::flap(
+            4,
+            200_000,
+            1,
+            100_000_000,
+            300_000_000,
+        ));
+        let r = Simulator::new(cfg, &wl).run();
+        let b = r.backend.as_ref().expect("plane report");
+        assert_eq!(b.misroutes, 0);
+        assert_eq!(b.dropped_responses, 0);
+        assert_eq!(b.versions_published, 3);
+        assert_eq!(r.completed_requests, 2_000, "flap must not lose requests");
     }
 
     #[test]

@@ -71,11 +71,18 @@ pub enum CounterId {
     /// Constant-fd slot resolutions built from the registry (cache
     /// misses); a warm frozen-registry dispatch loop holds this at one.
     VmResolveBuilds = 28,
+    /// Payload bytes moved by the relay loop (both directions).
+    RelayBytes = 29,
+    /// Relay pump bursts (one per worker-loop iteration with active
+    /// connections).
+    RelayBursts = 30,
+    /// Backend connect/resolve retries beyond the pinned backend.
+    BackendRetries = 31,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 32;
 
     /// Every counter, in registry order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -108,6 +115,9 @@ impl CounterId {
         CounterId::ValidatorCertsIssued,
         CounterId::VmRunsJit,
         CounterId::VmResolveBuilds,
+        CounterId::RelayBytes,
+        CounterId::RelayBursts,
+        CounterId::BackendRetries,
     ];
 
     /// Stable dotted name used in exports.
@@ -142,6 +152,9 @@ impl CounterId {
             CounterId::ValidatorCertsIssued => "validate.certs_issued",
             CounterId::VmRunsJit => "vm.runs_jit",
             CounterId::VmResolveBuilds => "vm.resolve_builds",
+            CounterId::RelayBytes => "relay.bytes",
+            CounterId::RelayBursts => "relay.bursts",
+            CounterId::BackendRetries => "backend.retries",
         }
     }
 }

@@ -58,12 +58,21 @@ pub enum EventKind {
     /// A certified program was lowered to native code by the JIT.
     /// `a` = emitted code size in bytes, `b` = basic blocks lowered.
     JitLoad = 16,
+    /// A backend entered service (`Healthy`/`Slow`).
+    /// `a` = backend id, `b` = published table version.
+    BackendUp = 17,
+    /// A backend started draining: serves in-flight, admits nothing new.
+    /// `a` = backend id, `b` = published table version.
+    BackendDrain = 18,
+    /// A backend went down: in-flight connections must retry elsewhere.
+    /// `a` = backend id, `b` = published table version.
+    BackendDown = 19,
 }
 
 impl EventKind {
     /// Every kind the decoder knows, in discriminant order (excluding
     /// [`EventKind::Unknown`]). Drives the per-kind summary table.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::SchedStage,
         EventKind::SchedDecision,
         EventKind::BitmapPublish,
@@ -80,6 +89,9 @@ impl EventKind {
         EventKind::SimDispatch,
         EventKind::GroupDispatch,
         EventKind::JitLoad,
+        EventKind::BackendUp,
+        EventKind::BackendDrain,
+        EventKind::BackendDown,
     ];
 
     /// Decode a wire discriminant, mapping unknown values to
@@ -102,6 +114,9 @@ impl EventKind {
             14 => EventKind::SimDispatch,
             15 => EventKind::GroupDispatch,
             16 => EventKind::JitLoad,
+            17 => EventKind::BackendUp,
+            18 => EventKind::BackendDrain,
+            19 => EventKind::BackendDown,
             _ => EventKind::Unknown,
         }
     }
@@ -126,6 +141,9 @@ impl EventKind {
             EventKind::SimDispatch => "sim.dispatch",
             EventKind::GroupDispatch => "dispatch.group",
             EventKind::JitLoad => "vm.jit_load",
+            EventKind::BackendUp => "backend.up",
+            EventKind::BackendDrain => "backend.drain",
+            EventKind::BackendDown => "backend.down",
         }
     }
 }

@@ -90,6 +90,26 @@ echo "==> fleet_throughput --smoke (fleet scaling + memory gate)"
 cargo run --release -p hermes-bench --bin fleet_throughput -- \
   --smoke --baseline results/BENCH_fleet.json --no-write
 
+echo "==> backend-churn consistency (versioned tables under drain + flap)"
+# The backend data plane's acceptance property: 12k in-flight connections
+# ride out a rolling drain plus a backend flap with zero misroutes (no
+# request leaves a still-serving pinned backend), zero dropped responses,
+# and zero live-table fallbacks — and the whole scenario is byte-identical
+# across fleet thread counts.
+cargo test --release -q -p hermes-simnet --test backend_churn
+
+echo "==> relay_throughput --smoke (end-to-end latency + churn-consistency gate)"
+# Drives four backend scenarios (steady / flap / rolling drain / slow
+# backend) through the full LB -> backend path and fails if any scenario
+# misroutes or drops a request, if the rolling drain displaces in-flight
+# traffic (retries or fallbacks), or if steady-scenario P99 drifts >25%
+# above the checked-in baseline. Latency is simulated time, so the gate
+# catches model regressions, not host noise. Regenerate
+# results/BENCH_relay.json with a full (non-smoke) run when the backend
+# model legitimately changes.
+cargo run --release -p hermes-bench --bin relay_throughput -- \
+  --smoke --baseline results/BENCH_relay.json --no-write
+
 echo "==> trace determinism (simulation byte-identical with recorder on/off)"
 # Tracing is an observer, never an actor: the simnet report must not
 # change when the flight recorder runs, and the recorded stream must be

@@ -22,9 +22,13 @@
 //!   claims and Table 5 overhead accounting.
 //! * [`metrics`] — histograms, percentiles, CDFs, time series, and the
 //!   text rendering used by the table/figure harnesses.
+//! * [`backend`] — the backend data plane: per-backend health state
+//!   machine, epoch-versioned backend tables published as frozen
+//!   snapshots, O(1) consistent selection, per-connection admission.
 //! * [`lb`] — a working multi-tenant L7 reverse proxy assembled from the
-//!   pieces: HTTP/1.1 parsing, routing rules, backend pools, and a real
-//!   TCP server whose acceptor runs the verified dispatch program.
+//!   pieces: HTTP/1.1 parsing, routing rules, backend pools, a real
+//!   TCP server whose acceptor runs the verified dispatch program, and
+//!   a client↔backend byte relay over the versioned pools.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +47,7 @@
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
 //! the per-table/figure reproduction harnesses.
 
+pub use hermes_backend as backend;
 pub use hermes_core as core;
 pub use hermes_ebpf as ebpf;
 pub use hermes_lb as lb;
@@ -56,6 +61,7 @@ pub mod prelude {
     pub use hermes_core::{
         ConnDispatcher, FlowKey, SchedConfig, SchedDecision, Scheduler, SelMap, WorkerBitmap, Wst,
     };
+    pub use hermes_backend::{Admission, BackendPool, BackendTable, HealthState, TableCache};
     pub use hermes_ebpf::ReuseportGroup;
     pub use hermes_metrics::{Cdf, Histogram, Summary};
     pub use hermes_runtime::{ConnectionScript, LbRuntime, RuntimeConfig};
@@ -73,5 +79,6 @@ mod tests {
         let _ = crate::workload::Case::all();
         let _ = crate::simnet::Mode::paper_trio();
         let _ = crate::ebpf::ReuseportGroup::new(2);
+        let _ = crate::backend::BackendPool::new(2);
     }
 }
