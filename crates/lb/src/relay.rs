@@ -4,10 +4,23 @@
 //! upstreams, this module *forwards*: each accepted client connection is
 //! admitted against the current [`hermes_backend::BackendTable`] version,
 //! connected to the selected backend (walking the admitted table's
-//! deterministic candidate order on connect failure), and then pumped —
-//! bytes move client↔backend through one per-worker reused scratch buffer,
-//! a burst of connections per loop iteration, mirroring the 64-connection
-//! accept burst of the front end.
+//! deterministic candidate order on connect failure), and then pumped.
+//!
+//! How bytes move depends on [`RelayMode`]:
+//!
+//! * **`Reactor`** (default on Linux) — each worker owns an epoll set
+//!   ([`crate::reactor`]): both relay legs register edge-triggered, the
+//!   acceptor's hand-off rings an eventfd, and the worker pumps exactly
+//!   the connections the kernel reported ready. An idle worker blocks in
+//!   `epoll_wait`; an idle *connection* is never touched at all. With
+//!   `splice: true` each direction stages bytes in a pooled kernel pipe
+//!   and moves them socket→pipe→socket with splice(2) — zero userspace
+//!   copies — demoting per direction to the scratch-buffer path when the
+//!   kernel refuses (`EINVAL`/`ENOSYS`).
+//! * **`SleepPoll`** — the portable baseline: poll every connection each
+//!   iteration through the shared scratch buffer and sleep 200 µs when
+//!   everything would block. Kept as the latency/CPU reference the
+//!   `relay_throughput` bench gates the reactor against.
 //!
 //! Consistency: a connection resolves its backend *once*, at admission,
 //! against the table version current at accept time. Later churn (drain,
@@ -15,15 +28,17 @@
 //! relays keep their TCP peer until either side closes. That is exactly
 //! the frozen-snapshot contract the simnet churn suite proves at scale.
 //!
-//! Per-connection relay state handles the edges: half-close (EOF on one
-//! side propagates `shutdown(Write)` to the other once buffered bytes
-//! drain), strict backpressure (a side is read only when its forwarding
-//! buffer is empty), connect failure (retry the next candidate in the
-//! admitted table), and a hard per-connection deadline.
+//! Per-connection relay state handles the edges identically in every
+//! mode: half-close (EOF on one side propagates `shutdown(Write)` to the
+//! other once buffered bytes drain), strict backpressure (a side is read
+//! only when its forwarding buffer — userspace or pipe — is empty),
+//! connect failure (retry the next candidate in the admitted table), and
+//! a hard per-connection deadline.
 
+use crate::reactor::{self, PipePair, Reactor, Splice, Waker, WAKE_TOKEN};
 use crate::server::{accept_loop, flow_hash, GroupSync, LbStats, ACCEPT_BURST};
 use bytes::BytesMut;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use hermes_backend::{BackendId, BackendPool, TableCache};
 use hermes_core::sched::SchedConfig;
 use hermes_core::sdk::{SyncTarget, WorkerSession};
@@ -31,6 +46,7 @@ use hermes_core::wst::Wst;
 use hermes_ebpf::{ExecTier, ReuseportGroup};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -44,13 +60,59 @@ const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
 /// state forever (the relay analogue of the front end's slow-loris guard).
 const RELAY_DEADLINE: Duration = Duration::from_secs(30);
 
-/// Scratch buffer size for byte moves (shared per worker across all of
-/// its relays).
+/// Scratch buffer size for copy-path byte moves (shared per worker across
+/// all of its relays).
 const SCRATCH_BYTES: usize = 16 * 1024;
 
-/// Cap on scratch-fulls moved per direction per pump, so one hot relay
+/// Bytes requested per splice fill — the staging pipe's capacity, so one
+/// move can stage a whole pipe's worth without a userspace round trip.
+const SPLICE_WINDOW: usize = reactor::PIPE_CAPACITY;
+
+/// Cap on buffer-fulls moved per direction per pump, so one hot relay
 /// cannot starve its siblings on the same worker.
 const MOVES_PER_PUMP: usize = 4;
+
+/// Reactor idle wait: long enough that an idle worker is asleep in the
+/// kernel virtually all the time, short enough that shutdown and the
+/// deadline sweep stay responsive. Readiness and hand-off wakeups arrive
+/// immediately regardless.
+const REACTOR_WAIT_MS: i32 = 25;
+
+/// How often a reactor worker sweeps for expired deadlines. epoll never
+/// fires for a silent peer, so expiry is clocked, not event-driven.
+const SWEEP_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Pipes kept for reuse per worker (two per spliced connection); beyond
+/// this they are closed instead, bounding idle fd consumption.
+const PIPE_POOL_CAP: usize = 2 * ACCEPT_BURST;
+
+/// How the relay workers learn about I/O readiness and move bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelayMode {
+    /// Portable baseline: poll every connection each iteration and sleep
+    /// 200 µs when everything would block.
+    SleepPoll,
+    /// Per-worker epoll reactor (Linux): readiness-driven pumps, eventfd
+    /// hand-off wakeups, zero idle cost. `splice` additionally moves
+    /// bytes kernel-to-kernel through pooled pipes, demoting per
+    /// direction to the copy path when the kernel refuses.
+    Reactor {
+        /// Enable the splice(2) zero-copy fast path.
+        splice: bool,
+    },
+}
+
+impl RelayMode {
+    /// The best mode this host supports: reactor + splice on Linux, the
+    /// portable sleep-poll loop elsewhere.
+    pub fn auto() -> RelayMode {
+        if reactor::supported() {
+            RelayMode::Reactor { splice: true }
+        } else {
+            RelayMode::SleepPoll
+        }
+    }
+}
 
 /// Relay-specific counters (dispatch counters live in [`LbStats`]).
 #[derive(Debug, Default)]
@@ -65,8 +127,41 @@ pub struct RelayStats {
     pub connect_retries: AtomicU64,
     /// Client connections dropped because no admitted candidate accepted.
     pub failed_connects: AtomicU64,
-    /// Relay connections established per backend.
+    /// Relay pump passes executed. Under the reactor this moves only when
+    /// the kernel reports readiness — it stays flat across idle seconds,
+    /// which the idle-CPU test asserts.
+    pub pumps: AtomicU64,
+    /// Bytes moved kernel-to-kernel by the splice fast path.
+    pub splice_bytes: AtomicU64,
+    /// Relay directions demoted from splice to the copy path.
+    pub splice_fallbacks: AtomicU64,
+    /// Relays whose backend id had no `per_backend` slot (late table
+    /// versions can reference backends added after startup sizing).
+    pub unindexed_backends: AtomicU64,
+    /// Thread CPU nanoseconds burned by relay workers, sampled each loop
+    /// pass via `CLOCK_THREAD_CPUTIME_ID`. Dividing bytes relayed by
+    /// this yields bytes-per-CPU-second — the metric where the splice
+    /// path's skipped userspace copies show up even on links (loopback)
+    /// whose wall throughput is memcpy-bound at the endpoints.
+    pub cpu_ns: AtomicU64,
+    /// Relay connections established per backend (sized at startup).
     pub per_backend: Vec<AtomicU64>,
+}
+
+impl RelayStats {
+    /// Count an established relay against its backend, clamping against
+    /// table versions that grew past the startup-sized vector: a late
+    /// backend id lands in `unindexed_backends` instead of panicking.
+    fn note_backend(&self, b: BackendId) {
+        match self.per_backend.get(b) {
+            Some(slot) => {
+                slot.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.unindexed_backends.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// A running TCP relay LB.
@@ -75,6 +170,7 @@ pub struct RelayLb {
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    wakers: Vec<Waker>,
     stats: Arc<LbStats>,
     relay_stats: Arc<RelayStats>,
     pool: Arc<BackendPool>,
@@ -82,12 +178,26 @@ pub struct RelayLb {
 
 impl RelayLb {
     /// Bind `addr`, spawn `workers` relay workers over `backends`, and
-    /// start accepting. The pool starts with every backend `Healthy`;
-    /// drive churn through [`RelayLb::pool`].
+    /// start accepting, in the best mode this host supports
+    /// ([`RelayMode::auto`]). The pool starts with every backend
+    /// `Healthy`; drive churn through [`RelayLb::pool`].
     pub fn start(
         addr: impl ToSocketAddrs,
         workers: usize,
         backends: Vec<SocketAddr>,
+    ) -> std::io::Result<RelayLb> {
+        RelayLb::start_with_mode(addr, workers, backends, RelayMode::auto())
+    }
+
+    /// [`RelayLb::start`] with an explicit [`RelayMode`] — the A/B hook
+    /// the latency bench and the mode-matrix tests drive. A `Reactor`
+    /// request degrades per worker to `SleepPoll` if epoll setup fails
+    /// (and always on non-Linux hosts).
+    pub fn start_with_mode(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        backends: Vec<SocketAddr>,
+        mode: RelayMode,
     ) -> std::io::Result<RelayLb> {
         assert!((1..=64).contains(&workers), "1..=64 workers");
         assert!(!backends.is_empty(), "relay needs at least one backend");
@@ -121,6 +231,8 @@ impl RelayLb {
         );
 
         let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+        let mut accept_wakers: Vec<Option<Waker>> = Vec::with_capacity(workers);
+        let mut wakers: Vec<Waker> = Vec::new();
         let mut handles = Vec::with_capacity(workers);
         for id in 0..workers {
             let (tx, rx) = bounded::<TcpStream>(1024);
@@ -136,8 +248,29 @@ impl RelayLb {
             let shutdown = Arc::clone(&shutdown);
             let pool = Arc::clone(&pool);
             let backends = Arc::clone(&backends);
-            handles.push(std::thread::spawn(move || {
-                relay_worker_loop(
+            // Build the reactor on this thread so the acceptor has the
+            // waker before the worker starts; hand the reactor across.
+            let engine = match mode {
+                RelayMode::Reactor { splice } => Reactor::new().ok().map(|r| (r, splice)),
+                RelayMode::SleepPoll => None,
+            };
+            let waker = engine.as_ref().map(|(r, _)| r.waker());
+            accept_wakers.push(waker.clone());
+            wakers.extend(waker);
+            handles.push(std::thread::spawn(move || match engine {
+                Some((reactor, splice)) => relay_worker_reactor_loop(
+                    id,
+                    rx,
+                    reactor,
+                    splice,
+                    session,
+                    pool,
+                    backends,
+                    stats,
+                    relay_stats,
+                    shutdown,
+                ),
+                None => relay_worker_loop(
                     id,
                     rx,
                     session,
@@ -146,7 +279,7 @@ impl RelayLb {
                     stats,
                     relay_stats,
                     shutdown,
-                )
+                ),
             }));
         }
 
@@ -154,7 +287,7 @@ impl RelayLb {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
-                accept_loop(listener, senders, group, stats, shutdown);
+                accept_loop(listener, senders, accept_wakers, group, stats, shutdown);
             })
         };
 
@@ -163,6 +296,7 @@ impl RelayLb {
             shutdown,
             acceptor: Some(acceptor),
             workers: handles,
+            wakers,
             stats,
             relay_stats,
             pool,
@@ -193,6 +327,10 @@ impl RelayLb {
     /// Stop accepting, drain relays, join threads.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Reactor workers may be asleep in epoll_wait: ring them out.
+        for w in &self.wakers {
+            w.wake();
+        }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -205,110 +343,172 @@ impl RelayLb {
 impl Drop for RelayLb {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        for w in &self.wakers {
+            w.wake();
+        }
     }
 }
 
 /// Outcome of one pump pass over a relay.
 enum Pump {
-    /// Still alive; `0` bytes moved means both sides would block.
-    Progress(u64),
+    /// Still alive.
+    Progress {
+        /// Bytes delivered this pass; `0` means both sides would block.
+        moved: u64,
+        /// The pass stopped at the fairness cap with work left: under
+        /// edge-triggered epoll no new event will announce it, so the
+        /// worker must re-pump without waiting.
+        more: bool,
+    },
     /// Both directions saw EOF and every buffered byte was delivered.
     Done,
     /// A socket error (reset, deadline): tear down.
     Dead,
 }
 
-/// One established relay: client socket, backend socket, and the
-/// in-flight byte buffers for each direction.
-struct RelayConn {
-    client: TcpStream,
-    backend: TcpStream,
-    backend_id: BackendId,
-    /// Table version this connection was admitted under (observability:
-    /// proves which snapshot the routing decision came from).
-    admitted_version: u64,
-    to_backend: BytesMut,
-    to_client: BytesMut,
-    client_eof: bool,
-    backend_eof: bool,
-    backend_shut: bool,
-    client_shut: bool,
-    bytes_up: u64,
-    bytes_down: u64,
-    deadline: Instant,
+/// One relay direction's in-flight byte store.
+enum DirBuf {
+    /// Userspace staging through the worker's shared scratch buffer.
+    Copy(BytesMut),
+    /// Kernel staging: bytes move socket→pipe→socket via splice(2) and
+    /// never surface in userspace. `buffered` tracks pipe occupancy.
+    Splice {
+        /// The pooled pipe pair staging this direction.
+        pipe: PipePair,
+        /// Bytes currently sitting in the pipe.
+        buffered: usize,
+    },
 }
 
-impl RelayConn {
-    fn new(client: TcpStream, backend: TcpStream, backend_id: BackendId, version: u64) -> Self {
-        Self {
-            client,
-            backend,
-            backend_id,
-            admitted_version: version,
-            to_backend: BytesMut::with_capacity(SCRATCH_BYTES),
-            to_client: BytesMut::with_capacity(SCRATCH_BYTES),
-            client_eof: false,
-            backend_eof: false,
-            backend_shut: false,
-            client_shut: false,
-            bytes_up: 0,
-            bytes_down: 0,
-            deadline: Instant::now() + RELAY_DEADLINE,
+/// Accounting for one direction's pump pass.
+#[derive(Default)]
+struct DirPass {
+    /// Bytes delivered to the destination socket.
+    moved: u64,
+    /// Bytes of `moved` that travelled the zero-copy splice path.
+    spliced: u64,
+    /// Stopped at the fairness cap, not on would-block (see [`Pump`]).
+    more: bool,
+    /// This pass demoted the direction from splice to the copy path.
+    demoted: bool,
+}
+
+impl DirBuf {
+    /// Build a direction store: a pooled (or fresh) pipe when splicing,
+    /// the userspace buffer otherwise — or when no pipe can be opened
+    /// (fd exhaustion), which counts as a splice fallback.
+    fn new(splice: bool, pipes: &mut Vec<PipePair>, fallbacks: &mut u64) -> DirBuf {
+        if splice {
+            match pipes.pop().map(Ok).unwrap_or_else(PipePair::new) {
+                Ok(pipe) => return DirBuf::Splice { pipe, buffered: 0 },
+                Err(_) => *fallbacks += 1,
+            }
+        }
+        DirBuf::Copy(BytesMut::with_capacity(SCRATCH_BYTES))
+    }
+
+    /// No byte is waiting to be delivered.
+    fn is_drained(&self) -> bool {
+        match self {
+            DirBuf::Copy(buf) => buf.is_empty(),
+            DirBuf::Splice { buffered, .. } => *buffered == 0,
         }
     }
 
-    /// Move bytes in both directions until the sockets would block (or the
-    /// per-pump cap). Returns the relay's life status.
-    fn pump(&mut self, scratch: &mut [u8]) -> Pump {
-        if Instant::now() >= self.deadline {
-            return Pump::Dead;
-        }
-        let up = pump_direction(
-            &mut self.client,
-            &mut self.backend,
-            &mut self.to_backend,
-            &mut self.client_eof,
-            &mut self.backend_shut,
-            scratch,
-        );
-        let down = pump_direction(
-            &mut self.backend,
-            &mut self.client,
-            &mut self.to_client,
-            &mut self.backend_eof,
-            &mut self.client_shut,
-            scratch,
-        );
-        match (up, down) {
-            (Ok(u), Ok(d)) => {
-                self.bytes_up += u;
-                self.bytes_down += d;
-                let drained = self.to_backend.is_empty() && self.to_client.is_empty();
-                if self.client_eof && self.backend_eof && drained {
-                    Pump::Done
-                } else {
-                    Pump::Progress(u + d)
+    /// Pump `src` → `dst` through this store: flush what is buffered,
+    /// read more only when the buffer is empty (strict backpressure —
+    /// the pipe's 64 KiB capacity is the splice path's bound), capped at
+    /// [`MOVES_PER_PUMP`]. Propagates half-close once `src`'s EOF is
+    /// fully flushed. A kernel splice refusal demotes to the copy path
+    /// (recovering pipe bytes) and retries within the same call.
+    fn pump(
+        &mut self,
+        src: &mut TcpStream,
+        dst: &mut TcpStream,
+        src_eof: &mut bool,
+        dst_shut: &mut bool,
+        scratch: &mut [u8],
+    ) -> std::io::Result<DirPass> {
+        let mut pass = DirPass::default();
+        loop {
+            match self {
+                DirBuf::Copy(buf) => {
+                    let (moved, more) = pump_copy(src, dst, buf, src_eof, scratch)?;
+                    pass.moved += moved;
+                    pass.more = more;
+                }
+                DirBuf::Splice { pipe, buffered } => {
+                    match pump_splice(src, dst, pipe, buffered, src_eof)? {
+                        Some((moved, more)) => {
+                            pass.moved += moved;
+                            pass.spliced += moved;
+                            pass.more = more;
+                        }
+                        None => {
+                            self.demote(scratch)?;
+                            pass.demoted = true;
+                            continue; // finish the pass on the copy path
+                        }
+                    }
                 }
             }
-            _ => Pump::Dead,
+            break;
+        }
+        if *src_eof && self.is_drained() && !*dst_shut {
+            // Half-close: the reader saw EOF and everything it buffered
+            // has been delivered — tell the other side no more bytes are
+            // coming, while its responses keep flowing the opposite way.
+            let _ = dst.shutdown(Shutdown::Write);
+            *dst_shut = true;
+        }
+        Ok(pass)
+    }
+
+    /// Demote to the copy path, recovering any bytes already staged in
+    /// the pipe — they must still reach the peer in order; dropping them
+    /// would corrupt the stream.
+    fn demote(&mut self, scratch: &mut [u8]) -> std::io::Result<()> {
+        if let DirBuf::Splice { pipe, buffered } = self {
+            let mut buf = BytesMut::with_capacity(SCRATCH_BYTES);
+            while *buffered > 0 {
+                let n = pipe.drain_into(scratch)?;
+                if n == 0 {
+                    break;
+                }
+                buf.extend_from_slice(&scratch[..n]);
+                *buffered -= n.min(*buffered);
+            }
+            *self = DirBuf::Copy(buf);
+        }
+        Ok(())
+    }
+
+    /// Hand the pipe back for reuse. Only a fully drained pipe may be
+    /// recycled — stranded bytes would corrupt the next connection — and
+    /// the pool is capped to bound idle fds.
+    fn reclaim(self, pipes: &mut Vec<PipePair>) {
+        if let DirBuf::Splice { pipe, buffered: 0 } = self {
+            if pipes.len() < PIPE_POOL_CAP {
+                pipes.push(pipe);
+            }
         }
     }
 }
 
-/// Pump one direction (`src` → `dst` through `buf`): flush what is
-/// buffered, read more only when the buffer is empty (strict
-/// backpressure), and propagate half-close once `src`'s EOF is fully
-/// flushed. Returns bytes written to `dst`.
-fn pump_direction(
+/// Copy-path pump: flush buffered bytes, refill through `scratch` only
+/// when empty. Returns `(bytes_delivered, more)` where `more` means the
+/// pass ended at the move cap with deliverable work remaining.
+fn pump_copy(
     src: &mut TcpStream,
     dst: &mut TcpStream,
     buf: &mut BytesMut,
     src_eof: &mut bool,
-    dst_shut: &mut bool,
     scratch: &mut [u8],
-) -> std::io::Result<u64> {
+) -> std::io::Result<(u64, bool)> {
     use std::io::ErrorKind;
     let mut moved = 0u64;
+    let mut dst_blocked = false;
+    let mut src_blocked = false;
     'moves: for _ in 0..MOVES_PER_PUMP {
         while !buf.is_empty() {
             match dst.write(&buf[..]) {
@@ -317,7 +517,10 @@ fn pump_direction(
                     let _ = buf.split_to(n);
                     moved += n as u64;
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break 'moves,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    dst_blocked = true;
+                    break 'moves;
+                }
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
@@ -331,19 +534,201 @@ fn pump_direction(
                 break;
             }
             Ok(n) => buf.extend_from_slice(&scratch[..n]),
-            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                src_blocked = true;
+                break;
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
     }
-    if *src_eof && buf.is_empty() && !*dst_shut {
-        // Half-close: the reader saw EOF and everything it buffered has
-        // been delivered — tell the other side no more bytes are coming,
-        // while its responses keep flowing the opposite way.
-        let _ = dst.shutdown(Shutdown::Write);
-        *dst_shut = true;
+    // More deliverable work remains iff the destination still accepts
+    // bytes and either the buffer holds some or the source may yield more.
+    let more = !dst_blocked && (!buf.is_empty() || (!*src_eof && !src_blocked));
+    Ok((moved, more))
+}
+
+/// Splice-path pump: same flush-then-refill shape as [`pump_copy`], but
+/// both moves are kernel-to-kernel through the pipe. `Ok(None)` means the
+/// kernel refused (`EINVAL`/`ENOSYS`): the caller must demote this
+/// direction to the copy path.
+fn pump_splice(
+    src: &mut TcpStream,
+    dst: &mut TcpStream,
+    pipe: &PipePair,
+    buffered: &mut usize,
+    src_eof: &mut bool,
+) -> std::io::Result<Option<(u64, bool)>> {
+    let mut moved = 0u64;
+    let mut dst_blocked = false;
+    let mut src_blocked = false;
+    'moves: for _ in 0..MOVES_PER_PUMP {
+        while *buffered > 0 {
+            match reactor::splice_from_pipe(pipe, dst.as_raw_fd(), *buffered)? {
+                Splice::Moved(n) => {
+                    *buffered -= n.min(*buffered);
+                    moved += n as u64;
+                }
+                // A zero-length pipe read with buffered > 0 cannot
+                // happen; fold it into would-block rather than trust it.
+                Splice::WouldBlock | Splice::Eof => {
+                    dst_blocked = true;
+                    break 'moves;
+                }
+                Splice::Unsupported => return Ok(None),
+            }
+        }
+        if *src_eof {
+            break;
+        }
+        match reactor::splice_to_pipe(src.as_raw_fd(), pipe, SPLICE_WINDOW)? {
+            Splice::Moved(n) => *buffered += n,
+            Splice::WouldBlock => {
+                src_blocked = true;
+                break;
+            }
+            Splice::Eof => {
+                *src_eof = true;
+                break;
+            }
+            Splice::Unsupported => return Ok(None),
+        }
     }
-    Ok(moved)
+    let more = !dst_blocked && (*buffered > 0 || (!*src_eof && !src_blocked));
+    Ok(Some((moved, more)))
+}
+
+/// One established relay: client socket, backend socket, and the
+/// in-flight byte store for each direction.
+struct RelayConn {
+    client: TcpStream,
+    backend: TcpStream,
+    backend_id: BackendId,
+    /// Table version this connection was admitted under (observability:
+    /// proves which snapshot the routing decision came from).
+    admitted_version: u64,
+    /// Client → backend byte store.
+    up: DirBuf,
+    /// Backend → client byte store.
+    down: DirBuf,
+    client_eof: bool,
+    backend_eof: bool,
+    backend_shut: bool,
+    client_shut: bool,
+    bytes_up: u64,
+    bytes_down: u64,
+    deadline: Instant,
+}
+
+impl RelayConn {
+    fn new(
+        client: TcpStream,
+        backend: TcpStream,
+        backend_id: BackendId,
+        version: u64,
+        splice: bool,
+        pipes: &mut Vec<PipePair>,
+        rstats: &RelayStats,
+    ) -> Self {
+        let mut fallbacks = 0u64;
+        let up = DirBuf::new(splice, pipes, &mut fallbacks);
+        let down = DirBuf::new(splice, pipes, &mut fallbacks);
+        if fallbacks > 0 {
+            rstats.splice_fallbacks.fetch_add(fallbacks, Ordering::Relaxed);
+            hermes_trace::trace_count!(hermes_trace::CounterId::SpliceFallbacks, fallbacks);
+        }
+        Self {
+            client,
+            backend,
+            backend_id,
+            admitted_version: version,
+            up,
+            down,
+            client_eof: false,
+            backend_eof: false,
+            backend_shut: false,
+            client_shut: false,
+            bytes_up: 0,
+            bytes_down: 0,
+            deadline: Instant::now() + RELAY_DEADLINE,
+        }
+    }
+
+    /// Move bytes in both directions until the sockets would block (or
+    /// the per-pump cap). Returns the relay's life status.
+    fn pump(&mut self, scratch: &mut [u8], rstats: &RelayStats) -> Pump {
+        if Instant::now() >= self.deadline {
+            return Pump::Dead;
+        }
+        rstats.pumps.fetch_add(1, Ordering::Relaxed);
+        let up = self.up.pump(
+            &mut self.client,
+            &mut self.backend,
+            &mut self.client_eof,
+            &mut self.backend_shut,
+            scratch,
+        );
+        let down = self.down.pump(
+            &mut self.backend,
+            &mut self.client,
+            &mut self.backend_eof,
+            &mut self.client_shut,
+            scratch,
+        );
+        match (up, down) {
+            (Ok(u), Ok(d)) => {
+                self.bytes_up += u.moved;
+                self.bytes_down += d.moved;
+                let spliced = u.spliced + d.spliced;
+                if spliced > 0 {
+                    rstats.splice_bytes.fetch_add(spliced, Ordering::Relaxed);
+                    hermes_trace::trace_count!(hermes_trace::CounterId::SpliceBytes, spliced);
+                }
+                let demoted = u.demoted as u64 + d.demoted as u64;
+                if demoted > 0 {
+                    rstats.splice_fallbacks.fetch_add(demoted, Ordering::Relaxed);
+                    hermes_trace::trace_count!(hermes_trace::CounterId::SpliceFallbacks, demoted);
+                }
+                let drained = self.up.is_drained() && self.down.is_drained();
+                if self.client_eof && self.backend_eof && drained {
+                    Pump::Done
+                } else {
+                    Pump::Progress {
+                        moved: u.moved + d.moved,
+                        more: u.more || d.more,
+                    }
+                }
+            }
+            _ => Pump::Dead,
+        }
+    }
+}
+
+/// Teardown bookkeeping shared by both worker loops: fold the relay's
+/// byte counts into the shared stats, notify the session/trace, and
+/// recycle drained pipes. Dropping the sockets closes both legs.
+fn finish_conn<T: SyncTarget>(
+    conn: RelayConn,
+    rstats: &RelayStats,
+    session: &mut WorkerSession<T>,
+    lane: u32,
+    now: u64,
+    pipes: &mut Vec<PipePair>,
+) {
+    rstats.relayed.fetch_add(1, Ordering::Relaxed);
+    rstats.bytes_up.fetch_add(conn.bytes_up, Ordering::Relaxed);
+    rstats.bytes_down.fetch_add(conn.bytes_down, Ordering::Relaxed);
+    session.conn_closed();
+    hermes_trace::trace_event!(
+        now,
+        hermes_trace::EventKind::ConnClose,
+        lane,
+        conn.backend_id,
+        conn.admitted_version
+    );
+    let RelayConn { up, down, .. } = conn;
+    up.reclaim(pipes);
+    down.reclaim(pipes);
 }
 
 /// Admit a freshly dispatched client against the current table version and
@@ -355,6 +740,8 @@ fn open_relay(
     cache: &mut TableCache,
     backends: &[SocketAddr],
     rstats: &RelayStats,
+    splice: bool,
+    pipes: &mut Vec<PipePair>,
 ) -> Option<RelayConn> {
     let hash = match (client.peer_addr(), client.local_addr()) {
         (Ok(peer), Ok(local)) => flow_hash(&peer, &local),
@@ -371,24 +758,237 @@ fn open_relay(
             rstats.connect_retries.fetch_add(1, Ordering::Relaxed);
             hermes_trace::trace_count!(hermes_trace::CounterId::BackendRetries);
         }
-        match TcpStream::connect_timeout(&backends[b], CONNECT_TIMEOUT) {
-            Ok(backend) => {
+        // A candidate beyond the startup address list (a late table
+        // version referencing backends this process never learned
+        // addresses for) is skipped like a failed connect.
+        let connected = backends
+            .get(b)
+            .map(|addr| TcpStream::connect_timeout(addr, CONNECT_TIMEOUT));
+        match connected {
+            Some(Ok(backend)) => {
                 let _ = client.set_nonblocking(true);
                 let _ = client.set_nodelay(true);
                 let _ = backend.set_nonblocking(true);
                 let _ = backend.set_nodelay(true);
-                rstats.per_backend[b].fetch_add(1, Ordering::Relaxed);
-                return Some(RelayConn::new(client, backend, b, adm.version()));
+                rstats.note_backend(b);
+                return Some(RelayConn::new(
+                    client,
+                    backend,
+                    b,
+                    adm.version(),
+                    splice,
+                    pipes,
+                    rstats,
+                ));
             }
-            Err(_) => attempt += 1,
+            _ => attempt += 1,
         }
     }
     rstats.failed_connects.fetch_add(1, Ordering::Relaxed);
     None
 }
 
-/// One relay worker: the Fig. 9 loop shape over a socket channel, with
-/// the "handle events" phase pumping every live relay once per iteration.
+/// The reactor relay worker: the Fig. 9 loop shape where "wait for
+/// events" is a real `epoll_wait` — readiness edges and the acceptor's
+/// eventfd ring are the only things that move it. Idle connections cost
+/// nothing; an idle worker sleeps in the kernel.
+#[allow(clippy::too_many_arguments)]
+fn relay_worker_reactor_loop<T: SyncTarget>(
+    id: usize,
+    rx: Receiver<TcpStream>,
+    mut reactor: Reactor,
+    splice: bool,
+    mut session: WorkerSession<T>,
+    pool: Arc<BackendPool>,
+    backends: Arc<Vec<SocketAddr>>,
+    stats: Arc<LbStats>,
+    rstats: Arc<RelayStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let epoch = Instant::now();
+    let now_ns = move || epoch.elapsed().as_nanos() as u64;
+    let lane = id as u32;
+    let mut cache = TableCache::new();
+    // Slot-addressed connection table: fd tokens are `slot*2` (client
+    // leg) and `slot*2 + 1` (backend leg), so a readiness event maps
+    // straight back to its relay. Freed slots are reused; a stale event
+    // for a torn-down slot finds `None` (or a new tenant, which tolerates
+    // the spurious pump) and is dropped.
+    let mut slots: Vec<Option<RelayConn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live = 0usize;
+    let mut pipes: Vec<PipePair> = Vec::new();
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    let mut events: Vec<reactor::Event> = Vec::new();
+    // Slots that stopped at the fairness cap: under edge-triggered epoll
+    // their remaining work will never re-announce itself, so they carry
+    // over to the next iteration (which polls instead of blocking).
+    let mut ready: Vec<usize> = Vec::new();
+    let mut due: Vec<usize> = Vec::new();
+    let mut last_sweep = Instant::now();
+    let mut disconnected = false;
+    let mut last_cpu = reactor::thread_cpu_ns();
+    loop {
+        session.loop_top(now_ns());
+        let cpu = reactor::thread_cpu_ns();
+        rstats
+            .cpu_ns
+            .fetch_add(cpu.saturating_sub(last_cpu), Ordering::Relaxed);
+        last_cpu = cpu;
+        let timeout = if !ready.is_empty() || !rx.is_empty() {
+            0
+        } else {
+            REACTOR_WAIT_MS
+        };
+        let fetched_events = reactor.wait(&mut events, timeout).unwrap_or(0);
+        if fetched_events > 0 {
+            hermes_trace::trace_count!(hermes_trace::CounterId::ReactorWakeups);
+        }
+        if events.iter().any(|e| e.token == WAKE_TOKEN) {
+            reactor.drain_wake();
+        }
+
+        // Admit a burst of newly dispatched connections (the eventfd ring
+        // said the channel has some; cap mirrors the accept burst).
+        let mut fetched = 0usize;
+        while fetched < ACCEPT_BURST {
+            match rx.try_recv() {
+                Ok(stream) => {
+                    fetched += 1;
+                    stats.accepted[id].fetch_add(1, Ordering::Relaxed);
+                    let Some(conn) = open_relay(
+                        stream, &pool, &mut cache, &backends, &rstats, splice, &mut pipes,
+                    ) else {
+                        continue;
+                    };
+                    session.conn_opened();
+                    hermes_trace::trace_event!(
+                        now_ns(),
+                        hermes_trace::EventKind::ConnOpen,
+                        lane,
+                        conn.backend_id,
+                        conn.admitted_version
+                    );
+                    let slot = free.pop().unwrap_or_else(|| {
+                        slots.push(None);
+                        slots.len() - 1
+                    });
+                    let cfd = conn.client.as_raw_fd();
+                    let bfd = conn.backend.as_raw_fd();
+                    slots[slot] = Some(conn);
+                    live += 1;
+                    let token = (slot as u64) * 2;
+                    if reactor.register(cfd, token).is_ok()
+                        && reactor.register(bfd, token + 1).is_ok()
+                    {
+                        // Edge-triggered contract: readiness that predates
+                        // registration never replays, so pump once now.
+                        ready.push(slot);
+                    } else {
+                        let _ = reactor.deregister(cfd);
+                        let c = slots[slot].take().expect("just inserted");
+                        finish_conn(c, &rstats, &mut session, lane, now_ns(), &mut pipes);
+                        live -= 1;
+                        free.push(slot);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        session.events_fetched(fetched);
+        for _ in 0..fetched {
+            session.event_handled();
+        }
+
+        // Readiness → owed pumps: decode fd events to slots and merge the
+        // carried-over fairness-cap list (deduplicated — a relay whose
+        // both legs fired still pumps once, and one pump serves both
+        // directions anyway).
+        due.clear();
+        due.extend(
+            events
+                .iter()
+                .filter(|e| e.token != WAKE_TOKEN)
+                .map(|e| (e.token / 2) as usize),
+        );
+        due.append(&mut ready);
+        due.sort_unstable();
+        due.dedup();
+
+        let mut moved = 0u64;
+        let mut pumped = 0usize;
+        for i in 0..due.len() {
+            let slot = due[i];
+            let Some(conn) = slots.get_mut(slot).and_then(|s| s.as_mut()) else {
+                continue; // stale event for a torn-down slot
+            };
+            pumped += 1;
+            match conn.pump(&mut scratch, &rstats) {
+                Pump::Progress { moved: n, more } => {
+                    moved += n;
+                    if more {
+                        ready.push(slot);
+                    }
+                }
+                Pump::Done | Pump::Dead => {
+                    let c = slots[slot].take().expect("pumped a live slot");
+                    let _ = reactor.deregister(c.client.as_raw_fd());
+                    let _ = reactor.deregister(c.backend.as_raw_fd());
+                    finish_conn(c, &rstats, &mut session, lane, now_ns(), &mut pipes);
+                    live -= 1;
+                    free.push(slot);
+                }
+            }
+        }
+        if fetched_events > 0 {
+            hermes_trace::trace_event!(
+                now_ns(),
+                hermes_trace::EventKind::RelayWakeup,
+                lane,
+                fetched_events,
+                pumped
+            );
+        }
+        if moved > 0 || fetched > 0 {
+            hermes_trace::trace_count!(hermes_trace::CounterId::RelayBursts);
+            hermes_trace::trace_count!(hermes_trace::CounterId::RelayBytes, moved);
+        }
+
+        // Deadline sweep: epoll never fires for a silent peer, so expiry
+        // is reaped on a coarse clock. Comparisons only — no pumps — so
+        // idle connections stay untouched (the idle-CPU property).
+        if live > 0 && last_sweep.elapsed() >= SWEEP_INTERVAL {
+            last_sweep = Instant::now();
+            let now = Instant::now();
+            for slot in 0..slots.len() {
+                let expired = matches!(&slots[slot], Some(c) if now >= c.deadline);
+                if expired {
+                    let c = slots[slot].take().expect("matched Some");
+                    let _ = reactor.deregister(c.client.as_raw_fd());
+                    let _ = reactor.deregister(c.backend.as_raw_fd());
+                    finish_conn(c, &rstats, &mut session, lane, now_ns(), &mut pipes);
+                    live -= 1;
+                    free.push(slot);
+                }
+            }
+        }
+
+        let decision = session.schedule_only(now_ns());
+        session.sync_only(decision.bitmap);
+        if (disconnected || shutdown.load(Ordering::SeqCst)) && rx.is_empty() && live == 0 {
+            return;
+        }
+    }
+}
+
+/// The sleep-poll relay worker: the pre-reactor baseline. Polls every
+/// live relay each iteration and sleeps 200 µs when everything would
+/// block — kept as the portable fallback and as the A/B reference the
+/// latency bench gates the reactor against.
 #[allow(clippy::too_many_arguments)]
 fn relay_worker_loop<T: SyncTarget>(
     id: usize,
@@ -405,16 +1005,23 @@ fn relay_worker_loop<T: SyncTarget>(
     let lane = id as u32;
     let mut cache = TableCache::new();
     let mut conns: Vec<RelayConn> = Vec::new();
+    let mut pipes: Vec<PipePair> = Vec::new();
     let mut scratch = vec![0u8; SCRATCH_BYTES];
+    let mut last_cpu = reactor::thread_cpu_ns();
     loop {
         session.loop_top(now_ns());
+        let cpu = reactor::thread_cpu_ns();
+        rstats
+            .cpu_ns
+            .fetch_add(cpu.saturating_sub(last_cpu), Ordering::Relaxed);
+        last_cpu = cpu;
         // Fetch a burst of newly dispatched connections. Block (the 5 ms
         // epoll_wait stand-in) only when there is nothing to pump.
         let mut fetched = 0usize;
         if conns.is_empty() {
             match rx.recv_timeout(Duration::from_millis(5)) {
                 Ok(stream) => {
-                    admit(stream, &mut conns, id, lane, &now_ns, &mut session, &pool, &mut cache, &backends, &stats, &rstats);
+                    admit(stream, &mut conns, id, lane, &now_ns, &mut session, &pool, &mut cache, &backends, &stats, &rstats, &mut pipes);
                     fetched += 1;
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -424,7 +1031,7 @@ fn relay_worker_loop<T: SyncTarget>(
         while fetched < ACCEPT_BURST {
             match rx.try_recv() {
                 Ok(stream) => {
-                    admit(stream, &mut conns, id, lane, &now_ns, &mut session, &pool, &mut cache, &backends, &stats, &rstats);
+                    admit(stream, &mut conns, id, lane, &now_ns, &mut session, &pool, &mut cache, &backends, &stats, &rstats, &mut pipes);
                     fetched += 1;
                 }
                 Err(_) => break,
@@ -439,8 +1046,8 @@ fn relay_worker_loop<T: SyncTarget>(
         let mut moved = 0u64;
         let mut i = 0;
         while i < conns.len() {
-            match conns[i].pump(&mut scratch) {
-                Pump::Progress(n) => {
+            match conns[i].pump(&mut scratch, &rstats) {
+                Pump::Progress { moved: n, .. } => {
                     moved += n;
                     i += 1;
                 }
@@ -448,17 +1055,7 @@ fn relay_worker_loop<T: SyncTarget>(
                     // Dropping the RelayConn closes both sockets; Dead
                     // relays leave only the counters as residue.
                     let c = conns.swap_remove(i);
-                    rstats.relayed.fetch_add(1, Ordering::Relaxed);
-                    rstats.bytes_up.fetch_add(c.bytes_up, Ordering::Relaxed);
-                    rstats.bytes_down.fetch_add(c.bytes_down, Ordering::Relaxed);
-                    session.conn_closed();
-                    hermes_trace::trace_event!(
-                        now_ns(),
-                        hermes_trace::EventKind::ConnClose,
-                        lane,
-                        c.backend_id,
-                        c.admitted_version
-                    );
+                    finish_conn(c, &rstats, &mut session, lane, now_ns(), &mut pipes);
                 }
             }
         }
@@ -478,7 +1075,8 @@ fn relay_worker_loop<T: SyncTarget>(
 }
 
 /// Accept-side bookkeeping for one dispatched client: WST + stats +
-/// trace, then admission and backend connect.
+/// trace, then admission and backend connect. (Sleep-poll loop only; the
+/// reactor loop inlines this to also register fds.)
 #[allow(clippy::too_many_arguments)]
 fn admit<T: SyncTarget>(
     stream: TcpStream,
@@ -492,9 +1090,12 @@ fn admit<T: SyncTarget>(
     backends: &[SocketAddr],
     stats: &LbStats,
     rstats: &RelayStats,
+    pipes: &mut Vec<PipePair>,
 ) {
     stats.accepted[id].fetch_add(1, Ordering::Relaxed);
-    if let Some(conn) = open_relay(stream, pool, cache, backends, rstats) {
+    // The sleep-poll baseline never splices: it is the copy-path
+    // reference the bench compares the reactor modes against.
+    if let Some(conn) = open_relay(stream, pool, cache, backends, rstats, false, pipes) {
         session.conn_opened();
         hermes_trace::trace_event!(
             now_ns(),
@@ -512,6 +1113,18 @@ mod tests {
     use super::*;
     use hermes_backend::HealthState;
     use std::io::{BufRead, BufReader};
+    use std::sync::Mutex;
+
+    /// Every mode this host can run: the portable sleep-poll baseline
+    /// everywhere, plus both reactor variants on Linux.
+    fn modes_under_test() -> Vec<RelayMode> {
+        let mut modes = vec![RelayMode::SleepPoll];
+        if reactor::supported() {
+            modes.push(RelayMode::Reactor { splice: false });
+            modes.push(RelayMode::Reactor { splice: true });
+        }
+        modes
+    }
 
     /// A line-greeting echo backend: sends `hello-<id>\n` on connect, then
     /// echoes every byte until client EOF, then closes.
@@ -554,6 +1167,48 @@ mod tests {
         (addr, stop)
     }
 
+    /// A backend that half-closes *first*: sends `bye\n`, shuts down its
+    /// write side immediately, then keeps reading and recording whatever
+    /// the client sends until EOF.
+    fn spawn_closer_backend() -> (SocketAddr, Arc<AtomicBool>, Arc<Mutex<Vec<u8>>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind backend");
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let stop2 = Arc::clone(&stop);
+        let received2 = Arc::clone(&received);
+        std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((mut s, _)) => {
+                        let received = Arc::clone(&received2);
+                        std::thread::spawn(move || {
+                            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                            let _ = s.set_nodelay(true);
+                            if s.write_all(b"bye\n").is_err() {
+                                return;
+                            }
+                            let _ = s.shutdown(Shutdown::Write);
+                            let mut chunk = [0u8; 1024];
+                            loop {
+                                match s.read(&mut chunk) {
+                                    Ok(0) | Err(_) => break,
+                                    Ok(n) => received.lock().unwrap().extend_from_slice(&chunk[..n]),
+                                }
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        (addr, stop, received)
+    }
+
     /// Connect through the relay, read the greeting, exchange one echo
     /// round-trip, half-close, and drain to EOF. Returns the backend id
     /// that greeted.
@@ -581,6 +1236,24 @@ mod tests {
         backend
     }
 
+    /// Wait (bounded) until the closer backend has recorded `want` bytes.
+    fn await_received(received: &Arc<Mutex<Vec<u8>>>, want: usize) -> Vec<u8> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let got = received.lock().unwrap();
+                if got.len() >= want {
+                    return got.clone();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "backend never received the client's post-EOF bytes"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     #[test]
     fn relays_end_to_end_and_spreads_across_backends() {
         let backends: Vec<_> = (0..4).map(spawn_echo_backend).collect();
@@ -605,9 +1278,249 @@ mod tests {
         assert_eq!(rstats.failed_connects.load(Ordering::Relaxed), 0);
         // Greeting + echo flowed down; payload flowed up.
         assert!(rstats.bytes_down.load(Ordering::Relaxed) > rstats.bytes_up.load(Ordering::Relaxed));
+        if reactor::supported() {
+            // The auto mode splices on Linux; the default path must have
+            // actually taken it.
+            assert!(
+                rstats.splice_bytes.load(Ordering::Relaxed) > 0,
+                "auto mode on Linux moved no bytes through splice"
+            );
+        }
         for (_, stop) in backends {
             stop.store(true, Ordering::SeqCst);
         }
+    }
+
+    #[test]
+    fn half_close_matrix_across_modes() {
+        for mode in modes_under_test() {
+            // Client EOF first: the echo backend answers until the client
+            // shuts its write side, then the relay drains and closes.
+            let (echo_addr, echo_stop) = spawn_echo_backend(0);
+            let lb = RelayLb::start_with_mode("127.0.0.1:0", 1, vec![echo_addr], mode)
+                .expect("bind");
+            std::thread::sleep(Duration::from_millis(15));
+            relay_round_trip(lb.local_addr(), "client-eof-first");
+            lb.shutdown();
+            echo_stop.store(true, Ordering::SeqCst);
+
+            // Backend EOF first: the backend half-closes immediately; the
+            // client must still be able to push bytes upstream afterwards.
+            let (addr, stop, received) = spawn_closer_backend();
+            let lb = RelayLb::start_with_mode("127.0.0.1:0", 1, vec![addr], mode).expect("bind");
+            std::thread::sleep(Duration::from_millis(15));
+            let mut s = TcpStream::connect(lb.local_addr()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut down = Vec::new();
+            let mut r = s.try_clone().unwrap();
+            r.read_to_end(&mut down).expect("drain to backend EOF");
+            assert_eq!(down, b"bye\n", "{mode:?}: backend farewell corrupted");
+            s.write_all(b"after-backend-eof").unwrap();
+            s.shutdown(Shutdown::Write).unwrap();
+            let got = await_received(&received, "after-backend-eof".len());
+            assert_eq!(got, b"after-backend-eof", "{mode:?}");
+            lb.shutdown();
+            stop.store(true, Ordering::SeqCst);
+
+            // Simultaneous: both sides half-close without waiting for the
+            // other; every byte in flight must still be delivered.
+            let (addr, stop, received) = spawn_closer_backend();
+            let lb = RelayLb::start_with_mode("127.0.0.1:0", 1, vec![addr], mode).expect("bind");
+            std::thread::sleep(Duration::from_millis(15));
+            let mut s = TcpStream::connect(lb.local_addr()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(b"both-sides-close").unwrap();
+            s.shutdown(Shutdown::Write).unwrap();
+            let mut down = Vec::new();
+            s.read_to_end(&mut down).expect("drain to backend EOF");
+            assert_eq!(down, b"bye\n", "{mode:?}: simultaneous close lost bytes");
+            let got = await_received(&received, "both-sides-close".len());
+            assert_eq!(got, b"both-sides-close", "{mode:?}");
+            let rstats = Arc::clone(lb.relay_stats());
+            lb.shutdown();
+            assert_eq!(
+                rstats.relayed.load(Ordering::Relaxed),
+                1,
+                "{mode:?}: a relay leaked past shutdown"
+            );
+            if mode == (RelayMode::Reactor { splice: true }) {
+                assert_eq!(
+                    rstats.splice_fallbacks.load(Ordering::Relaxed),
+                    0,
+                    "splice demoted on plain TCP sockets"
+                );
+            }
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn slow_reader_backpressure_survives_bounded_pipes() {
+        // 1 MiB through bounded staging (a capacity-limited pipe or the
+        // 16 KiB scratch buffer) against a deliberately slow client
+        // reader: backpressure must throttle the backend->client
+        // direction without losing or reordering a byte, in every mode.
+        let payload: Vec<u8> = (0..1024 * 1024).map(|i| (i % 251) as u8).collect();
+        for mode in modes_under_test() {
+            let (addr, stop) = spawn_echo_backend(0);
+            let lb = RelayLb::start_with_mode("127.0.0.1:0", 1, vec![addr], mode).expect("bind");
+            std::thread::sleep(Duration::from_millis(15));
+            let mut s = TcpStream::connect(lb.local_addr()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut reader = s.try_clone().unwrap();
+            let want = payload.len();
+            let collector = std::thread::spawn(move || {
+                // Slow start: dribble the first reads so every staging
+                // buffer between backend and client fills to capacity.
+                std::thread::sleep(Duration::from_millis(150));
+                let mut got = Vec::with_capacity(want + 16);
+                let mut small = [0u8; 512];
+                for _ in 0..32 {
+                    match reader.read(&mut small) {
+                        Ok(0) | Err(_) => return got,
+                        Ok(n) => got.extend_from_slice(&small[..n]),
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let mut chunk = [0u8; 16 * 1024];
+                loop {
+                    match reader.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => got.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                got
+            });
+            s.write_all(&payload).unwrap();
+            s.shutdown(Shutdown::Write).unwrap();
+            let got = collector.join().unwrap();
+            let rstats = Arc::clone(lb.relay_stats());
+            lb.shutdown();
+            // greeting ("hello-0\n" = 8 bytes) + the full echoed payload.
+            assert_eq!(got.len(), 8 + payload.len(), "{mode:?}: bytes lost");
+            assert_eq!(&got[..8], b"hello-0\n", "{mode:?}");
+            assert_eq!(&got[8..], &payload[..], "{mode:?}: payload corrupted");
+            if mode == (RelayMode::Reactor { splice: true }) {
+                assert!(
+                    rstats.splice_bytes.load(Ordering::Relaxed) as usize >= payload.len(),
+                    "splice path moved too few bytes"
+                );
+                assert_eq!(rstats.splice_fallbacks.load(Ordering::Relaxed), 0);
+            }
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn reactor_worker_idles_without_pumping() {
+        if !reactor::supported() {
+            eprintln!("SKIP: reactor requires Linux");
+            return;
+        }
+        let (addr, stop) = spawn_echo_backend(0);
+        let lb = RelayLb::start_with_mode(
+            "127.0.0.1:0",
+            1,
+            vec![addr],
+            RelayMode::Reactor { splice: true },
+        )
+        .expect("bind");
+        std::thread::sleep(Duration::from_millis(15));
+        // Hold one live but idle relay open across the measurement.
+        let mut s = TcpStream::connect(lb.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut greeting = String::new();
+        r.read_line(&mut greeting).unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // quiesce
+        let rstats = Arc::clone(lb.relay_stats());
+        let before = rstats.pumps.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_secs(1));
+        let after = rstats.pumps.load(Ordering::Relaxed);
+        assert_eq!(
+            after, before,
+            "reactor pumped an idle connection {} times across an idle second",
+            after - before
+        );
+        // The connection is still perfectly alive after the idle window.
+        write!(s, "warm\n").unwrap();
+        let mut echoed = String::new();
+        r.read_line(&mut echoed).unwrap();
+        assert_eq!(echoed.trim(), "warm");
+        drop(r);
+        drop(s);
+        lb.shutdown();
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn sleep_poll_worker_burns_pumps_while_idle() {
+        // The contrast figure for the idle-CPU property: the baseline
+        // loop keeps polling an idle connection.
+        let (addr, stop) = spawn_echo_backend(0);
+        let lb = RelayLb::start_with_mode("127.0.0.1:0", 1, vec![addr], RelayMode::SleepPoll)
+            .expect("bind");
+        std::thread::sleep(Duration::from_millis(15));
+        let s = TcpStream::connect(lb.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut greeting = String::new();
+        r.read_line(&mut greeting).unwrap();
+        let rstats = Arc::clone(lb.relay_stats());
+        let before = rstats.pumps.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(300));
+        let after = rstats.pumps.load(Ordering::Relaxed);
+        assert!(
+            after > before,
+            "sleep-poll loop unexpectedly stopped polling its idle connection"
+        );
+        drop(r);
+        drop(s);
+        lb.shutdown();
+        stop.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn splice_demotion_recovers_pipe_bytes() {
+        // Stage bytes in a splice direction's pipe, then demote: the
+        // bytes must surface intact in the copy-path buffer.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let pipe = PipePair::new().unwrap();
+        client.write_all(b"must-not-be-dropped").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let n = match reactor::splice_to_pipe(server.as_raw_fd(), &pipe, 4096).unwrap() {
+            Splice::Moved(n) => n,
+            other => panic!("expected Moved, got {other:?}"),
+        };
+        let mut dir = DirBuf::Splice { pipe, buffered: n };
+        let mut scratch = vec![0u8; SCRATCH_BYTES];
+        dir.demote(&mut scratch).unwrap();
+        match dir {
+            DirBuf::Copy(buf) => assert_eq!(&buf[..], b"must-not-be-dropped"),
+            DirBuf::Splice { .. } => panic!("demote left the splice path in place"),
+        }
+    }
+
+    #[test]
+    fn late_backend_ids_clamp_instead_of_panicking() {
+        // Regression: per_backend is sized at startup; a later table
+        // version can reference backend ids past the vector. Those must
+        // clamp into unindexed_backends, not index out of bounds.
+        let rstats = RelayStats {
+            per_backend: (0..2).map(|_| AtomicU64::new(0)).collect(),
+            ..RelayStats::default()
+        };
+        rstats.note_backend(1);
+        rstats.note_backend(7);
+        rstats.note_backend(2);
+        assert_eq!(rstats.per_backend[1].load(Ordering::Relaxed), 1);
+        assert_eq!(rstats.per_backend[0].load(Ordering::Relaxed), 0);
+        assert_eq!(rstats.unindexed_backends.load(Ordering::Relaxed), 2);
     }
 
     #[test]
@@ -699,9 +1612,10 @@ mod tests {
 
     #[test]
     fn half_close_with_large_payload_exercises_backpressure() {
-        // 64 KiB through a 16 KiB scratch buffer: the echo path must chunk
-        // through the relay's strict-backpressure buffers, and half-close
-        // must still deliver every byte after the client stops sending.
+        // 64 KiB through the default-mode staging buffers: the echo path
+        // must chunk through the relay's strict-backpressure stores, and
+        // half-close must still deliver every byte after the client stops
+        // sending.
         let (live_addr, stop) = spawn_echo_backend(0);
         let lb = RelayLb::start("127.0.0.1:0", 1, vec![live_addr]).expect("bind");
         let addr = lb.local_addr();

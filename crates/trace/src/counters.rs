@@ -78,11 +78,19 @@ pub enum CounterId {
     RelayBursts = 30,
     /// Backend connect/resolve retries beyond the pinned backend.
     BackendRetries = 31,
+    /// Payload bytes moved kernel-to-kernel by the relay's splice(2)
+    /// fast path (counted as they leave the pipe toward the peer).
+    SpliceBytes = 32,
+    /// Relay directions demoted from splice to the scratch-copy path
+    /// (`EINVAL`/`ENOSYS` from the kernel, or inspection required).
+    SpliceFallbacks = 33,
+    /// Relay reactor `epoll_wait` returns that carried ≥ 1 ready event.
+    ReactorWakeups = 34,
 }
 
 impl CounterId {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 35;
 
     /// Every counter, in registry order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -118,6 +126,9 @@ impl CounterId {
         CounterId::RelayBytes,
         CounterId::RelayBursts,
         CounterId::BackendRetries,
+        CounterId::SpliceBytes,
+        CounterId::SpliceFallbacks,
+        CounterId::ReactorWakeups,
     ];
 
     /// Stable dotted name used in exports.
@@ -155,6 +166,9 @@ impl CounterId {
             CounterId::RelayBytes => "relay.bytes",
             CounterId::RelayBursts => "relay.bursts",
             CounterId::BackendRetries => "backend.retries",
+            CounterId::SpliceBytes => "relay.splice_bytes",
+            CounterId::SpliceFallbacks => "relay.splice_fallbacks",
+            CounterId::ReactorWakeups => "relay.reactor_wakeups",
         }
     }
 }

@@ -67,12 +67,15 @@ pub enum EventKind {
     /// A backend went down: in-flight connections must retry elsewhere.
     /// `a` = backend id, `b` = published table version.
     BackendDown = 19,
+    /// A relay reactor worker woke from `epoll_wait` with work to do.
+    /// `a` = ready fd events returned, `b` = relays pumped on this wake.
+    RelayWakeup = 20,
 }
 
 impl EventKind {
     /// Every kind the decoder knows, in discriminant order (excluding
     /// [`EventKind::Unknown`]). Drives the per-kind summary table.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::SchedStage,
         EventKind::SchedDecision,
         EventKind::BitmapPublish,
@@ -92,6 +95,7 @@ impl EventKind {
         EventKind::BackendUp,
         EventKind::BackendDrain,
         EventKind::BackendDown,
+        EventKind::RelayWakeup,
     ];
 
     /// Decode a wire discriminant, mapping unknown values to
@@ -117,6 +121,7 @@ impl EventKind {
             17 => EventKind::BackendUp,
             18 => EventKind::BackendDrain,
             19 => EventKind::BackendDown,
+            20 => EventKind::RelayWakeup,
             _ => EventKind::Unknown,
         }
     }
@@ -144,6 +149,7 @@ impl EventKind {
             EventKind::BackendUp => "backend.up",
             EventKind::BackendDrain => "backend.drain",
             EventKind::BackendDown => "backend.down",
+            EventKind::RelayWakeup => "relay.wakeup",
         }
     }
 }

@@ -98,15 +98,34 @@ echo "==> backend-churn consistency (versioned tables under drain + flap)"
 # across fleet thread counts.
 cargo test --release -q -p hermes-simnet --test backend_churn
 
-echo "==> relay_throughput --smoke (end-to-end latency + churn-consistency gate)"
+echo "==> relay-reactor (epoll reactor + splice data plane suite, both feature states)"
+# The relay's I/O engines: the raw-syscall reactor module (epoll/eventfd/
+# pipe/splice contracts), the RelayMode matrix (half-close in all three
+# orders, slow-reader backpressure through bounded pipes, splice demotion
+# byte recovery), the idle-CPU property (a reactor worker makes zero pump
+# passes across an idle second; the sleep-poll baseline provably does
+# not), and the late-table-version per_backend clamp. Run with trace on
+# too so the RelayWakeup/SpliceBytes instrumentation never rots in either
+# feature state.
+cargo test --release -q -p hermes-lb reactor
+cargo test --release -q -p hermes-lb relay
+cargo test --release -q -p hermes-lb --features trace relay
+
+echo "==> relay_throughput --smoke (end-to-end latency + churn-consistency + reactor gate)"
 # Drives four backend scenarios (steady / flap / rolling drain / slow
 # backend) through the full LB -> backend path and fails if any scenario
 # misroutes or drops a request, if the rolling drain displaces in-flight
 # traffic (retries or fallbacks), or if steady-scenario P99 drifts >25%
 # above the checked-in baseline. Latency is simulated time, so the gate
-# catches model regressions, not host noise. Regenerate
-# results/BENCH_relay.json with a full (non-smoke) run when the backend
-# model legitimately changes.
+# catches model regressions, not host noise. The real-socket section then
+# A/Bs the relay modes over loopback and fails if the epoll reactor's RTT
+# P99 stops undercutting the sleep-poll baseline by the idle-wakeup tax,
+# if the splice path stops beating the copy path on bytes moved per
+# relay-CPU-second (wall throughput is ungated: loopback is memcpy-bound
+# at the endpoints for both paths), if a reactor worker
+# pumps during an idle window (or the baseline doesn't), or if splice
+# demotes on plain TCP. Regenerate results/BENCH_relay.json with a full
+# (non-smoke) run when the backend model legitimately changes.
 cargo run --release -p hermes-bench --bin relay_throughput -- \
   --smoke --baseline results/BENCH_relay.json --no-write
 
@@ -125,12 +144,15 @@ cargo run --release -p hermes-bench --features trace --bin trace_overhead -- \
 cargo run --release -p hermes-bench --bin trace_overhead -- \
   --smoke --gate --no-write
 
-echo "==> aarch64 cross-check (jit portable-fallback lane)"
+echo "==> aarch64 cross-check (jit portable-fallback + reactor packed-struct lane)"
 # The jit tier is x86-64-only behind cfg; this lane proves the portable
 # fallback (compiled-tier ceiling, stub JitProgram) still typechecks on a
 # 64-bit non-x86 target so a cfg regression cannot hide on x86 hosts.
+# hermes-lb rides along because the reactor's EpollEvent layout is also
+# arch-conditional (packed on x86-64 only).
 if rustup target list --installed 2>/dev/null | grep -q '^aarch64-unknown-linux-gnu$'; then
   cargo check --target aarch64-unknown-linux-gnu -p hermes-ebpf
+  cargo check --target aarch64-unknown-linux-gnu -p hermes-lb
 else
   echo "SKIP: aarch64-unknown-linux-gnu target absent (install: rustup target add aarch64-unknown-linux-gnu)"
 fi
